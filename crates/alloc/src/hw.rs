@@ -1,0 +1,293 @@
+//! The HW resource graph (paper §5.1).
+//!
+//! "For HW, an interconnection graph is used; for simplicity, we consider
+//! a generalized HW resource graph." The paper assumes homogeneous
+//! processors; heterogeneity enters only through per-node *resource tags*
+//! (its example: "need for a resource present on only one processor").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fcm_graph::{DiGraph, NodeIdx};
+
+/// A hardware node (processor) with its attached resource tags and
+/// throughput capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwNode {
+    /// Display name, e.g. `"hw0"`.
+    pub name: String,
+    /// Resource tags available on this processor (I/O devices, sensors,
+    /// co-processors). A SW node requiring tag `t` can only map here if
+    /// `t` is present.
+    pub resources: BTreeSet<String>,
+    /// Throughput capacity (same unit as the SW throughput attribute).
+    /// The summed throughput of a hosted cluster must not exceed it;
+    /// unbounded by default.
+    pub capacity: f64,
+}
+
+impl Default for HwNode {
+    fn default() -> Self {
+        HwNode {
+            name: String::new(),
+            resources: BTreeSet::new(),
+            capacity: f64::INFINITY,
+        }
+    }
+}
+
+impl HwNode {
+    /// Creates a node with no special resources and unbounded capacity.
+    pub fn new(name: impl Into<String>) -> Self {
+        HwNode {
+            name: name.into(),
+            ..HwNode::default()
+        }
+    }
+
+    /// Adds a resource tag (builder style).
+    pub fn with_resource(mut self, tag: impl Into<String>) -> Self {
+        self.resources.insert(tag.into());
+        self
+    }
+
+    /// Sets the throughput capacity (builder style).
+    pub fn with_capacity(mut self, capacity: f64) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+impl fmt::Display for HwNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The HW interconnection graph; edge weights are per-hop communication
+/// costs (used when "communication costs between SW modules … need to be
+/// considered" and the mapping's *dilation* matters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwGraph {
+    graph: DiGraph<HwNode, f64>,
+    /// All-pairs hop-cost matrix (shortest path over link costs).
+    distances: Vec<Vec<f64>>,
+}
+
+impl HwGraph {
+    /// Builds a HW graph from nodes and undirected links
+    /// `(a, b, cost)`.
+    pub fn new(nodes: Vec<HwNode>, links: &[(usize, usize, f64)]) -> Self {
+        let mut graph = DiGraph::with_capacity(nodes.len());
+        for n in nodes {
+            graph.add_node(n);
+        }
+        for &(a, b, cost) in links {
+            graph.add_edge(NodeIdx(a), NodeIdx(b), cost);
+            graph.add_edge(NodeIdx(b), NodeIdx(a), cost);
+        }
+        let distances = all_pairs_shortest(&graph);
+        HwGraph { graph, distances }
+    }
+
+    /// A strongly connected (complete) network of `n` identical nodes with
+    /// unit link cost — the paper's example platform ("assume there is a
+    /// strongly connected network with 6 HW nodes").
+    pub fn complete(n: usize) -> Self {
+        let nodes = (0..n).map(|i| HwNode::new(format!("hw{i}"))).collect();
+        let mut links = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                links.push((a, b, 1.0));
+            }
+        }
+        HwGraph::new(nodes, &links)
+    }
+
+    /// A ring of `n` nodes with unit link cost.
+    pub fn ring(n: usize) -> Self {
+        let nodes = (0..n).map(|i| HwNode::new(format!("hw{i}"))).collect();
+        let links: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        HwGraph::new(nodes, if n > 1 { &links } else { &[] })
+    }
+
+    /// A star: node 0 is the hub, nodes `1..n` are leaves.
+    pub fn star(n: usize) -> Self {
+        let nodes = (0..n).map(|i| HwNode::new(format!("hw{i}"))).collect();
+        let links: Vec<_> = (1..n).map(|i| (0, i, 1.0)).collect();
+        HwGraph::new(nodes, &links)
+    }
+
+    /// A `w × h` grid (mesh) with unit link cost.
+    pub fn mesh(w: usize, h: usize) -> Self {
+        let nodes = (0..w * h)
+            .map(|i| HwNode::new(format!("hw{}_{}", i % w, i / w)))
+            .collect();
+        let mut links = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    links.push((i, i + 1, 1.0));
+                }
+                if y + 1 < h {
+                    links.push((i, i + w, 1.0));
+                }
+            }
+        }
+        HwGraph::new(nodes, &links)
+    }
+
+    /// Number of processors.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Whether the platform has no processors.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The node at `idx`, if it exists.
+    pub fn node(&self, idx: NodeIdx) -> Option<&HwNode> {
+        self.graph.node(idx)
+    }
+
+    /// Mutable node access (to attach resource tags after construction).
+    pub fn node_mut(&mut self, idx: NodeIdx) -> Option<&mut HwNode> {
+        self.graph.node_mut(idx)
+    }
+
+    /// Iterates over `(index, node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeIdx, &HwNode)> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Shortest-path communication cost between two processors
+    /// (`0` to self, `f64::INFINITY` when disconnected).
+    pub fn distance(&self, a: NodeIdx, b: NodeIdx) -> f64 {
+        self.distances
+            .get(a.index())
+            .and_then(|row| row.get(b.index()))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Whether every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.distances
+            .iter()
+            .all(|row| row.iter().all(|d| d.is_finite()))
+    }
+}
+
+fn all_pairs_shortest(g: &DiGraph<HwNode, f64>) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for (_, e) in g.edges() {
+        let (u, v) = (e.from.index(), e.to.index());
+        if e.weight < d[u][v] {
+            d[u][v] = e.weight;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_topology_is_all_unit_distances() {
+        let hw = HwGraph::complete(4);
+        assert_eq!(hw.len(), 4);
+        assert!(hw.is_connected());
+        for a in 0..4 {
+            for b in 0..4 {
+                let d = hw.distance(NodeIdx(a), NodeIdx(b));
+                if a == b {
+                    assert_eq!(d, 0.0);
+                } else {
+                    assert_eq!(d, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distances_wrap() {
+        let hw = HwGraph::ring(6);
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(3)), 3.0);
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(5)), 1.0);
+        assert!(hw.is_connected());
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let hw = HwGraph::star(5);
+        assert_eq!(hw.distance(NodeIdx(1), NodeIdx(4)), 2.0);
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(4)), 1.0);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let hw = HwGraph::mesh(3, 3);
+        assert_eq!(hw.len(), 9);
+        // Corner to corner: 4 hops.
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(8)), 4.0);
+    }
+
+    #[test]
+    fn disconnected_platform_is_detected() {
+        let hw = HwGraph::new(vec![HwNode::new("a"), HwNode::new("b")], &[]);
+        assert!(!hw.is_connected());
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn resource_tags_attach() {
+        let mut hw = HwGraph::complete(2);
+        hw.node_mut(NodeIdx(0))
+            .unwrap()
+            .resources
+            .insert("gps".into());
+        assert!(hw.node(NodeIdx(0)).unwrap().resources.contains("gps"));
+        assert!(!hw.node(NodeIdx(1)).unwrap().resources.contains("gps"));
+        let n = HwNode::new("x").with_resource("radar").with_capacity(4.0);
+        assert!(n.resources.contains("radar"));
+        assert_eq!(n.capacity, 4.0);
+        assert_eq!(n.to_string(), "x");
+        assert_eq!(HwNode::new("y").capacity, f64::INFINITY);
+    }
+
+    #[test]
+    fn out_of_range_distance_is_infinite() {
+        let hw = HwGraph::complete(2);
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(9)), f64::INFINITY);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let hw = HwGraph::ring(1);
+        assert_eq!(hw.len(), 1);
+        assert!(hw.is_connected());
+        let empty = HwGraph::complete(0);
+        assert!(empty.is_empty());
+        assert!(empty.is_connected());
+    }
+}

@@ -1,0 +1,285 @@
+//! Replica expansion of the SW graph (paper §5.4, Fig. 4).
+//!
+//! "Based on the fault tolerance requirements and need for, say, threefold
+//! replication, an equivalent graph of three SW nodes with identical
+//! attributes and 0 edge weights is created; each of these SW nodes can
+//! thereafter be treated independently. … Node p1 is replicated 3 times to
+//! satisfy its fault tolerance requirements, and edges with neighbors are
+//! also replicated."
+
+use fcm_graph::NodeIdx;
+
+use crate::sw::{SwEdge, SwGraph, SwNode};
+
+/// The result of expanding fault-tolerance requirements into replicas.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// The expanded graph (replicas tagged and linked with 0-weight edges).
+    pub graph: SwGraph,
+    /// For each node of the expanded graph, the originating node of the
+    /// input graph.
+    pub origin: Vec<NodeIdx>,
+    /// For each node of the input graph, its replicas in the expanded
+    /// graph (singleton for FT = 1 nodes).
+    pub replicas_of: Vec<Vec<NodeIdx>>,
+}
+
+/// Replica-name suffixes, following the paper (`p1a`, `p1b`, `p1c`).
+fn suffix(i: usize, total: u8) -> String {
+    if total <= 1 {
+        String::new()
+    } else {
+        char::from(b'a' + (i as u8)).to_string()
+    }
+}
+
+/// Expands every node with fault-tolerance requirement `FT = k > 1` into
+/// `k` replica nodes with identical attributes, 0-weight replica links
+/// between them, and all influence edges duplicated per replica pair.
+///
+/// # Example
+///
+/// ```
+/// use fcm_alloc::{replication::expand_replicas, sw::SwGraphBuilder};
+/// use fcm_core::{AttributeSet, FaultTolerance};
+///
+/// let mut b = SwGraphBuilder::new();
+/// let p1 = b.add_process(
+///     "p1",
+///     AttributeSet::default().with_fault_tolerance(FaultTolerance::TMR),
+/// );
+/// let p2 = b.add_process("p2", AttributeSet::default());
+/// b.add_influence(p1, p2, 0.5)?;
+/// let ex = expand_replicas(&b.build());
+/// // p1a, p1b, p1c, p2.
+/// assert_eq!(ex.graph.node_count(), 4);
+/// assert_eq!(ex.replicas_of[p1.index()].len(), 3);
+/// # Ok::<(), fcm_alloc::AllocError>(())
+/// ```
+pub fn expand_replicas(g: &SwGraph) -> Expansion {
+    let mut out = SwGraph::with_capacity(g.node_count());
+    let mut origin = Vec::new();
+    let mut replicas_of: Vec<Vec<NodeIdx>> = Vec::with_capacity(g.node_count());
+    let mut next_group: u32 = g
+        .nodes()
+        .filter_map(|(_, n)| n.replica_group)
+        .max()
+        .map_or(0, |g| g + 1);
+
+    for (idx, node) in g.nodes() {
+        let k = node.attributes.fault_tolerance.replicas();
+        let group = if k > 1 {
+            let group = next_group;
+            next_group += 1;
+            Some(group)
+        } else {
+            node.replica_group
+        };
+        let mut copies = Vec::with_capacity(k as usize);
+        for i in 0..k {
+            let mut copy = SwNode::new(
+                format!("{}{}", node.name, suffix(i as usize, k)),
+                node.attributes,
+            );
+            copy.replica_group = group;
+            copy.required_resources = node.required_resources.clone();
+            copy.pinned_to = node.pinned_to.clone();
+            copy.separation_group = node.separation_group;
+            let new_idx = out.add_node(copy);
+            origin.push(idx);
+            copies.push(new_idx);
+        }
+        // 0-weight links between the replicas of this node.
+        for (i, &a) in copies.iter().enumerate() {
+            for &b in &copies[i + 1..] {
+                out.add_edge(a, b, SwEdge::ReplicaLink);
+                out.add_edge(b, a, SwEdge::ReplicaLink);
+            }
+        }
+        replicas_of.push(copies);
+    }
+
+    // Influence edges are duplicated per replica pair; pre-existing replica
+    // links in the input are carried over verbatim.
+    for (_, e) in g.edges() {
+        for &from in &replicas_of[e.from.index()] {
+            for &to in &replicas_of[e.to.index()] {
+                out.add_edge(from, to, e.weight);
+            }
+        }
+    }
+
+    Expansion {
+        graph: out,
+        origin,
+        replicas_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::SwGraphBuilder;
+    use fcm_core::{AttributeSet, FaultTolerance};
+
+    fn tmr_attrs() -> AttributeSet {
+        AttributeSet::default()
+            .with_criticality(10)
+            .with_fault_tolerance(FaultTolerance::TMR)
+    }
+
+    #[test]
+    fn simplex_nodes_pass_through_unchanged() {
+        let mut b = SwGraphBuilder::new();
+        let a = b.add_process("a", AttributeSet::default());
+        let c = b.add_process("b", AttributeSet::default());
+        b.add_influence(a, c, 0.3).unwrap();
+        let ex = expand_replicas(&b.build());
+        assert_eq!(ex.graph.node_count(), 2);
+        assert_eq!(ex.graph.edge_count(), 1);
+        assert_eq!(ex.graph.node(NodeIdx(0)).unwrap().name, "a");
+        assert_eq!(ex.origin, vec![a, c]);
+    }
+
+    #[test]
+    fn tmr_node_becomes_three_named_replicas() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let ex = expand_replicas(&b.build());
+        assert_eq!(ex.graph.node_count(), 3);
+        let names: Vec<_> = ex.graph.nodes().map(|(_, n)| n.name.clone()).collect();
+        assert_eq!(names, vec!["p1a", "p1b", "p1c"]);
+        // All replicas share a group and carry identical attributes.
+        let g0 = ex.graph.node(NodeIdx(0)).unwrap().replica_group;
+        assert!(g0.is_some());
+        for (_, n) in ex.graph.nodes() {
+            assert_eq!(n.replica_group, g0);
+            assert_eq!(n.attributes, tmr_attrs());
+        }
+        // 3 pairs × 2 directions of replica links.
+        assert_eq!(ex.graph.edge_count(), 6);
+        assert!(ex
+            .graph
+            .edges()
+            .all(|(_, e)| matches!(e.weight, SwEdge::ReplicaLink)));
+        assert_eq!(ex.replicas_of[p1.index()].len(), 3);
+    }
+
+    #[test]
+    fn paper_fig4_counts() {
+        // p1 FT=3, p2 and p3 FT=2, p4..p8 simplex → 12 nodes.
+        let mut b = SwGraphBuilder::new();
+        let _p1 = b.add_process("p1", tmr_attrs());
+        for name in ["p2", "p3"] {
+            b.add_process(
+                name,
+                AttributeSet::default()
+                    .with_criticality(8)
+                    .with_fault_tolerance(FaultTolerance::DUPLEX),
+            );
+        }
+        for name in ["p4", "p5", "p6", "p7", "p8"] {
+            b.add_process(name, AttributeSet::default());
+        }
+        let ex = expand_replicas(&b.build());
+        assert_eq!(ex.graph.node_count(), 12);
+    }
+
+    #[test]
+    fn influence_edges_are_replicated_to_every_copy() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let p2 = b.add_process("p2", AttributeSet::default());
+        b.add_influence(p1, p2, 0.5).unwrap();
+        b.add_influence(p2, p1, 0.2).unwrap();
+        let ex = expand_replicas(&b.build());
+        // 6 replica links + 3 copies of each influence direction.
+        assert_eq!(ex.graph.edge_count(), 6 + 3 + 3);
+        let p2_new = ex.replicas_of[p2.index()][0];
+        for &r in &ex.replicas_of[p1.index()] {
+            assert_eq!(
+                ex.graph.edge_weight_between(r, p2_new).unwrap().influence(),
+                0.5
+            );
+            assert_eq!(
+                ex.graph.edge_weight_between(p2_new, r).unwrap().influence(),
+                0.2
+            );
+        }
+    }
+
+    #[test]
+    fn two_replicated_endpoints_duplicate_per_pair() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let p2 = b.add_process(
+            "p2",
+            AttributeSet::default().with_fault_tolerance(FaultTolerance::DUPLEX),
+        );
+        b.add_influence(p1, p2, 0.4).unwrap();
+        let ex = expand_replicas(&b.build());
+        // 3 replicas × 2 replicas = 6 influence edges.
+        let influence_edges = ex
+            .graph
+            .edges()
+            .filter(|(_, e)| matches!(e.weight, SwEdge::Influence(_)))
+            .count();
+        assert_eq!(influence_edges, 6);
+    }
+
+    #[test]
+    fn groups_differ_across_modules() {
+        let mut b = SwGraphBuilder::new();
+        b.add_process("p1", tmr_attrs());
+        b.add_process("p2", tmr_attrs());
+        let ex = expand_replicas(&b.build());
+        let g_a = ex.graph.node(NodeIdx(0)).unwrap().replica_group.unwrap();
+        let g_b = ex.graph.node(NodeIdx(3)).unwrap().replica_group.unwrap();
+        assert_ne!(g_a, g_b);
+    }
+
+    #[test]
+    fn resource_requirements_survive_expansion() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let mut g = b.build();
+        g.node_mut(p1)
+            .unwrap()
+            .required_resources
+            .insert("gps".into());
+        let ex = expand_replicas(&g);
+        for (_, n) in ex.graph.nodes() {
+            assert!(n.required_resources.contains("gps"), "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn pins_and_separation_groups_survive_expansion() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let p2 = b.add_process("p2", AttributeSet::default());
+        b.pin_to_hw(p2, "console").unwrap();
+        b.forbid_colocation(&[p1, p2]).unwrap();
+        let ex = expand_replicas(&b.build());
+        for (_, n) in ex.graph.nodes() {
+            if n.name.starts_with("p1") {
+                assert_eq!(n.separation_group, Some(0), "{}", n.name);
+            } else {
+                assert_eq!(n.pinned_to.as_deref(), Some("console"));
+            }
+        }
+    }
+
+    #[test]
+    fn origin_maps_back_to_input_nodes() {
+        let mut b = SwGraphBuilder::new();
+        let p1 = b.add_process("p1", tmr_attrs());
+        let p2 = b.add_process("p2", AttributeSet::default());
+        let ex = expand_replicas(&b.build());
+        assert_eq!(ex.origin.len(), 4);
+        assert_eq!(ex.origin[0], p1);
+        assert_eq!(ex.origin[1], p1);
+        assert_eq!(ex.origin[2], p1);
+        assert_eq!(ex.origin[3], p2);
+    }
+}

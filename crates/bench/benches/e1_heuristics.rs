@@ -1,0 +1,42 @@
+//! E1 timing: clustering heuristics H1 / H1′ / H2 / H3 across graph sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fcm_alloc::heuristics::{h1, h1_pair_all, h2, h3};
+use fcm_core::ImportanceWeights;
+use fcm_graph::algo::BisectPolicy;
+use fcm_workloads::random::RandomWorkload;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_heuristics");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let g = RandomWorkload {
+            processes: n,
+            density: 0.25,
+            replicated_fraction: 0.0, // pure timing comparison
+            seed: 42,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        let target = n / 3;
+        let weights = ImportanceWeights::default();
+        group.bench_with_input(BenchmarkId::new("H1", n), &g, |b, g| {
+            b.iter(|| h1(black_box(g), target).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("H1_pair_all", n), &g, |b, g| {
+            b.iter(|| h1_pair_all(black_box(g), target).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("H2", n), &g, |b, g| {
+            b.iter(|| h2(black_box(g), target, BisectPolicy::LargestPart).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("H3", n), &g, |b, g| {
+            b.iter(|| h3(black_box(g), target, &weights).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5 timing: schedulability analysis — EDF simulation vs non-preemptive
+//! branch-and-bound, and the periodic response-time analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fcm_sched::periodic::{PeriodicTask, TaskSet};
+use fcm_sched::{edf, nonpreemptive, Job, JobSet};
+
+fn job_set(n: usize) -> JobSet {
+    // Staggered feasible jobs.
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let i = i as u64;
+            Job::new(i, i * 3, i * 3 + 40 + (i % 5) * 7, 3 + i % 4)
+        })
+        .collect();
+    JobSet::new(jobs).expect("constructed jobs are well-formed")
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sched");
+    for &n in &[8usize, 16, 32] {
+        let set = job_set(n);
+        group.bench_with_input(BenchmarkId::new("edf_feasible", n), &set, |b, s| {
+            b.iter(|| edf::feasible(black_box(s)))
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("nonpreemptive_exact", n), &set, |b, s| {
+                b.iter(|| nonpreemptive::feasible(black_box(s)).expect("within budget"))
+            });
+        }
+    }
+    let tasks = TaskSet::new(
+        (1..=12u64)
+            .map(|i| PeriodicTask::new(10 * i, i.min(4)))
+            .collect(),
+    )
+    .expect("valid tasks");
+    group.bench_function("rm_response_time_12_tasks", |b| {
+        b.iter(|| black_box(&tasks).rm_response_times())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

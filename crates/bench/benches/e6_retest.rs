@@ -1,0 +1,43 @@
+//! E6 timing: R5 retest-set computation vs naive full recertification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fcm_core::{AttributeSet, FcmHierarchy, FcmId, HierarchyLevel};
+
+fn build_hierarchy(fanout: usize) -> (FcmHierarchy, FcmId) {
+    let mut h = FcmHierarchy::new();
+    let root = h
+        .add_root("sys", HierarchyLevel::Process, AttributeSet::default())
+        .expect("root");
+    let mut a_procedure = None;
+    for ti in 0..fanout {
+        let task = h
+            .add_child(root, format!("t{ti}"), AttributeSet::default())
+            .expect("task");
+        for pi in 0..fanout {
+            let p = h
+                .add_child(task, format!("t{ti}_p{pi}"), AttributeSet::default())
+                .expect("procedure");
+            a_procedure.get_or_insert(p);
+        }
+    }
+    (h, a_procedure.expect("fanout > 0"))
+}
+
+fn bench_retest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_retest");
+    for &fanout in &[4usize, 8, 16] {
+        let (h, p) = build_hierarchy(fanout);
+        group.bench_with_input(BenchmarkId::new("r5_retest_set", fanout), &h, |b, h| {
+            b.iter(|| h.retest_set(black_box(p)).expect("known fcm"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_recertify", fanout), &h, |b, h| {
+            b.iter(|| h.naive_retest_set(black_box(p)).expect("known fcm"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retest);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Regenerates every table and figure of the paper plus the extension
+//! experiments E1–E7.
+//!
+//! ```text
+//! cargo run --release -p fcm-bench --bin repro            # everything
+//! cargo run --release -p fcm-bench --bin repro -- t1 f6   # a selection
+//! cargo run --release -p fcm-bench --bin repro -- --quick # reduced scale
+//! cargo run --release -p fcm-bench --bin repro -- f3 --dot # Graphviz output
+//! ```
+
+use fcm_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dot = args.iter().any(|a| a == "--dot");
+    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    if args.iter().any(|a| a == "--list") {
+        for (id, what) in [
+            ("t1", "Table 1: example process attributes"),
+            ("f3", "Fig. 3: initial SW influence graph (--dot available)"),
+            ("f4", "Fig. 4: replica-expanded graph (--dot available)"),
+            ("f5", "Fig. 5: Eq. 4 cluster influence"),
+            ("f6", "Fig. 6: H1 reduction to the 6-node platform"),
+            ("f7", "Fig. 7: criticality-driven integration"),
+            ("f8", "Fig. 8: timing-ordered refinement"),
+            ("e1", "heuristic ablation"),
+            ("e2", "separation-series convergence"),
+            ("e3", "measured vs analytic influence"),
+            ("e4", "mission reliability of competing strategies"),
+            ("e5", "schedulability vs utilisation"),
+            ("e6", "R5 retest set vs naive recertification"),
+            ("e7", "isolation-technique ablation"),
+            ("e8", "integration-depth tradeoff"),
+            ("e9", "HW platform selection"),
+            ("e10", "heuristic x interaction structure"),
+            ("e11", "materialised-system validation"),
+            ("e12", "measured workflow end to end"),
+            ("e13", "TMR voting in the materialised system"),
+        ] {
+            println!("{id:<4} {what}");
+        }
+        return;
+    }
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want =
+        |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
+
+    if want("t1") {
+        section("T1  Table 1: example process attributes");
+        print!("{}", experiments::t1());
+    }
+    if want("f3") {
+        section("F3  Fig. 3: initial SW influence graph");
+        print!(
+            "{}",
+            if dot {
+                experiments::f3_dot()
+            } else {
+                experiments::f3()
+            }
+        );
+    }
+    if want("f4") {
+        section("F4  Fig. 4: replica-expanded graph");
+        print!(
+            "{}",
+            if dot {
+                experiments::f4_dot()
+            } else {
+                experiments::f4()
+            }
+        );
+    }
+    if want("f5") {
+        section("F5  Fig. 5: Eq. 4 cluster influence");
+        print!("{}", experiments::f5());
+    }
+    if want("f6") {
+        section("F6  Fig. 6: H1 reduction to the 6-node platform");
+        print!("{}", experiments::f6());
+    }
+    if want("f7") {
+        section("F7  Fig. 7: criticality-driven integration");
+        print!("{}", experiments::f7());
+    }
+    if want("f8") {
+        section("F8  Fig. 8: timing-ordered refinement");
+        print!("{}", experiments::f8());
+    }
+    if want("e1") {
+        section("E1  heuristic ablation (residual cross-node influence)");
+        print!("{}", experiments::e1(scale));
+    }
+    if want("e2") {
+        section("E2  separation-series convergence (Eq. 3 truncation)");
+        print!("{}", experiments::e2());
+    }
+    if want("e3") {
+        section("E3  measured vs analytic influence (Eq. 1/2)");
+        print!("{}", experiments::e3(scale));
+    }
+    if want("e4") {
+        section("E4  mission reliability of competing strategies");
+        print!("{}", experiments::e4(scale));
+    }
+    if want("e5") {
+        section("E5  schedulability vs utilisation");
+        print!("{}", experiments::e5(scale));
+    }
+    if want("e6") {
+        section("E6  R5 retest set vs naive recertification");
+        print!("{}", experiments::e6());
+    }
+    if want("e7") {
+        section("E7  isolation-technique ablation");
+        print!("{}", experiments::e7(scale));
+    }
+    if want("e8") {
+        section("E8  integration-depth tradeoff (the paper's deferred study)");
+        print!("{}", experiments::e8(scale));
+    }
+    if want("e9") {
+        section("E9  HW platform selection under a reliability target");
+        print!("{}", experiments::e9(scale));
+    }
+    if want("e10") {
+        section("E10 heuristic × interaction structure");
+        print!("{}", experiments::e10());
+    }
+    if want("e11") {
+        section("E11 materialised-system validation (simulator in the loop)");
+        print!("{}", experiments::e11(scale));
+    }
+    if want("e12") {
+        section("E12 measured workflow: campaign -> SW graph -> integration");
+        print!("{}", experiments::e12(scale));
+    }
+    if want("e13") {
+        section("E13 TMR voting in the materialised system");
+        print!("{}", experiments::e13(scale));
+    }
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

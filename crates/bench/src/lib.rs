@@ -1,0 +1,15 @@
+//! Experiment implementations for the DDSI reproduction.
+//!
+//! Every table and figure of the paper, plus the extension experiments
+//! E1–E7 documented in `DESIGN.md`, is a function here returning a
+//! structured result with a `Display` table. The `repro` binary prints
+//! them; the Criterion benches time their computational kernels; the
+//! integration suite asserts their qualitative shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

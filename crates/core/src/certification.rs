@@ -1,0 +1,298 @@
+//! Incremental certification bookkeeping over an FCM hierarchy.
+//!
+//! A central promise of the paper's framework is cheap re-verification:
+//! each level "simplifies V&V of FCMs at each level, by not having to
+//! consider lower levels; in addition, V&V of module dependability can be
+//! performed independently of other modules at the same level", and R5
+//! bounds what a modification invalidates. This module operationalises
+//! that: a [`CertificationLedger`] tracks which FCMs (and which sibling
+//! interfaces) are certified, invalidates exactly the R5 retest set on
+//! modification, and reports the outstanding work — the bookkeeping a
+//! certification authority would keep over an evolving integrated system.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FcmError;
+use crate::hierarchy::{FcmHierarchy, FcmId};
+
+/// Certification state for one hierarchy.
+///
+/// The ledger tracks two kinds of evidence, mirroring R5's two
+/// obligations:
+///
+/// * **module certificates** — the FCM itself has been verified;
+/// * **interface certificates** — an unordered sibling pair's interface
+///   has been verified.
+///
+/// # Example
+///
+/// ```
+/// use fcm_core::certification::CertificationLedger;
+/// use fcm_core::{AttributeSet, FcmHierarchy, HierarchyLevel};
+///
+/// let mut h = FcmHierarchy::new();
+/// let p = h.add_root("p", HierarchyLevel::Process, AttributeSet::default())?;
+/// let t = h.add_child(p, "t", AttributeSet::default())?;
+/// let f = h.add_child(t, "f", AttributeSet::default())?;
+/// let mut ledger = CertificationLedger::certify_all(&h);
+/// assert!(ledger.is_fully_certified(&h));
+/// ledger.record_modification(&h, f)?;
+/// // Exactly the R5 set is invalid: f itself and its parent t.
+/// assert_eq!(ledger.outstanding_modules(&h).len(), 2);
+/// # Ok::<(), fcm_core::FcmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CertificationLedger {
+    certified_modules: BTreeSet<FcmId>,
+    certified_interfaces: BTreeSet<(FcmId, FcmId)>,
+}
+
+fn interface_key(a: FcmId, b: FcmId) -> (FcmId, FcmId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl CertificationLedger {
+    /// An empty ledger: nothing certified.
+    pub fn new() -> Self {
+        CertificationLedger::default()
+    }
+
+    /// A ledger with every live module and every sibling interface of
+    /// `hierarchy` certified (the state after initial full verification).
+    pub fn certify_all(hierarchy: &FcmHierarchy) -> Self {
+        let mut ledger = CertificationLedger::new();
+        for fcm in hierarchy.iter() {
+            ledger.certified_modules.insert(fcm.id());
+            let children = fcm.children();
+            for (i, &a) in children.iter().enumerate() {
+                for &b in &children[i + 1..] {
+                    ledger.certified_interfaces.insert(interface_key(a, b));
+                }
+            }
+        }
+        ledger
+    }
+
+    /// Whether `fcm` holds a module certificate.
+    pub fn is_certified(&self, fcm: FcmId) -> bool {
+        self.certified_modules.contains(&fcm)
+    }
+
+    /// Whether the sibling interface `a`–`b` holds a certificate.
+    pub fn interface_certified(&self, a: FcmId, b: FcmId) -> bool {
+        self.certified_interfaces.contains(&interface_key(a, b))
+    }
+
+    /// Records a modification of `fcm`, invalidating exactly the R5
+    /// retest set: the module itself, its parent module, and its sibling
+    /// interfaces. Everything else keeps its certificates — this is the
+    /// paper's V&V saving, made explicit.
+    ///
+    /// Returns the number of certificates invalidated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcmError::UnknownFcm`] for an unknown id.
+    pub fn record_modification(
+        &mut self,
+        hierarchy: &FcmHierarchy,
+        fcm: FcmId,
+    ) -> Result<usize, FcmError> {
+        let retest = hierarchy.retest_set(fcm)?;
+        let mut invalidated = 0;
+        if self.certified_modules.remove(&retest.modified) {
+            invalidated += 1;
+        }
+        if let Some(parent) = retest.parent {
+            if self.certified_modules.remove(&parent) {
+                invalidated += 1;
+            }
+        }
+        for sibling in retest.sibling_interfaces {
+            if self
+                .certified_interfaces
+                .remove(&interface_key(retest.modified, sibling))
+            {
+                invalidated += 1;
+            }
+        }
+        Ok(invalidated)
+    }
+
+    /// Marks a module as verified.
+    pub fn certify_module(&mut self, fcm: FcmId) {
+        self.certified_modules.insert(fcm);
+    }
+
+    /// Marks a sibling interface as verified.
+    pub fn certify_interface(&mut self, a: FcmId, b: FcmId) {
+        self.certified_interfaces.insert(interface_key(a, b));
+    }
+
+    /// Live modules lacking a certificate.
+    pub fn outstanding_modules(&self, hierarchy: &FcmHierarchy) -> Vec<FcmId> {
+        hierarchy
+            .iter()
+            .map(|f| f.id())
+            .filter(|id| !self.certified_modules.contains(id))
+            .collect()
+    }
+
+    /// Live sibling interfaces lacking a certificate.
+    pub fn outstanding_interfaces(&self, hierarchy: &FcmHierarchy) -> Vec<(FcmId, FcmId)> {
+        let mut out = Vec::new();
+        for fcm in hierarchy.iter() {
+            let children = fcm.children();
+            for (i, &a) in children.iter().enumerate() {
+                for &b in &children[i + 1..] {
+                    let key = interface_key(a, b);
+                    if !self.certified_interfaces.contains(&key) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every live module and sibling interface is certified.
+    pub fn is_fully_certified(&self, hierarchy: &FcmHierarchy) -> bool {
+        self.outstanding_modules(hierarchy).is_empty()
+            && self.outstanding_interfaces(hierarchy).is_empty()
+    }
+
+    /// Performs the outstanding work: certifies every missing module and
+    /// interface, returning how many certificates were issued.
+    pub fn recertify_outstanding(&mut self, hierarchy: &FcmHierarchy) -> usize {
+        let modules = self.outstanding_modules(hierarchy);
+        let interfaces = self.outstanding_interfaces(hierarchy);
+        let issued = modules.len() + interfaces.len();
+        for m in modules {
+            self.certified_modules.insert(m);
+        }
+        for (a, b) in interfaces {
+            self.certified_interfaces.insert((a, b));
+        }
+        issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::AttributeSet;
+    use crate::level::HierarchyLevel;
+
+    /// p ── {t1 {a, b}, t2 {c}}
+    fn sample() -> (FcmHierarchy, [FcmId; 6]) {
+        let mut h = FcmHierarchy::new();
+        let p = h
+            .add_root("p", HierarchyLevel::Process, AttributeSet::default())
+            .unwrap();
+        let t1 = h.add_child(p, "t1", AttributeSet::default()).unwrap();
+        let t2 = h.add_child(p, "t2", AttributeSet::default()).unwrap();
+        let a = h.add_child(t1, "a", AttributeSet::default()).unwrap();
+        let b = h.add_child(t1, "b", AttributeSet::default()).unwrap();
+        let c = h.add_child(t2, "c", AttributeSet::default()).unwrap();
+        (h, [p, t1, t2, a, b, c])
+    }
+
+    #[test]
+    fn certify_all_covers_modules_and_interfaces() {
+        let (h, ids) = sample();
+        let ledger = CertificationLedger::certify_all(&h);
+        assert!(ledger.is_fully_certified(&h));
+        for id in ids {
+            assert!(ledger.is_certified(id));
+        }
+        // Sibling interfaces: (t1,t2) under p, (a,b) under t1.
+        assert!(ledger.interface_certified(ids[1], ids[2]));
+        assert!(ledger.interface_certified(ids[3], ids[4]));
+        assert!(ledger.interface_certified(ids[4], ids[3])); // unordered
+        assert!(!ledger.interface_certified(ids[3], ids[5])); // not siblings
+    }
+
+    #[test]
+    fn modification_invalidates_exactly_the_r5_set() {
+        let (h, [p, t1, t2, a, b, c]) = sample();
+        let mut ledger = CertificationLedger::certify_all(&h);
+        let invalidated = ledger.record_modification(&h, a).unwrap();
+        // a, its parent t1, and the (a,b) interface.
+        assert_eq!(invalidated, 3);
+        assert!(!ledger.is_certified(a));
+        assert!(!ledger.is_certified(t1));
+        assert!(!ledger.interface_certified(a, b));
+        // Untouched: p, t2, b, c, and the (t1,t2) interface.
+        assert!(ledger.is_certified(p));
+        assert!(ledger.is_certified(t2));
+        assert!(ledger.is_certified(b));
+        assert!(ledger.is_certified(c));
+        assert!(ledger.interface_certified(t1, t2));
+        let outstanding = ledger.outstanding_modules(&h);
+        assert_eq!(outstanding, vec![t1, a]);
+        assert_eq!(ledger.outstanding_interfaces(&h), vec![(a, b).min((b, a))]);
+    }
+
+    #[test]
+    fn root_modification_invalidates_only_the_root() {
+        let (h, [p, ..]) = sample();
+        let mut ledger = CertificationLedger::certify_all(&h);
+        let invalidated = ledger.record_modification(&h, p).unwrap();
+        assert_eq!(invalidated, 1);
+        assert_eq!(ledger.outstanding_modules(&h), vec![p]);
+    }
+
+    #[test]
+    fn recertify_restores_full_certification() {
+        let (h, [_, _, _, a, _, _]) = sample();
+        let mut ledger = CertificationLedger::certify_all(&h);
+        ledger.record_modification(&h, a).unwrap();
+        assert!(!ledger.is_fully_certified(&h));
+        let issued = ledger.recertify_outstanding(&h);
+        assert_eq!(issued, 3);
+        assert!(ledger.is_fully_certified(&h));
+        // Idempotent.
+        assert_eq!(ledger.recertify_outstanding(&h), 0);
+    }
+
+    #[test]
+    fn repeated_modification_is_idempotent_on_certificates() {
+        let (h, [_, _, _, a, _, _]) = sample();
+        let mut ledger = CertificationLedger::certify_all(&h);
+        assert_eq!(ledger.record_modification(&h, a).unwrap(), 3);
+        assert_eq!(ledger.record_modification(&h, a).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_ledger_reports_everything_outstanding() {
+        let (h, _) = sample();
+        let ledger = CertificationLedger::new();
+        assert!(!ledger.is_fully_certified(&h));
+        assert_eq!(ledger.outstanding_modules(&h).len(), 6);
+        assert_eq!(ledger.outstanding_interfaces(&h).len(), 2);
+    }
+
+    #[test]
+    fn manual_certification_paths() {
+        let (h, [p, t1, t2, ..]) = sample();
+        let mut ledger = CertificationLedger::new();
+        ledger.certify_module(p);
+        ledger.certify_interface(t2, t1);
+        assert!(ledger.is_certified(p));
+        assert!(ledger.interface_certified(t1, t2));
+        assert_eq!(ledger.outstanding_modules(&h).len(), 5);
+    }
+
+    #[test]
+    fn unknown_fcm_errors() {
+        let (h, _) = sample();
+        let mut ledger = CertificationLedger::certify_all(&h);
+        assert!(ledger.record_modification(&h, FcmId(99)).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Composition of FCMs: merging vs grouping, and cluster influence (Eq. 4).
+//!
+//! The paper distinguishes two ways of composing modules (§4):
+//!
+//! * **Merging** — "boundaries between constituent FCMs disappear; for
+//!   example, extracting the code of two or more procedures and merging to
+//!   create one procedure with all of the original functionality". Used
+//!   "only when two FCMs have common functionality, and the overhead of
+//!   maintaining separate FCMs is unnecessary"; primarily *horizontal*.
+//! * **Grouping** — the FCMs "retain their mutual interface"; primarily
+//!   *vertical* (e.g. including each procedure in a single task).
+//!
+//! When a cluster `C` of FCMs is formed, its influence on an outside
+//! FCM `t` combines the members' influences (Eq. 4):
+//!
+//! ```text
+//! infl(C → t) = 1 − Π_{i ∈ C} (1 − infl(i → t))
+//! ```
+//!
+//! which [`cluster_influence`] computes. The paper warns that Eq. 4 "may
+//! not compute correct values of influence if the corresponding FCMs are
+//! integrated (e.g., merged); in that case, the value of influence has to
+//! be recomputed from new attribute values" — merged modules need fresh
+//! [`FaultFactor`](crate::FaultFactor) estimates, which the simulator
+//! provides.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::influence::Influence;
+
+/// How two or more FCMs are composed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompositionKind {
+    /// Boundaries disappear; the constituents become one module.
+    Merge,
+    /// Constituents retain their interfaces inside a common parent.
+    Group,
+}
+
+impl CompositionKind {
+    /// Whether this composition preserves the constituents' interfaces.
+    pub fn preserves_interfaces(self) -> bool {
+        matches!(self, CompositionKind::Group)
+    }
+}
+
+impl fmt::Display for CompositionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionKind::Merge => f.write_str("merge"),
+            CompositionKind::Group => f.write_str("group"),
+        }
+    }
+}
+
+/// Eq. 4: the influence of a cluster on an outside FCM,
+/// `1 − Π (1 − inflᵢ)`.
+///
+/// The paper's Fig. 5 instance: members with influences 0.7 and 0.2 on a
+/// common neighbour combine to `1 − 0.3·0.8 = 0.76`.
+///
+/// # Example
+///
+/// ```
+/// use fcm_core::{cluster_influence, Influence};
+///
+/// let members = [Influence::new(0.7)?, Influence::new(0.2)?];
+/// let combined = cluster_influence(&members);
+/// assert!((combined.value() - 0.76).abs() < 1e-12);
+/// # Ok::<(), fcm_core::FcmError>(())
+/// ```
+pub fn cluster_influence(members: &[Influence]) -> Influence {
+    let none: f64 = members.iter().map(|i| 1.0 - i.value()).product();
+    Influence::new((1.0 - none).clamp(0.0, 1.0)).expect("clamped into [0, 1]")
+}
+
+/// Eq. 4 applied pairwise, iteratively — the paper obtains the Fig. 5
+/// values "through iterative use of Equation 4"; equal to
+/// [`cluster_influence`] by associativity of the complement product.
+pub fn cluster_influence_iterative(members: &[Influence]) -> Influence {
+    members
+        .iter()
+        .fold(Influence::NONE, |acc, &i| cluster_influence(&[acc, i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infl(v: f64) -> Influence {
+        Influence::new(v).unwrap()
+    }
+
+    #[test]
+    fn eq4_matches_fig5_value() {
+        let c = cluster_influence(&[infl(0.7), infl(0.2)]);
+        assert!((c.value() - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_has_no_influence() {
+        assert_eq!(cluster_influence(&[]).value(), 0.0);
+    }
+
+    #[test]
+    fn single_member_is_identity() {
+        assert!((cluster_influence(&[infl(0.3)]).value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_member_dominates() {
+        let c = cluster_influence(&[infl(1.0), infl(0.1)]);
+        assert_eq!(c.value(), 1.0);
+    }
+
+    #[test]
+    fn iterative_equals_closed_form() {
+        let members = [infl(0.1), infl(0.35), infl(0.6), infl(0.05)];
+        let a = cluster_influence(&members);
+        let b = cluster_influence_iterative(&members);
+        assert!((a.value() - b.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_influence_is_at_least_the_max_member() {
+        let members = [infl(0.2), infl(0.5), infl(0.1)];
+        assert!(cluster_influence(&members).value() >= 0.5);
+    }
+
+    #[test]
+    fn composition_kind_semantics() {
+        assert!(CompositionKind::Group.preserves_interfaces());
+        assert!(!CompositionKind::Merge.preserves_interfaces());
+        assert_eq!(CompositionKind::Merge.to_string(), "merge");
+        assert_eq!(CompositionKind::Group.to_string(), "group");
+    }
+}

@@ -1,0 +1,397 @@
+//! The influence metric: Eq. 1 and Eq. 2 of the paper.
+//!
+//! *Influence* of one FCM on another is "the probability of one FCM
+//! affecting another FCM at the same level if no third FCM at that level
+//! is considered". Each mechanism by which a fault can travel — parameter
+//! passing, global variables, shared memory, messages, timing — is a
+//! [`FaultFactor`] with three component probabilities (Eq. 1):
+//!
+//! ```text
+//! pᵢ = pᵢ₁ · pᵢ₂ · pᵢ₃
+//!      occurrence · transmission · manifestation
+//! ```
+//!
+//! and the factors combine into the influence value (Eq. 2):
+//!
+//! ```text
+//! infl(i→j) = 1 − (1−p₁)(1−p₂)⋯(1−pₙ)
+//! ```
+//!
+//! Influence is directional — "range checks are needed only when
+//! parameters are passed to a procedure, and not in the other direction" —
+//! so `infl(i→j) ≠ infl(j→i)` in general.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FcmError;
+use crate::isolation::IsolationTechnique;
+use crate::level::HierarchyLevel;
+
+/// A probability in `[0, 1]`, validated at construction.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// Certain impossibility.
+    pub const ZERO: Probability = Probability(0.0);
+    /// Certainty.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcmError::InvalidProbability`] when `value` is NaN or
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, FcmError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(FcmError::InvalidProbability { value });
+        }
+        Ok(Probability(value))
+    }
+
+    /// Creates a probability, clamping into `[0, 1]` (NaN becomes 0).
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Probability(0.0)
+        } else {
+            Probability(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 − p`.
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+
+    /// Product of two probabilities (independent conjunction).
+    pub fn and(self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+
+    /// Probabilistic or of two independent events: `1 − (1−a)(1−b)`.
+    pub fn or(self, other: Probability) -> Probability {
+        Probability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+/// The mechanism by which a fault factor transmits between FCMs
+/// (§4.2.2–§4.2.3 list the dominant factors per level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FactorKind {
+    /// Parameter passing between procedures (procedure-level factor f₁).
+    ParameterPassing,
+    /// Global variables (procedure-level factor f₂ — "it is difficult to
+    /// control the spread of erroneous data through global variables").
+    GlobalVariable,
+    /// Return values from a called procedure.
+    ReturnValue,
+    /// Shared memory between tasks (task-level factor f₁).
+    SharedMemory,
+    /// Message passing between tasks (task-level factor f₂).
+    MessagePassing,
+    /// Timing interference — a delayed task delaying others (task-level
+    /// factor f₃).
+    Timing,
+    /// Contention on a shared HW resource (process level).
+    ResourceContention,
+    /// Any other application-specific mechanism.
+    Other,
+}
+
+impl FactorKind {
+    /// The hierarchy level at which this factor primarily operates.
+    pub fn level(self) -> HierarchyLevel {
+        match self {
+            FactorKind::ParameterPassing | FactorKind::GlobalVariable | FactorKind::ReturnValue => {
+                HierarchyLevel::Procedure
+            }
+            FactorKind::SharedMemory | FactorKind::MessagePassing | FactorKind::Timing => {
+                HierarchyLevel::Task
+            }
+            FactorKind::ResourceContention | FactorKind::Other => HierarchyLevel::Process,
+        }
+    }
+}
+
+impl fmt::Display for FactorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FactorKind::ParameterPassing => "parameter passing",
+            FactorKind::GlobalVariable => "global variable",
+            FactorKind::ReturnValue => "return value",
+            FactorKind::SharedMemory => "shared memory",
+            FactorKind::MessagePassing => "message passing",
+            FactorKind::Timing => "timing",
+            FactorKind::ResourceContention => "resource contention",
+            FactorKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One fault factor between a pair of FCMs: Eq. 1's three component
+/// probabilities.
+///
+/// * `occurrence` (pᵢ₁) — probability of the fault occurring in the source
+///   FCM; the paper: "it can be measured from previous usage … or derived
+///   by extensive testing" (the `fcm-sim` crate measures it);
+/// * `transmission` (pᵢ₂) — probability the fault crosses the medium,
+///   which "depends on both communication medium and data volume";
+/// * `manifestation` (pᵢ₃) — probability the faulty input causes a fault
+///   in the target, "determined by injecting faults into the target FCM".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultFactor {
+    /// Transmission mechanism.
+    pub kind: FactorKind,
+    /// pᵢ₁ — fault occurrence in the source.
+    pub occurrence: Probability,
+    /// pᵢ₂ — transmission to the target.
+    pub transmission: Probability,
+    /// pᵢ₃ — manifestation as a fault in the target.
+    pub manifestation: Probability,
+}
+
+impl FaultFactor {
+    /// Creates a factor from raw component probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcmError::InvalidProbability`] if any component is outside
+    /// `[0, 1]`.
+    pub fn new(
+        kind: FactorKind,
+        occurrence: f64,
+        transmission: f64,
+        manifestation: f64,
+    ) -> Result<Self, FcmError> {
+        Ok(FaultFactor {
+            kind,
+            occurrence: Probability::new(occurrence)?,
+            transmission: Probability::new(transmission)?,
+            manifestation: Probability::new(manifestation)?,
+        })
+    }
+
+    /// Eq. 1: `pᵢ = pᵢ₁ · pᵢ₂ · pᵢ₃`.
+    pub fn probability(&self) -> Probability {
+        self.occurrence
+            .and(self.transmission)
+            .and(self.manifestation)
+    }
+
+    /// Returns a copy with an isolation technique applied: the technique's
+    /// transmission-reduction multiplier scales pᵢ₂ (e.g. preemptive
+    /// scheduling "minimizes the probability of transmission of the timing
+    /// fault (p₃,₂)", §4.2.3).
+    pub fn with_isolation(&self, technique: IsolationTechnique) -> FaultFactor {
+        let mut out = *self;
+        if technique.mitigates(self.kind) {
+            out.transmission = Probability::clamped(
+                out.transmission.value() * technique.transmission_multiplier(),
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for FaultFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}·{}·{} = {}",
+            self.kind,
+            self.occurrence,
+            self.transmission,
+            self.manifestation,
+            self.probability()
+        )
+    }
+}
+
+/// The influence of one FCM on another (Eq. 2), in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Influence(Probability);
+
+impl Influence {
+    /// No influence.
+    pub const NONE: Influence = Influence(Probability::ZERO);
+
+    /// Eq. 2: combines independent fault factors into an influence value
+    /// `1 − Π(1 − pᵢ)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fcm_core::{FactorKind, FaultFactor, Influence};
+    ///
+    /// let f1 = FaultFactor::new(FactorKind::ParameterPassing, 0.5, 0.8, 0.5)?;
+    /// let f2 = FaultFactor::new(FactorKind::GlobalVariable, 0.5, 1.0, 0.4)?;
+    /// let infl = Influence::from_factors(&[f1, f2]);
+    /// // p1 = 0.2, p2 = 0.2; 1 - 0.8*0.8 = 0.36
+    /// assert!((infl.value() - 0.36).abs() < 1e-12);
+    /// # Ok::<(), fcm_core::FcmError>(())
+    /// ```
+    pub fn from_factors(factors: &[FaultFactor]) -> Influence {
+        let none = factors
+            .iter()
+            .map(|f| f.probability().complement().value())
+            .product::<f64>();
+        Influence(Probability::clamped(1.0 - none))
+    }
+
+    /// Wraps a pre-computed influence value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FcmError::InvalidProbability`] when outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Influence, FcmError> {
+        Ok(Influence(Probability::new(value)?))
+    }
+
+    /// The raw value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0.value()
+    }
+
+    /// The underlying probability.
+    pub fn probability(self) -> Probability {
+        self.0
+    }
+}
+
+impl fmt::Display for Influence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<Influence> for f64 {
+    fn from(i: Influence) -> f64 {
+        i.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validates_range() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn probability_clamping() {
+        assert_eq!(Probability::clamped(2.0), Probability::ONE);
+        assert_eq!(Probability::clamped(-3.0), Probability::ZERO);
+        assert_eq!(Probability::clamped(f64::NAN), Probability::ZERO);
+        assert_eq!(Probability::clamped(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn probability_algebra() {
+        let half = Probability::new(0.5).unwrap();
+        assert_eq!(half.complement().value(), 0.5);
+        assert_eq!(half.and(half).value(), 0.25);
+        assert_eq!(half.or(half).value(), 0.75);
+        assert_eq!(f64::from(half), 0.5);
+    }
+
+    #[test]
+    fn eq1_is_a_product_of_components() {
+        let f = FaultFactor::new(FactorKind::SharedMemory, 0.5, 0.4, 0.25).unwrap();
+        assert!((f.probability().value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_combines_factors_probabilistically() {
+        let f1 = FaultFactor::new(FactorKind::ParameterPassing, 1.0, 1.0, 0.3).unwrap();
+        let f2 = FaultFactor::new(FactorKind::GlobalVariable, 1.0, 1.0, 0.2).unwrap();
+        let infl = Influence::from_factors(&[f1, f2]);
+        assert!((infl.value() - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_of_no_factors_is_zero() {
+        assert_eq!(Influence::from_factors(&[]).value(), 0.0);
+        assert_eq!(Influence::NONE.value(), 0.0);
+    }
+
+    #[test]
+    fn eq2_is_monotone_in_each_factor() {
+        let low = FaultFactor::new(FactorKind::Timing, 0.1, 0.5, 0.5).unwrap();
+        let high = FaultFactor::new(FactorKind::Timing, 0.9, 0.5, 0.5).unwrap();
+        let base = FaultFactor::new(FactorKind::SharedMemory, 0.3, 0.3, 0.3).unwrap();
+        let a = Influence::from_factors(&[base, low]);
+        let b = Influence::from_factors(&[base, high]);
+        assert!(b.value() > a.value());
+    }
+
+    #[test]
+    fn invalid_components_are_rejected() {
+        assert!(matches!(
+            FaultFactor::new(FactorKind::Other, 1.5, 0.5, 0.5),
+            Err(FcmError::InvalidProbability { .. })
+        ));
+        assert!(Influence::new(1.5).is_err());
+        assert!(Influence::new(0.76).is_ok());
+    }
+
+    #[test]
+    fn factor_kinds_map_to_levels() {
+        assert_eq!(
+            FactorKind::GlobalVariable.level(),
+            HierarchyLevel::Procedure
+        );
+        assert_eq!(FactorKind::Timing.level(), HierarchyLevel::Task);
+        assert_eq!(
+            FactorKind::ResourceContention.level(),
+            HierarchyLevel::Process
+        );
+    }
+
+    #[test]
+    fn isolation_reduces_transmission_of_mitigated_kind_only() {
+        let timing = FaultFactor::new(FactorKind::Timing, 0.5, 0.8, 0.5).unwrap();
+        let mitigated = timing.with_isolation(IsolationTechnique::PreemptiveScheduling);
+        assert!(mitigated.transmission.value() < timing.transmission.value());
+        // Preemption does nothing for global-variable corruption.
+        let gv = FaultFactor::new(FactorKind::GlobalVariable, 0.5, 0.8, 0.5).unwrap();
+        let same = gv.with_isolation(IsolationTechnique::PreemptiveScheduling);
+        assert_eq!(same.transmission, gv.transmission);
+    }
+
+    #[test]
+    fn displays() {
+        let f = FaultFactor::new(FactorKind::MessagePassing, 0.5, 0.5, 0.5).unwrap();
+        let s = f.to_string();
+        assert!(s.starts_with("message passing:"));
+        assert!(s.ends_with("0.1250"));
+        assert_eq!(Influence::new(0.76).unwrap().to_string(), "0.7600");
+    }
+}

@@ -1,0 +1,164 @@
+//! Isolation techniques per hierarchy level (paper §3 and §4.2.2–§4.2.3).
+//!
+//! "The isolation techniques are different for different levels (e.g.,
+//! hiding variables at the procedure level, or separating memory at the
+//! process level)." Each technique is modelled by the factor kinds it
+//! mitigates and a multiplicative reduction of the transmission
+//! probability pᵢ₂ — the component the paper says these techniques act on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::influence::FactorKind;
+use crate::level::HierarchyLevel;
+
+/// A fault-isolation technique, applied when an FCM is created so that
+/// "the other FCMs it might interact with … are clearly isolated from it".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum IsolationTechnique {
+    /// Object-oriented information hiding (procedure level, §3.3).
+    InformationHiding,
+    /// Range checks on passed parameters (procedure level).
+    ParameterRangeChecks,
+    /// N-version programming (task level, §3.2).
+    NVersionProgramming,
+    /// Recovery blocks (task level, §3.2).
+    RecoveryBlocks,
+    /// Preemptive scheduling, which stops a looping task from starving its
+    /// peers (task level, §4.2.3).
+    PreemptiveScheduling,
+    /// Separate memory blocks per process (process level, §3.1).
+    MemorySeparation,
+    /// CPU/resource quota enforcement (process level, §3.1: "ensuring
+    /// against overuse of resources (e.g., CPU)").
+    ResourceQuotas,
+}
+
+impl IsolationTechnique {
+    /// All techniques.
+    pub const ALL: [IsolationTechnique; 7] = [
+        IsolationTechnique::InformationHiding,
+        IsolationTechnique::ParameterRangeChecks,
+        IsolationTechnique::NVersionProgramming,
+        IsolationTechnique::RecoveryBlocks,
+        IsolationTechnique::PreemptiveScheduling,
+        IsolationTechnique::MemorySeparation,
+        IsolationTechnique::ResourceQuotas,
+    ];
+
+    /// The hierarchy level this technique belongs to.
+    pub fn level(self) -> HierarchyLevel {
+        match self {
+            IsolationTechnique::InformationHiding | IsolationTechnique::ParameterRangeChecks => {
+                HierarchyLevel::Procedure
+            }
+            IsolationTechnique::NVersionProgramming
+            | IsolationTechnique::RecoveryBlocks
+            | IsolationTechnique::PreemptiveScheduling => HierarchyLevel::Task,
+            IsolationTechnique::MemorySeparation | IsolationTechnique::ResourceQuotas => {
+                HierarchyLevel::Process
+            }
+        }
+    }
+
+    /// Whether this technique mitigates transmission via `kind`.
+    pub fn mitigates(self, kind: FactorKind) -> bool {
+        match self {
+            IsolationTechnique::InformationHiding => {
+                matches!(kind, FactorKind::GlobalVariable | FactorKind::SharedMemory)
+            }
+            IsolationTechnique::ParameterRangeChecks => {
+                matches!(kind, FactorKind::ParameterPassing | FactorKind::ReturnValue)
+            }
+            IsolationTechnique::NVersionProgramming | IsolationTechnique::RecoveryBlocks => {
+                matches!(
+                    kind,
+                    FactorKind::MessagePassing | FactorKind::SharedMemory | FactorKind::ReturnValue
+                )
+            }
+            IsolationTechnique::PreemptiveScheduling => matches!(kind, FactorKind::Timing),
+            IsolationTechnique::MemorySeparation => {
+                matches!(kind, FactorKind::SharedMemory | FactorKind::GlobalVariable)
+            }
+            IsolationTechnique::ResourceQuotas => {
+                matches!(kind, FactorKind::ResourceContention | FactorKind::Timing)
+            }
+        }
+    }
+
+    /// Multiplier applied to the transmission probability pᵢ₂ of mitigated
+    /// factors (smaller = stronger isolation). Values are the defaults used
+    /// by the simulator's ablation experiment E7; they are deliberately
+    /// conservative order-of-magnitude figures, not calibrated constants.
+    pub fn transmission_multiplier(self) -> f64 {
+        match self {
+            IsolationTechnique::InformationHiding => 0.2,
+            IsolationTechnique::ParameterRangeChecks => 0.3,
+            IsolationTechnique::NVersionProgramming => 0.1,
+            IsolationTechnique::RecoveryBlocks => 0.25,
+            IsolationTechnique::PreemptiveScheduling => 0.15,
+            IsolationTechnique::MemorySeparation => 0.05,
+            IsolationTechnique::ResourceQuotas => 0.2,
+        }
+    }
+}
+
+impl fmt::Display for IsolationTechnique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsolationTechnique::InformationHiding => "information hiding",
+            IsolationTechnique::ParameterRangeChecks => "parameter range checks",
+            IsolationTechnique::NVersionProgramming => "n-version programming",
+            IsolationTechnique::RecoveryBlocks => "recovery blocks",
+            IsolationTechnique::PreemptiveScheduling => "preemptive scheduling",
+            IsolationTechnique::MemorySeparation => "memory separation",
+            IsolationTechnique::ResourceQuotas => "resource quotas",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_technique_has_a_level_and_multiplier_below_one() {
+        for t in IsolationTechnique::ALL {
+            let m = t.transmission_multiplier();
+            assert!(m > 0.0 && m < 1.0, "{t}");
+            let _ = t.level();
+        }
+    }
+
+    #[test]
+    fn preemption_mitigates_timing_only() {
+        let t = IsolationTechnique::PreemptiveScheduling;
+        assert!(t.mitigates(FactorKind::Timing));
+        assert!(!t.mitigates(FactorKind::SharedMemory));
+        assert_eq!(t.level(), HierarchyLevel::Task);
+    }
+
+    #[test]
+    fn memory_separation_is_a_process_level_technique() {
+        let t = IsolationTechnique::MemorySeparation;
+        assert_eq!(t.level(), HierarchyLevel::Process);
+        assert!(t.mitigates(FactorKind::SharedMemory));
+    }
+
+    #[test]
+    fn information_hiding_targets_global_variables() {
+        assert!(IsolationTechnique::InformationHiding.mitigates(FactorKind::GlobalVariable));
+        assert!(!IsolationTechnique::InformationHiding.mitigates(FactorKind::Timing));
+    }
+
+    #[test]
+    fn displays_are_prose() {
+        assert_eq!(
+            IsolationTechnique::RecoveryBlocks.to_string(),
+            "recovery blocks"
+        );
+    }
+}

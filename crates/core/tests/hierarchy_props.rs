@@ -1,0 +1,126 @@
+//! Property-based tests: random composition sequences preserve the
+//! hierarchy invariants (rules R1/R2 structurally, R3/R4 behaviourally).
+
+use fcm_core::{AttributeSet, FcmHierarchy, FcmId, HierarchyLevel};
+use proptest::prelude::*;
+
+/// A random sequence of composition operations.
+#[derive(Debug, Clone)]
+enum Op {
+    AddRoot,
+    AddChild(usize),
+    MergeSiblings(usize, usize),
+    Duplicate(usize, usize),
+    IntegrateAcross(usize, usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            1 => Just(Op::AddRoot),
+            4 => (0usize..64).prop_map(Op::AddChild),
+            2 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::MergeSiblings(a, b)),
+            1 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Duplicate(a, b)),
+            1 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::IntegrateAcross(a, b)),
+        ],
+        1..60,
+    )
+}
+
+/// Applies ops best-effort (invalid ones simply error and are skipped),
+/// returning the hierarchy.
+fn run_ops(ops: &[Op]) -> FcmHierarchy {
+    let mut h = FcmHierarchy::new();
+    // Seed with two process trees so child ops have targets.
+    let p1 = h
+        .add_root("seed1", HierarchyLevel::Process, AttributeSet::default())
+        .expect("root");
+    let _p2 = h
+        .add_root("seed2", HierarchyLevel::Process, AttributeSet::default())
+        .expect("root");
+    let _ = h.add_child(p1, "t0", AttributeSet::default());
+    let mut counter = 0usize;
+    let mut name = || {
+        counter += 1;
+        format!("n{counter}")
+    };
+    // Ids are dense; ops address them modulo the arena size.
+    for op in ops {
+        let live: Vec<FcmId> = h.iter().map(|f| f.id()).collect();
+        if live.is_empty() {
+            break;
+        }
+        let pick = |i: usize| live[i % live.len()];
+        match *op {
+            Op::AddRoot => {
+                let _ = h.add_root(name(), HierarchyLevel::Process, AttributeSet::default());
+            }
+            Op::AddChild(i) => {
+                let _ = h.add_child(pick(i), name(), AttributeSet::default());
+            }
+            Op::MergeSiblings(a, b) => {
+                let _ = h.merge_siblings(pick(a), pick(b), name());
+            }
+            Op::Duplicate(c, p) => {
+                let _ = h.duplicate_into(pick(c), pick(p));
+            }
+            Op::IntegrateAcross(a, b) => {
+                let _ = h.integrate_across(pick(a), pick(b), name());
+            }
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_composition_sequence_preserves_the_invariants(ops in arb_ops()) {
+        let h = run_ops(&ops);
+        h.verify().expect("invariants must hold after any op sequence");
+    }
+
+    #[test]
+    fn retest_sets_stay_within_the_live_hierarchy(ops in arb_ops()) {
+        let h = run_ops(&ops);
+        for fcm in h.iter() {
+            let rt = h.retest_set(fcm.id()).expect("live fcm");
+            if let Some(p) = rt.parent {
+                prop_assert!(h.fcm(p).is_ok());
+                // R5: the parent really is the modified FCM's parent.
+                prop_assert_eq!(h.fcm(fcm.id()).unwrap().parent(), Some(p));
+            }
+            for s in &rt.sibling_interfaces {
+                prop_assert!(h.fcm(*s).is_ok());
+                prop_assert!(h.are_siblings(fcm.id(), *s).unwrap());
+            }
+            // The R5 set never exceeds the naive whole-tree set.
+            let naive = h.naive_retest_set(fcm.id()).expect("live fcm");
+            prop_assert!(rt.size() <= naive.len() + 1);
+        }
+    }
+
+    #[test]
+    fn levels_always_step_down_one_rank(ops in arb_ops()) {
+        let h = run_ops(&ops);
+        for fcm in h.iter() {
+            for &c in fcm.children() {
+                let child = h.fcm(c).expect("child is live");
+                prop_assert_eq!(Some(child.level()), fcm.level().child());
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_are_acyclic_and_unique(ops in arb_ops()) {
+        let h = run_ops(&ops);
+        for root in h.roots() {
+            let mut d = h.descendants(root.id()).expect("live root");
+            let before = d.len();
+            d.sort();
+            d.dedup();
+            prop_assert_eq!(d.len(), before, "duplicate in descendants = shared child");
+        }
+    }
+}

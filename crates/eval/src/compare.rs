@@ -1,0 +1,216 @@
+//! Side-by-side comparison of integration strategies.
+//!
+//! The experiments E1 and E4 evaluate several clustering/mapping
+//! strategies on one workload; this harness runs each strategy, collects
+//! [`MappingQuality`] and [`ReliabilityEstimate`], and renders a table.
+
+use std::fmt;
+
+use fcm_alloc::{AllocError, Clustering, HwGraph, Mapping, SwGraph};
+
+use crate::metrics::MappingQuality;
+use crate::reliability::{ReliabilityEstimate, ReliabilityModel};
+
+/// The outcome of one strategy on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Strategy name (e.g. `"H1"`, `"approach B"`).
+    pub name: String,
+    /// Static quality metrics.
+    pub quality: MappingQuality,
+    /// Mission reliability.
+    pub reliability: ReliabilityEstimate,
+}
+
+/// A comparison across strategies on a fixed workload + platform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    outcomes: Vec<StrategyOutcome>,
+    failures: Vec<(String, String)>,
+}
+
+impl Comparison {
+    /// Starts an empty comparison.
+    pub fn new() -> Self {
+        Comparison::default()
+    }
+
+    /// Runs one named strategy (a closure producing a clustering and
+    /// mapping) and records its metrics; strategy errors are recorded as
+    /// failures rather than aborting the comparison.
+    pub fn run_strategy(
+        &mut self,
+        name: impl Into<String>,
+        g: &SwGraph,
+        hw: &HwGraph,
+        model: &ReliabilityModel,
+        strategy: impl FnOnce() -> Result<(Clustering, Mapping), AllocError>,
+    ) -> &mut Self {
+        let name = name.into();
+        match strategy() {
+            Ok((clustering, mapping)) => {
+                let quality =
+                    MappingQuality::evaluate(g, &clustering, &mapping, hw, model.critical_at);
+                let reliability = model.evaluate(g, &clustering, &mapping);
+                self.outcomes.push(StrategyOutcome {
+                    name,
+                    quality,
+                    reliability,
+                });
+            }
+            Err(e) => self.failures.push((name, e.to_string())),
+        }
+        self
+    }
+
+    /// The successful outcomes, in insertion order.
+    pub fn outcomes(&self) -> &[StrategyOutcome] {
+        &self.outcomes
+    }
+
+    /// Strategies that failed, with their error messages.
+    pub fn failures(&self) -> &[(String, String)] {
+        &self.failures
+    }
+
+    /// The strategy with the lowest mission-failure probability.
+    pub fn most_reliable(&self) -> Option<&StrategyOutcome> {
+        self.outcomes.iter().min_by(|a, b| {
+            a.reliability
+                .mission_failure
+                .partial_cmp(&b.reliability.mission_failure)
+                .expect("finite probabilities")
+        })
+    }
+
+    /// The strategy with the lowest residual cross-node influence.
+    pub fn best_containment(&self) -> Option<&StrategyOutcome> {
+        self.outcomes.iter().min_by(|a, b| {
+            a.quality
+                .cross_influence
+                .partial_cmp(&b.quality.cross_influence)
+                .expect("finite influence")
+        })
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>9} {:>10} {:>10} {:>11} {:>9} {:>12}",
+            "strategy",
+            "clusters",
+            "cross_infl",
+            "dilation",
+            "crit_coloc",
+            "min_sep",
+            "mission_fail"
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "{:<14} {:>9} {:>10.4} {:>10.4} {:>11} {:>9.4} {:>12.4}",
+                o.name,
+                o.quality.clusters,
+                o.quality.cross_influence,
+                o.quality.dilation,
+                o.quality.critical_colocations,
+                o.quality.min_cross_node_separation,
+                o.reliability.mission_failure
+            )?;
+        }
+        for (name, err) in &self.failures {
+            writeln!(f, "{name:<14} FAILED: {err}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::{heuristics, mapping, sw::SwGraphBuilder};
+    use fcm_core::{AttributeSet, ImportanceWeights};
+
+    fn workload() -> SwGraph {
+        let mut b = SwGraphBuilder::new();
+        let n: Vec<_> = (0..6)
+            .map(|i| {
+                b.add_process(
+                    format!("p{i}"),
+                    AttributeSet::default().with_criticality(10 - i as u32),
+                )
+            })
+            .collect();
+        for w in n.windows(2) {
+            b.add_influence(w[0], w[1], 0.4).unwrap();
+        }
+        b.add_influence(n[5], n[0], 0.2).unwrap();
+        b.build()
+    }
+
+    fn quick_model() -> ReliabilityModel {
+        ReliabilityModel {
+            trials: 500,
+            ..ReliabilityModel::default()
+        }
+    }
+
+    #[test]
+    fn comparison_collects_outcomes_and_failures() {
+        let g = workload();
+        let hw = HwGraph::complete(3);
+        let model = quick_model();
+        let w = ImportanceWeights::default();
+        let mut cmp = Comparison::new();
+        cmp.run_strategy("H1", &g, &hw, &model, || {
+            let c = heuristics::h1(&g, 3)?;
+            let m = mapping::approach_a(&g, &c, &hw, &w)?;
+            Ok((c, m))
+        });
+        cmp.run_strategy("B", &g, &hw, &model, || mapping::approach_b(&g, &hw, &w));
+        cmp.run_strategy("broken", &g, &hw, &model, || {
+            Err(AllocError::TooFewHwNodes {
+                clusters: 9,
+                hw_nodes: 3,
+            })
+        });
+        assert_eq!(cmp.outcomes().len(), 2);
+        assert_eq!(cmp.failures().len(), 1);
+        assert!(cmp.most_reliable().is_some());
+        assert!(cmp.best_containment().is_some());
+        let table = cmp.to_string();
+        assert!(table.contains("H1"));
+        assert!(table.contains("FAILED"));
+    }
+
+    #[test]
+    fn h1_has_best_containment_on_a_chain() {
+        let g = workload();
+        let hw = HwGraph::complete(3);
+        let model = quick_model();
+        let w = ImportanceWeights::default();
+        let mut cmp = Comparison::new();
+        cmp.run_strategy("H1", &g, &hw, &model, || {
+            let c = heuristics::h1(&g, 3)?;
+            let m = mapping::approach_a(&g, &c, &hw, &w)?;
+            Ok((c, m))
+        });
+        cmp.run_strategy("B", &g, &hw, &model, || mapping::approach_b(&g, &hw, &w));
+        // H1 minimises cross influence by construction; B pairs by
+        // criticality and typically leaves more influence crossing.
+        let h1 = &cmp.outcomes()[0];
+        let b = &cmp.outcomes()[1];
+        assert!(h1.quality.cross_influence <= b.quality.cross_influence);
+        assert_eq!(cmp.best_containment().unwrap().name, "H1");
+    }
+
+    #[test]
+    fn empty_comparison_has_no_best() {
+        let cmp = Comparison::new();
+        assert!(cmp.most_reliable().is_none());
+        assert!(cmp.best_containment().is_none());
+        assert_eq!(cmp.to_string().lines().count(), 1); // header only
+    }
+}

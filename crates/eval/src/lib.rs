@@ -1,0 +1,54 @@
+//! Dependability evaluation of integrated mappings.
+//!
+//! The ICDCS'98 paper proposes integration heuristics but never evaluates
+//! them quantitatively — its §5.3 only *lists* the criteria of a good
+//! mapping (constraint satisfaction, fault containment, criticality
+//! separation). This crate supplies the missing measurement layer:
+//!
+//! * [`metrics`] — static quality metrics of a clustering + mapping:
+//!   residual cross-node influence (fault containment), communication
+//!   dilation, criticality exposure (how many critical modules share a
+//!   processor), and minimum pairwise separation (Eq. 3) across HW nodes;
+//! * [`reliability`] — a Monte-Carlo mission-reliability model: HW nodes
+//!   fail, SW processes fail, faults propagate along influence edges
+//!   (attenuated across HW-node boundaries, which are fault containment
+//!   regions), and the mission fails when every replica of a critical
+//!   module is lost;
+//! * [`compare`] — a harness that evaluates several integration
+//!   strategies side by side and renders the comparison table used by the
+//!   E1/E4 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use fcm_alloc::{heuristics, hw::HwGraph, mapping, sw::SwGraphBuilder};
+//! use fcm_core::{AttributeSet, ImportanceWeights};
+//! use fcm_eval::metrics::MappingQuality;
+//!
+//! let mut b = SwGraphBuilder::new();
+//! let a = b.add_process("a", AttributeSet::default().with_criticality(9));
+//! let c = b.add_process("b", AttributeSet::default().with_criticality(1));
+//! b.add_influence(a, c, 0.6)?;
+//! let sw = b.build();
+//! let hw = HwGraph::complete(2);
+//! let clustering = heuristics::h1(&sw, 2)?;
+//! let mapping = mapping::approach_a(&sw, &clustering, &hw, &ImportanceWeights::default())?;
+//! let q = MappingQuality::evaluate(&sw, &clustering, &mapping, &hw, 5);
+//! assert!((q.cross_influence - 0.6).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod metrics;
+pub mod platform;
+pub mod reliability;
+pub mod tradeoff;
+
+pub use compare::{Comparison, StrategyOutcome};
+pub use metrics::MappingQuality;
+pub use platform::{select_platform, PlatformOption, PlatformSelection};
+pub use reliability::{ReliabilityEstimate, ReliabilityModel};
+pub use tradeoff::{integration_sweep, TradeoffCurve, TradeoffPoint};

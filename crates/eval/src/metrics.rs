@@ -1,0 +1,248 @@
+//! Static quality metrics of a clustering + mapping.
+//!
+//! These quantify §5.3's criteria for a "good" mapping: **containment of
+//! faults** (cross-node influence left after clustering — lower is
+//! better), **criticality** (critical modules sharing a processor —
+//! "selected critical processes should be assigned to distinct HW
+//! nodes"), plus communication dilation and the Eq. 3 separation floor.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use fcm_alloc::{Clustering, HwGraph, Mapping, SwGraph};
+use fcm_core::separation::{SeparationAnalysis, DEFAULT_ORDER};
+use fcm_graph::NodeIdx;
+
+/// The metric bundle for one integration outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingQuality {
+    /// Influence crossing cluster (= HW node) boundaries; the objective
+    /// the paper's heuristics minimise.
+    pub cross_influence: f64,
+    /// Σ influence × hop distance over the HW topology.
+    pub dilation: f64,
+    /// Number of unordered pairs of *critical* SW nodes (criticality ≥
+    /// threshold) that share a processor — Approach B drives this to 0.
+    pub critical_colocations: usize,
+    /// Largest summed criticality hosted on one processor ("minimizing
+    /// the number of critical processes scheduled on one processor also
+    /// minimizes the number of processes lost due to such a HW fault").
+    pub max_criticality_per_node: u32,
+    /// Minimum Eq. 3 separation between FCMs on *different* HW nodes
+    /// (1.0 when nothing crosses). Higher is better.
+    pub min_cross_node_separation: f64,
+    /// Largest security-level spread inside a single cluster (0 when
+    /// every cluster is homogeneous). Co-locating processes of widely
+    /// different security classifications weakens the "security of
+    /// information" attribute the paper lists among the compatibility
+    /// requirements.
+    pub max_security_spread: u8,
+    /// Number of clusters (= processors used).
+    pub clusters: usize,
+}
+
+impl MappingQuality {
+    /// Evaluates a clustering + mapping on a platform. `critical_at` is
+    /// the criticality threshold above which a process counts as critical.
+    pub fn evaluate(
+        g: &SwGraph,
+        clustering: &Clustering,
+        mapping: &Mapping,
+        hw: &HwGraph,
+        critical_at: u32,
+    ) -> MappingQuality {
+        let cross_influence = clustering.cross_influence(g);
+        let dilation = mapping.dilation(g, clustering, hw);
+
+        let mut critical_colocations = 0usize;
+        let mut max_criticality_per_node = 0u32;
+        let mut max_security_spread = 0u8;
+        for cluster in clustering.clusters() {
+            let crits: Vec<u32> = cluster
+                .iter()
+                .map(|&n| g.node(n).expect("cluster member").attributes.criticality.0)
+                .collect();
+            let sum: u32 = crits.iter().sum();
+            max_criticality_per_node = max_criticality_per_node.max(sum);
+            let critical = crits.iter().filter(|&&c| c >= critical_at).count();
+            critical_colocations += critical * critical.saturating_sub(1) / 2;
+            let levels: Vec<u8> = cluster
+                .iter()
+                .map(|&n| g.node(n).expect("cluster member").attributes.security.0)
+                .collect();
+            if let (Some(&lo), Some(&hi)) = (levels.iter().min(), levels.iter().max()) {
+                max_security_spread = max_security_spread.max(hi - lo);
+            }
+        }
+
+        let min_cross_node_separation = min_cross_node_separation(g, clustering);
+
+        MappingQuality {
+            cross_influence,
+            dilation,
+            critical_colocations,
+            max_criticality_per_node,
+            min_cross_node_separation,
+            max_security_spread,
+            clusters: clustering.len(),
+        }
+    }
+}
+
+/// Minimum Eq. 3 separation over all ordered FCM pairs living in
+/// different clusters (1.0 when no influence crosses at all).
+fn min_cross_node_separation(g: &SwGraph, clustering: &Clustering) -> f64 {
+    let analysis = match SeparationAnalysis::from_graph(g) {
+        Ok(a) => a,
+        Err(_) => return 0.0,
+    };
+    let mut membership = vec![usize::MAX; g.node_count()];
+    for (ci, cluster) in clustering.clusters().iter().enumerate() {
+        for &n in cluster {
+            membership[n.index()] = ci;
+        }
+    }
+    let mut min_sep = 1.0f64;
+    for i in g.node_indices() {
+        for j in g.node_indices() {
+            if i != j && membership[i.index()] != membership[j.index()] {
+                min_sep = min_sep.min(analysis.separation(i, j, DEFAULT_ORDER));
+            }
+        }
+    }
+    min_sep
+}
+
+/// Pairwise separation of two specific FCMs at the default order —
+/// convenience re-export for report code.
+pub fn separation_between(g: &SwGraph, a: NodeIdx, b: NodeIdx) -> f64 {
+    SeparationAnalysis::from_graph(g)
+        .map(|s| s.separation(a, b, DEFAULT_ORDER))
+        .unwrap_or(0.0)
+}
+
+impl fmt::Display for MappingQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clusters={} cross_infl={:.4} dilation={:.4} crit_coloc={} max_crit/node={} min_sep={:.4} sec_spread={}",
+            self.clusters,
+            self.cross_influence,
+            self.dilation,
+            self.critical_colocations,
+            self.max_criticality_per_node,
+            self.min_cross_node_separation,
+            self.max_security_spread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::{heuristics, mapping, sw::SwGraphBuilder};
+    use fcm_core::{AttributeSet, ImportanceWeights};
+
+    fn attrs(c: u32) -> AttributeSet {
+        AttributeSet::default().with_criticality(c)
+    }
+
+    fn setup() -> (SwGraph, Clustering, Mapping, HwGraph) {
+        let mut b = SwGraphBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|i| b.add_process(format!("p{i}"), attrs([9, 8, 2, 1][i])))
+            .collect();
+        b.add_influence(n[0], n[1], 0.8).unwrap();
+        b.add_influence(n[1], n[2], 0.3).unwrap();
+        b.add_influence(n[2], n[3], 0.6).unwrap();
+        let g = b.build();
+        let hw = HwGraph::complete(2);
+        let clustering = heuristics::h1(&g, 2).unwrap();
+        let m = mapping::approach_a(&g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+        (g, clustering, m, hw)
+    }
+
+    #[test]
+    fn cross_influence_counts_only_crossing_edges() {
+        let (g, c, m, hw) = setup();
+        let q = MappingQuality::evaluate(&g, &c, &m, &hw, 5);
+        // H1 groups (p0,p1) and (p2,p3): only the 0.3 edge crosses.
+        assert!((q.cross_influence - 0.3).abs() < 1e-12);
+        assert_eq!(q.clusters, 2);
+    }
+
+    #[test]
+    fn critical_colocations_counts_pairs_over_threshold() {
+        let (g, c, m, hw) = setup();
+        // p0 (9) and p1 (8) share a cluster: one critical pair at ≥5.
+        let q = MappingQuality::evaluate(&g, &c, &m, &hw, 5);
+        assert_eq!(q.critical_colocations, 1);
+        assert_eq!(q.max_criticality_per_node, 17);
+        // At threshold 10 nothing is critical.
+        let q10 = MappingQuality::evaluate(&g, &c, &m, &hw, 10);
+        assert_eq!(q10.critical_colocations, 0);
+    }
+
+    #[test]
+    fn min_cross_node_separation_reflects_transitive_paths() {
+        let (g, c, m, hw) = setup();
+        let q = MappingQuality::evaluate(&g, &c, &m, &hw, 5);
+        // The strongest cross-cluster transitive influence: p0→p2 via
+        // 0.8·0.3 = 0.24 plus direct p1→p2 0.3 → min separation 0.7.
+        assert!((q.min_cross_node_separation - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_separated_mapping_has_unit_separation() {
+        let mut b = SwGraphBuilder::new();
+        let a = b.add_process("a", attrs(1));
+        let c = b.add_process("b", attrs(1));
+        b.add_influence(a, c, 0.9).unwrap();
+        let g = b.build();
+        let clustering = Clustering::new(&g, vec![vec![a, c]]).unwrap();
+        let hw = HwGraph::complete(1);
+        let m = mapping::approach_a(&g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+        let q = MappingQuality::evaluate(&g, &clustering, &m, &hw, 5);
+        assert_eq!(q.cross_influence, 0.0);
+        assert_eq!(q.min_cross_node_separation, 1.0);
+    }
+
+    #[test]
+    fn security_spread_tracks_the_widest_cluster() {
+        let mut b = SwGraphBuilder::new();
+        let low = b.add_process("low", attrs(1).with_security(0));
+        let high = b.add_process("high", attrs(1).with_security(4));
+        let mid = b.add_process("mid", attrs(1).with_security(2));
+        let g = b.build();
+        let hw = HwGraph::complete(2);
+        let clustering = Clustering::new(&g, vec![vec![low, high], vec![mid]]).unwrap();
+        let m = mapping::approach_a(&g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+        let q = MappingQuality::evaluate(&g, &clustering, &m, &hw, 5);
+        assert_eq!(q.max_security_spread, 4);
+        // Homogeneous clusters have zero spread.
+        let split = Clustering::new(&g, vec![vec![low], vec![high, mid]]).unwrap();
+        let hw3 = HwGraph::complete(2);
+        let m2 = mapping::approach_a(&g, &split, &hw3, &ImportanceWeights::default()).unwrap();
+        let q2 = MappingQuality::evaluate(&g, &split, &m2, &hw3, 5);
+        assert_eq!(q2.max_security_spread, 2);
+    }
+
+    #[test]
+    fn separation_between_matches_analysis() {
+        let (g, _, _, _) = setup();
+        let s = separation_between(&g, NodeIdx(0), NodeIdx(1));
+        assert!((s - 0.2).abs() < 1e-9);
+        // No reverse influence.
+        assert_eq!(separation_between(&g, NodeIdx(3), NodeIdx(0)), 1.0);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let (g, c, m, hw) = setup();
+        let q = MappingQuality::evaluate(&g, &c, &m, &hw, 5);
+        let s = q.to_string();
+        assert!(s.contains("clusters=2"));
+        assert!(!s.contains('\n'));
+    }
+}

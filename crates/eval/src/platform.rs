@@ -1,0 +1,267 @@
+//! HW platform selection under SW-driven requirements.
+//!
+//! The paper's future work asks for "a tradeoff analysis between HW and
+//! SW requirements as they affect one another, especially when design
+//! restrictions are provided on the choice of an available HW platform,
+//! yet some flexibility remains". This module implements the selection
+//! problem that phrasing describes: given a *menu* of candidate platforms
+//! (sizes, topologies, resource placements, costs), pick the cheapest one
+//! on which the SW graph integrates feasibly and meets a mission-failure
+//! target.
+
+use std::fmt;
+
+use fcm_alloc::heuristics::h1;
+use fcm_alloc::mapping::approach_a;
+use fcm_alloc::{HwGraph, SwGraph};
+use fcm_core::ImportanceWeights;
+
+use crate::metrics::MappingQuality;
+use crate::reliability::{ReliabilityEstimate, ReliabilityModel};
+
+/// A candidate platform with its acquisition cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformOption {
+    /// Display name, e.g. `"4-node ring"`.
+    pub name: String,
+    /// The platform.
+    pub hw: HwGraph,
+    /// Relative cost (any consistent unit).
+    pub cost: f64,
+}
+
+impl PlatformOption {
+    /// Creates a platform option.
+    pub fn new(name: impl Into<String>, hw: HwGraph, cost: f64) -> Self {
+        PlatformOption {
+            name: name.into(),
+            hw,
+            cost,
+        }
+    }
+}
+
+/// The evaluation of one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CandidateOutcome {
+    /// Integration feasible; quality + reliability measured.
+    Feasible {
+        /// Static quality of the best integration found.
+        quality: MappingQuality,
+        /// Mission reliability.
+        reliability: ReliabilityEstimate,
+        /// Whether the mission-failure target was met.
+        meets_target: bool,
+    },
+    /// No feasible integration on this platform.
+    Infeasible {
+        /// The allocation error encountered.
+        reason: String,
+    },
+}
+
+/// The outcome of a platform-selection run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlatformSelection {
+    /// `(option name, cost, outcome)` for every candidate, in input order.
+    pub evaluated: Vec<(String, f64, CandidateOutcome)>,
+    /// Index into `evaluated` of the chosen (cheapest, target-meeting)
+    /// candidate, if any.
+    pub chosen: Option<usize>,
+}
+
+impl PlatformSelection {
+    /// The chosen candidate's name.
+    pub fn chosen_name(&self) -> Option<&str> {
+        self.chosen.map(|i| self.evaluated[i].0.as_str())
+    }
+}
+
+impl fmt::Display for PlatformSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, cost, outcome)) in self.evaluated.iter().enumerate() {
+            let marker = if Some(i) == self.chosen { "=> " } else { "   " };
+            match outcome {
+                CandidateOutcome::Feasible {
+                    reliability,
+                    meets_target,
+                    ..
+                } => writeln!(
+                    f,
+                    "{marker}{name:<20} cost {cost:>7.1}  mission_fail {:.4}  target {}",
+                    reliability.mission_failure,
+                    if *meets_target { "met" } else { "missed" }
+                )?,
+                CandidateOutcome::Infeasible { reason } => writeln!(
+                    f,
+                    "{marker}{name:<20} cost {cost:>7.1}  infeasible: {reason}"
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates every candidate and selects the cheapest platform on which
+/// the SW graph integrates feasibly (H1 + Approach A, using all nodes)
+/// with mission failure at most `max_mission_failure`.
+pub fn select_platform(
+    g: &SwGraph,
+    options: &[PlatformOption],
+    model: &ReliabilityModel,
+    weights: &ImportanceWeights,
+    max_mission_failure: f64,
+) -> PlatformSelection {
+    let mut selection = PlatformSelection::default();
+    for option in options {
+        let outcome = match integrate(g, &option.hw, model, weights) {
+            Ok((quality, reliability)) => CandidateOutcome::Feasible {
+                meets_target: reliability.mission_failure <= max_mission_failure,
+                quality,
+                reliability,
+            },
+            Err(reason) => CandidateOutcome::Infeasible { reason },
+        };
+        selection
+            .evaluated
+            .push((option.name.clone(), option.cost, outcome));
+    }
+    selection.chosen = selection
+        .evaluated
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, _, o))| {
+            matches!(
+                o,
+                CandidateOutcome::Feasible {
+                    meets_target: true,
+                    ..
+                }
+            )
+        })
+        .min_by(|(_, (_, ca, _)), (_, (_, cb, _))| ca.partial_cmp(cb).expect("finite costs"))
+        .map(|(i, _)| i);
+    selection
+}
+
+fn integrate(
+    g: &SwGraph,
+    hw: &HwGraph,
+    model: &ReliabilityModel,
+    weights: &ImportanceWeights,
+) -> Result<(MappingQuality, ReliabilityEstimate), String> {
+    let k = hw.len().min(g.node_count());
+    let clustering = h1(g, k).map_err(|e| e.to_string())?;
+    let mapping = approach_a(g, &clustering, hw, weights).map_err(|e| e.to_string())?;
+    let quality = MappingQuality::evaluate(g, &clustering, &mapping, hw, model.critical_at);
+    let reliability = model.evaluate(g, &clustering, &mapping);
+    Ok((quality, reliability))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::sw::SwGraphBuilder;
+    use fcm_core::{AttributeSet, FaultTolerance};
+
+    fn workload() -> SwGraph {
+        let mut b = SwGraphBuilder::new();
+        b.add_process(
+            "crit",
+            AttributeSet::default()
+                .with_criticality(9)
+                .with_fault_tolerance(FaultTolerance::TMR),
+        );
+        b.add_process("aux", AttributeSet::default().with_criticality(2));
+        fcm_alloc::replication::expand_replicas(&b.build()).graph
+    }
+
+    fn model() -> ReliabilityModel {
+        ReliabilityModel {
+            p_hw: 0.05,
+            p_sw: 0.0,
+            trials: 5000,
+            critical_at: 5,
+            ..ReliabilityModel::default()
+        }
+    }
+
+    fn menu() -> Vec<PlatformOption> {
+        vec![
+            PlatformOption::new("2-node", HwGraph::complete(2), 2.0),
+            PlatformOption::new("3-node", HwGraph::complete(3), 3.0),
+            PlatformOption::new("4-node", HwGraph::complete(4), 4.0),
+            PlatformOption::new("6-node", HwGraph::complete(6), 6.0),
+        ]
+    }
+
+    #[test]
+    fn cheapest_feasible_target_meeting_platform_wins() {
+        let g = workload(); // TMR needs >= 3 nodes
+        let sel = select_platform(&g, &menu(), &model(), &ImportanceWeights::default(), 0.05);
+        // 2-node is infeasible (replica anti-affinity); 3-node is the
+        // cheapest feasible and TMR on 3 nodes fails with p³ ≈ 1e-4 ≤ 5%.
+        assert_eq!(sel.chosen_name(), Some("3-node"));
+        assert!(matches!(
+            sel.evaluated[0].2,
+            CandidateOutcome::Infeasible { .. }
+        ));
+    }
+
+    #[test]
+    fn unreachable_target_selects_nothing() {
+        let g = workload();
+        // A HW fault rate of 0.5 makes even TMR fail 12.5% of missions,
+        // so a 5% target is unreachable on every candidate.
+        let harsh = ReliabilityModel {
+            p_hw: 0.5,
+            ..model()
+        };
+        let sel = select_platform(&g, &menu(), &harsh, &ImportanceWeights::default(), 0.05);
+        assert_eq!(sel.chosen, None);
+        // All candidates were still evaluated.
+        assert_eq!(sel.evaluated.len(), 4);
+    }
+
+    #[test]
+    fn resource_requirements_rule_out_bare_platforms() {
+        let mut g = workload();
+        let aux = g
+            .nodes()
+            .find(|(_, n)| n.name == "aux")
+            .map(|(i, _)| i)
+            .expect("aux exists");
+        g.node_mut(aux)
+            .expect("node exists")
+            .required_resources
+            .insert("gpu".into());
+        let mut rich = HwGraph::complete(4);
+        rich.node_mut(fcm_graph::NodeIdx(0))
+            .expect("node 0")
+            .resources
+            .insert("gpu".into());
+        let options = vec![
+            PlatformOption::new("bare-4", HwGraph::complete(4), 4.0),
+            PlatformOption::new("gpu-4", rich, 5.0),
+        ];
+        let sel = select_platform(&g, &options, &model(), &ImportanceWeights::default(), 0.05);
+        assert_eq!(sel.chosen_name(), Some("gpu-4"));
+    }
+
+    #[test]
+    fn display_marks_the_choice() {
+        let g = workload();
+        let sel = select_platform(&g, &menu(), &model(), &ImportanceWeights::default(), 0.05);
+        let s = sel.to_string();
+        assert!(s.contains("=> 3-node"));
+        assert!(s.contains("infeasible"));
+    }
+
+    #[test]
+    fn empty_menu_selects_nothing() {
+        let g = workload();
+        let sel = select_platform(&g, &[], &model(), &ImportanceWeights::default(), 1.0);
+        assert_eq!(sel.chosen, None);
+        assert!(sel.evaluated.is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! Monte-Carlo mission reliability of an integrated mapping.
+//!
+//! The paper argues (§5.3, §6.2) that a good mapping (a) co-locates
+//! strongly influencing FCMs so faults stay inside one HW fault
+//! containment region, and (b) separates critical processes so "the same
+//! faults (in HW or SW) affect a minimal number of such processes". This
+//! model lets those claims be tested end to end:
+//!
+//! 1. each HW node fails independently with `p_hw` (taking down every
+//!    process mapped to it);
+//! 2. each SW process develops a spontaneous fault with `p_sw`;
+//! 3. faults propagate along influence edges, sampled per edge — at full
+//!    strength within a HW node, attenuated by `cross_node_attenuation`
+//!    across nodes (node boundaries are HW FCRs: separate memory,
+//!    separate CPU);
+//! 4. a *module* fails when all its replicas fail; the **mission** fails
+//!    when any critical module (criticality ≥ threshold) fails.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fcm_alloc::sw::SwEdge;
+use fcm_alloc::{Clustering, Mapping, SwGraph};
+use fcm_graph::NodeIdx;
+
+/// Model parameters for the reliability simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityModel {
+    /// Per-mission HW node failure probability.
+    pub p_hw: f64,
+    /// Per-mission spontaneous SW fault probability (per process).
+    pub p_sw: f64,
+    /// Multiplier on influence for propagation across HW nodes
+    /// (`1.0` = node boundaries contain nothing, `0.0` = perfect FCRs).
+    pub cross_node_attenuation: f64,
+    /// Criticality threshold defining the mission-critical modules.
+    pub critical_at: u32,
+    /// Number of Monte-Carlo missions.
+    pub trials: u64,
+    /// Base RNG seed (trial `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for ReliabilityModel {
+    fn default() -> Self {
+        ReliabilityModel {
+            p_hw: 0.02,
+            p_sw: 0.05,
+            cross_node_attenuation: 0.2,
+            critical_at: 5,
+            trials: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a reliability run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityEstimate {
+    /// Estimated mission failure probability.
+    pub mission_failure: f64,
+    /// Mean number of failed processes per mission.
+    pub mean_failed_processes: f64,
+    /// Trials run.
+    pub trials: u64,
+}
+
+impl ReliabilityModel {
+    /// Runs the model against a concrete clustering + mapping.
+    ///
+    /// Trials run in parallel; the result is deterministic in the seed.
+    pub fn evaluate(
+        &self,
+        g: &SwGraph,
+        clustering: &Clustering,
+        mapping: &Mapping,
+    ) -> ReliabilityEstimate {
+        // Precompute: process -> hw node, replica groups, critical modules.
+        let n = g.node_count();
+        let mut host = vec![usize::MAX; n];
+        for (ci, cluster) in clustering.clusters().iter().enumerate() {
+            let hw = mapping
+                .hw_of(ci)
+                .expect("mapping covers clustering")
+                .index();
+            for &p in cluster {
+                host[p.index()] = hw;
+            }
+        }
+        // Module = replica group or singleton; record members + criticality.
+        let mut modules: Vec<(Vec<usize>, u32)> = Vec::new();
+        {
+            use std::collections::BTreeMap;
+            let mut by_group: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (idx, node) in g.nodes() {
+                match node.replica_group {
+                    Some(rg) => by_group.entry(rg).or_default().push(idx.index()),
+                    None => modules.push((vec![idx.index()], node.attributes.criticality.0)),
+                }
+            }
+            for (_, members) in by_group {
+                let crit = members
+                    .iter()
+                    .map(|&m| {
+                        g.node(NodeIdx(m))
+                            .expect("member exists")
+                            .attributes
+                            .criticality
+                            .0
+                    })
+                    .max()
+                    .unwrap_or(0);
+                modules.push((members, crit));
+            }
+        }
+        // Influence edges as (from, to, p).
+        let edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .filter_map(|(_, e)| match e.weight {
+                SwEdge::Influence(p) => Some((e.from.index(), e.to.index(), p)),
+                SwEdge::ReplicaLink => None,
+            })
+            .collect();
+
+        let threads = std::thread::available_parallelism().map_or(1, |t| t.get().min(8));
+        let chunk = self.trials.div_ceil(threads as u64).max(1);
+        let totals = Mutex::new((0u64, 0u64)); // (mission failures, failed process count)
+
+        crossbeam::thread::scope(|s| {
+            for w in 0..threads as u64 {
+                let totals = &totals;
+                let host = &host;
+                let modules = &modules;
+                let edges = &edges;
+                s.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(self.trials);
+                    let mut local_fail = 0u64;
+                    let mut local_procs = 0u64;
+                    for trial in lo..hi {
+                        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(trial));
+                        let failed = self.one_mission(&mut rng, n, host, edges);
+                        local_procs += failed.iter().filter(|&&f| f).count() as u64;
+                        let mission_failed = modules.iter().any(|(members, crit)| {
+                            *crit >= self.critical_at && members.iter().all(|&m| failed[m])
+                        });
+                        if mission_failed {
+                            local_fail += 1;
+                        }
+                    }
+                    let mut t = totals.lock();
+                    t.0 += local_fail;
+                    t.1 += local_procs;
+                });
+            }
+        })
+        .expect("reliability worker panicked");
+
+        let (failures, failed_procs) = totals.into_inner();
+        ReliabilityEstimate {
+            mission_failure: failures as f64 / self.trials.max(1) as f64,
+            mean_failed_processes: failed_procs as f64 / self.trials.max(1) as f64,
+            trials: self.trials,
+        }
+    }
+
+    /// One mission: returns the per-process failure vector.
+    fn one_mission(
+        &self,
+        rng: &mut StdRng,
+        n: usize,
+        host: &[usize],
+        edges: &[(usize, usize, f64)],
+    ) -> Vec<bool> {
+        let mut failed = vec![false; n];
+        // HW node failures.
+        let max_host = host.iter().copied().filter(|&h| h != usize::MAX).max();
+        let mut hw_failed = vec![false; max_host.map_or(0, |m| m + 1)];
+        for h in hw_failed.iter_mut() {
+            *h = rng.gen::<f64>() < self.p_hw;
+        }
+        for (p, f) in failed.iter_mut().enumerate() {
+            if host[p] != usize::MAX && hw_failed[host[p]] {
+                *f = true;
+            }
+        }
+        // Spontaneous SW faults.
+        for f in failed.iter_mut() {
+            if !*f && rng.gen::<f64>() < self.p_sw {
+                *f = true;
+            }
+        }
+        // Propagation to fixpoint; each edge fires at most once.
+        let mut fired = vec![false; edges.len()];
+        loop {
+            let mut changed = false;
+            for (ei, &(from, to, p)) in edges.iter().enumerate() {
+                if fired[ei] || !failed[from] || failed[to] {
+                    continue;
+                }
+                fired[ei] = true;
+                let strength = if host[from] == host[to] {
+                    p
+                } else {
+                    p * self.cross_node_attenuation
+                };
+                if rng.gen::<f64>() < strength {
+                    failed[to] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::{heuristics, hw::HwGraph, mapping, sw::SwGraphBuilder};
+    use fcm_core::{AttributeSet, FaultTolerance, ImportanceWeights};
+
+    fn attrs(c: u32) -> AttributeSet {
+        AttributeSet::default().with_criticality(c)
+    }
+
+    fn evaluate_with(
+        model: &ReliabilityModel,
+        g: &SwGraph,
+        clusters: usize,
+        hw_nodes: usize,
+    ) -> ReliabilityEstimate {
+        let clustering = heuristics::h1(g, clusters).unwrap();
+        let hw = HwGraph::complete(hw_nodes);
+        let m = mapping::approach_a(g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+        model.evaluate(g, &clustering, &m)
+    }
+
+    #[test]
+    fn zero_fault_rates_mean_zero_failures() {
+        let mut b = SwGraphBuilder::new();
+        let a = b.add_process("a", attrs(9));
+        let c = b.add_process("b", attrs(1));
+        b.add_influence(a, c, 0.5).unwrap();
+        let g = b.build();
+        let model = ReliabilityModel {
+            p_hw: 0.0,
+            p_sw: 0.0,
+            trials: 500,
+            ..ReliabilityModel::default()
+        };
+        let est = evaluate_with(&model, &g, 2, 2);
+        assert_eq!(est.mission_failure, 0.0);
+        assert_eq!(est.mean_failed_processes, 0.0);
+    }
+
+    #[test]
+    fn certain_hw_failure_kills_every_critical_module() {
+        let mut b = SwGraphBuilder::new();
+        b.add_process("crit", attrs(9));
+        let g = b.build();
+        let model = ReliabilityModel {
+            p_hw: 1.0,
+            p_sw: 0.0,
+            trials: 100,
+            ..ReliabilityModel::default()
+        };
+        let est = evaluate_with(&model, &g, 1, 1);
+        assert_eq!(est.mission_failure, 1.0);
+    }
+
+    #[test]
+    fn replication_survives_single_node_failures() {
+        // A TMR-replicated critical module on 3 nodes: mission fails only
+        // when all three replicas' nodes fail — p³ for independent nodes.
+        let mut b = SwGraphBuilder::new();
+        b.add_process("crit", attrs(9).with_fault_tolerance(FaultTolerance::TMR));
+        let ex = fcm_alloc::replication::expand_replicas(&b.build());
+        let g = ex.graph;
+        let model = ReliabilityModel {
+            p_hw: 0.3,
+            p_sw: 0.0,
+            trials: 20_000,
+            ..ReliabilityModel::default()
+        };
+        let est = evaluate_with(&model, &g, 3, 3);
+        // p³ = 0.027.
+        assert!(
+            (est.mission_failure - 0.027).abs() < 0.01,
+            "estimate {}",
+            est.mission_failure
+        );
+    }
+
+    #[test]
+    fn colocated_replicas_would_share_fate() {
+        // Same module, but forced onto 1 node via a graph without replica
+        // tags (simulating a naive integrator that ignores anti-affinity):
+        // failure probability equals p, far above p³.
+        let mut b = SwGraphBuilder::new();
+        b.add_process("a", attrs(9));
+        let g = b.build();
+        let model = ReliabilityModel {
+            p_hw: 0.3,
+            p_sw: 0.0,
+            trials: 20_000,
+            ..ReliabilityModel::default()
+        };
+        let est = evaluate_with(&model, &g, 1, 1);
+        assert!((est.mission_failure - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn cross_node_attenuation_contains_propagation() {
+        // Source (non-critical) influences a critical sink with p=1.
+        // Same node: propagation certain. Different nodes with strong
+        // attenuation: rare.
+        let mut b = SwGraphBuilder::new();
+        let src = b.add_process("src", attrs(1));
+        let dst = b.add_process("dst", attrs(9));
+        b.add_influence(src, dst, 1.0).unwrap();
+        let g = b.build();
+        let model = ReliabilityModel {
+            p_hw: 0.0,
+            p_sw: 0.2, // only src or dst can start a fault
+            cross_node_attenuation: 0.05,
+            trials: 30_000,
+            ..ReliabilityModel::default()
+        };
+        let together = {
+            let clustering = Clustering::new(&g, vec![vec![src, dst]]).unwrap();
+            let hw = HwGraph::complete(1);
+            let m =
+                mapping::approach_a(&g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+            model.evaluate(&g, &clustering, &m)
+        };
+        let apart = {
+            let clustering = Clustering::new(&g, vec![vec![src], vec![dst]]).unwrap();
+            let hw = HwGraph::complete(2);
+            let m =
+                mapping::approach_a(&g, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+            model.evaluate(&g, &clustering, &m)
+        };
+        // Together: dst fails if dst faults (0.2) or src faults and
+        // propagates (0.2). Apart: src propagation attenuated to 0.05.
+        assert!(together.mission_failure > apart.mission_failure + 0.05);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_in_seed() {
+        let mut b = SwGraphBuilder::new();
+        let a = b.add_process("a", attrs(9));
+        let c = b.add_process("b", attrs(4));
+        b.add_influence(a, c, 0.5).unwrap();
+        let g = b.build();
+        let model = ReliabilityModel {
+            trials: 2000,
+            ..ReliabilityModel::default()
+        };
+        let e1 = evaluate_with(&model, &g, 2, 2);
+        let e2 = evaluate_with(&model, &g, 2, 2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn default_model_is_sane() {
+        let m = ReliabilityModel::default();
+        assert!(m.p_hw > 0.0 && m.p_hw < 1.0);
+        assert!(m.cross_node_attenuation < 1.0);
+        assert!(m.trials > 0);
+    }
+}

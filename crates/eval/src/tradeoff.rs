@@ -1,0 +1,259 @@
+//! Integration-depth tradeoff analysis.
+//!
+//! The paper raises — and defers — the question *"Is there a limit to the
+//! level of integration one should design for?"* (§6: "this however
+//! raises the issue of tradeoffs in integrating SW beyond a HW resource
+//! threshold. We defer details of the tradeoff analysis to a later
+//! study"). This module is that later study: it sweeps the cluster count
+//! `k` from the anti-affinity minimum up to one-process-per-node,
+//! evaluating containment and mission reliability at each depth, and
+//! locates the knee — the deepest integration (smallest platform) whose
+//! reliability is still within a tolerance of the best achievable.
+
+use std::fmt;
+
+use fcm_alloc::heuristics::h1;
+use fcm_alloc::mapping::approach_a;
+use fcm_alloc::{AllocError, HwGraph, SwGraph};
+use fcm_core::ImportanceWeights;
+
+use crate::metrics::MappingQuality;
+use crate::reliability::{ReliabilityEstimate, ReliabilityModel};
+
+/// One point of the integration-depth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Cluster count (= processors used).
+    pub clusters: usize,
+    /// Static quality at this depth.
+    pub quality: MappingQuality,
+    /// Mission reliability at this depth.
+    pub reliability: ReliabilityEstimate,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TradeoffCurve {
+    points: Vec<TradeoffPoint>,
+    infeasible: Vec<(usize, String)>,
+}
+
+impl TradeoffCurve {
+    /// The feasible points, ordered by increasing cluster count.
+    pub fn points(&self) -> &[TradeoffPoint] {
+        &self.points
+    }
+
+    /// Depths that admitted no feasible integration, with the reason.
+    pub fn infeasible(&self) -> &[(usize, String)] {
+        &self.infeasible
+    }
+
+    /// The point with the lowest mission-failure probability.
+    pub fn best(&self) -> Option<&TradeoffPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.reliability
+                .mission_failure
+                .partial_cmp(&b.reliability.mission_failure)
+                .expect("finite probabilities")
+        })
+    }
+
+    /// The integration limit: the smallest platform (fewest clusters)
+    /// whose mission failure is within `tolerance` of the best point —
+    /// integrating deeper than this buys hardware savings at a
+    /// reliability cost exceeding the tolerance.
+    pub fn knee(&self, tolerance: f64) -> Option<&TradeoffPoint> {
+        let best = self.best()?.reliability.mission_failure;
+        self.points
+            .iter()
+            .filter(|p| p.reliability.mission_failure <= best + tolerance)
+            .min_by_key(|p| p.clusters)
+    }
+}
+
+impl fmt::Display for TradeoffCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>12} {:>11} {:>13}",
+            "clusters", "cross_infl", "crit_coloc", "max_crit", "mission_fail"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>8} {:>12.4} {:>12} {:>11} {:>13.4}",
+                p.clusters,
+                p.quality.cross_influence,
+                p.quality.critical_colocations,
+                p.quality.max_criticality_per_node,
+                p.reliability.mission_failure
+            )?;
+        }
+        for (k, reason) in &self.infeasible {
+            writeln!(f, "{k:>8} infeasible: {reason}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps integration depth `k` over `k_range`, clustering with H1,
+/// mapping with Approach A onto `platform_for(k)`, and evaluating with
+/// `model`. Depths with no feasible integration are recorded, not
+/// skipped silently.
+pub fn integration_sweep(
+    g: &SwGraph,
+    k_range: impl IntoIterator<Item = usize>,
+    platform_for: impl Fn(usize) -> HwGraph,
+    model: &ReliabilityModel,
+    weights: &ImportanceWeights,
+) -> TradeoffCurve {
+    let mut curve = TradeoffCurve::default();
+    for k in k_range {
+        let attempt = (|| -> Result<TradeoffPoint, AllocError> {
+            let clustering = h1(g, k)?;
+            let hw = platform_for(k);
+            let mapping = approach_a(g, &clustering, &hw, weights)?;
+            let quality =
+                MappingQuality::evaluate(g, &clustering, &mapping, &hw, model.critical_at);
+            let reliability = model.evaluate(g, &clustering, &mapping);
+            Ok(TradeoffPoint {
+                clusters: k,
+                quality,
+                reliability,
+            })
+        })();
+        match attempt {
+            Ok(point) => curve.points.push(point),
+            Err(e) => curve.infeasible.push((k, e.to_string())),
+        }
+    }
+    curve.points.sort_by_key(|p| p.clusters);
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::sw::SwGraphBuilder;
+    use fcm_core::{AttributeSet, FaultTolerance};
+
+    fn workload() -> SwGraph {
+        let mut b = SwGraphBuilder::new();
+        let crit = b.add_process(
+            "crit",
+            AttributeSet::default()
+                .with_criticality(9)
+                .with_fault_tolerance(FaultTolerance::DUPLEX),
+        );
+        let n: Vec<_> = (0..4)
+            .map(|i| b.add_process(format!("p{i}"), AttributeSet::default().with_criticality(2)))
+            .collect();
+        b.add_influence(n[0], n[1], 0.5).unwrap();
+        b.add_influence(n[1], n[2], 0.4).unwrap();
+        b.add_influence(n[2], crit, 0.3).unwrap();
+        b.add_influence(n[3], crit, 0.2).unwrap();
+        fcm_alloc::replication::expand_replicas(&b.build()).graph
+    }
+
+    fn quick_model() -> ReliabilityModel {
+        ReliabilityModel {
+            p_hw: 0.05,
+            p_sw: 0.05,
+            trials: 3000,
+            critical_at: 5,
+            ..ReliabilityModel::default()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_feasible_range_and_records_infeasible() {
+        let g = workload(); // 6 nodes, duplex pair needs >= 2 clusters
+        let curve = integration_sweep(
+            &g,
+            1..=6,
+            HwGraph::complete,
+            &quick_model(),
+            &ImportanceWeights::default(),
+        );
+        // k = 1 cannot separate the duplex replicas.
+        assert_eq!(curve.infeasible().len(), 1);
+        assert_eq!(curve.infeasible()[0].0, 1);
+        assert_eq!(curve.points().len(), 5);
+        assert_eq!(curve.points()[0].clusters, 2);
+    }
+
+    #[test]
+    fn cross_influence_shrinks_as_integration_deepens() {
+        let g = workload();
+        let curve = integration_sweep(
+            &g,
+            2..=6,
+            HwGraph::complete,
+            &quick_model(),
+            &ImportanceWeights::default(),
+        );
+        let points = curve.points();
+        for w in points.windows(2) {
+            assert!(
+                w[0].quality.cross_influence <= w[1].quality.cross_influence + 1e-9,
+                "{} vs {}",
+                w[0].clusters,
+                w[1].clusters
+            );
+        }
+    }
+
+    #[test]
+    fn best_and_knee_are_consistent() {
+        let g = workload();
+        let curve = integration_sweep(
+            &g,
+            2..=6,
+            HwGraph::complete,
+            &quick_model(),
+            &ImportanceWeights::default(),
+        );
+        let best = curve.best().expect("non-empty");
+        let knee = curve.knee(0.05).expect("non-empty");
+        assert!(knee.clusters <= best.clusters);
+        assert!(
+            knee.reliability.mission_failure <= best.reliability.mission_failure + 0.05 + 1e-12
+        );
+        // Zero tolerance: the knee is the cheapest point tied with best.
+        let strict = curve.knee(0.0).expect("non-empty");
+        assert!(
+            (strict.reliability.mission_failure - best.reliability.mission_failure).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_sweep_yields_empty_curve() {
+        let g = workload();
+        let curve = integration_sweep(
+            &g,
+            std::iter::empty(),
+            HwGraph::complete,
+            &quick_model(),
+            &ImportanceWeights::default(),
+        );
+        assert!(curve.points().is_empty());
+        assert!(curve.best().is_none());
+        assert!(curve.knee(0.1).is_none());
+    }
+
+    #[test]
+    fn display_renders_points_and_infeasible_rows() {
+        let g = workload();
+        let curve = integration_sweep(
+            &g,
+            1..=3,
+            HwGraph::complete,
+            &quick_model(),
+            &ImportanceWeights::default(),
+        );
+        let s = curve.to_string();
+        assert!(s.contains("infeasible"));
+        assert!(s.contains("mission_fail"));
+    }
+}

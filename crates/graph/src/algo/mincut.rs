@@ -1,0 +1,238 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! Heuristic H2 of the paper repeatedly cuts the influence graph along its
+//! minimum cut: *"Find the min-cut of the graph. Divide the graph into two
+//! parts along the cut. Find the min-cut in each half and repeat"*. The
+//! influence graph is directed; since a cut separates the node set
+//! regardless of direction, we symmetrise weights (`w(u,v) + w(v,u)`)
+//! before cutting, which is exactly the paper's *mutual influence*.
+
+use crate::error::GraphError;
+use crate::{DiGraph, NodeIdx};
+
+/// A global minimum cut: the two sides and the total crossing weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cut {
+    /// One side of the cut (never empty).
+    pub side_a: Vec<NodeIdx>,
+    /// The other side of the cut (never empty).
+    pub side_b: Vec<NodeIdx>,
+    /// Sum of symmetrised edge weights crossing the cut.
+    pub weight: f64,
+}
+
+impl Cut {
+    /// The smaller of the two sides (ties favour `side_a`).
+    pub fn smaller_side(&self) -> &[NodeIdx] {
+        if self.side_a.len() <= self.side_b.len() {
+            &self.side_a
+        } else {
+            &self.side_b
+        }
+    }
+}
+
+/// Computes a global minimum cut of the symmetrised graph via Stoer–Wagner.
+///
+/// Runs in `O(n³)` with the simple array implementation, fine for the graph
+/// sizes the integration framework handles (hundreds of FCM nodes).
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyGraph`] when the graph has fewer than two
+/// nodes.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, algo};
+///
+/// // Two triangles joined by one light edge: the min cut severs it.
+/// let mut g: DiGraph<(), f64> = DiGraph::new();
+/// let n: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+/// for &(a, b) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+///     g.add_edge(n[a], n[b], 1.0);
+/// }
+/// g.add_edge(n[2], n[3], 0.1);
+/// let cut = algo::min_cut(&g)?;
+/// assert!((cut.weight - 0.1).abs() < 1e-9);
+/// assert_eq!(cut.smaller_side().len(), 3);
+/// # Ok::<(), fcm_graph::GraphError>(())
+/// ```
+pub fn min_cut<N, E: Copy + Into<f64>>(g: &DiGraph<N, E>) -> Result<Cut, GraphError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(GraphError::EmptyGraph);
+    }
+
+    // Symmetrised dense weight matrix.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for (_, e) in g.edges() {
+        let (u, v) = (e.from.index(), e.to.index());
+        let x: f64 = e.weight.into();
+        w[u][v] += x;
+        w[v][u] += x;
+    }
+
+    // `members[i]`: original nodes merged into supernode i.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<Cut> = None;
+
+    while active.len() > 1 {
+        // Maximum adjacency (minimum cut phase).
+        let mut in_a = vec![false; n];
+        let mut weights = vec![0.0f64; n];
+        let mut order: Vec<usize> = Vec::with_capacity(active.len());
+
+        for _ in 0..active.len() {
+            // Pick the most tightly connected remaining supernode.
+            let mut sel = usize::MAX;
+            let mut sel_w = f64::NEG_INFINITY;
+            for &v in &active {
+                if !in_a[v] && weights[v] > sel_w {
+                    sel = v;
+                    sel_w = weights[v];
+                }
+            }
+            in_a[sel] = true;
+            order.push(sel);
+            for &v in &active {
+                if !in_a[v] {
+                    weights[v] += w[sel][v];
+                }
+            }
+        }
+
+        let t = *order.last().expect("phase visits every active node");
+        let s = order[order.len() - 2];
+        let cut_of_phase = {
+            // Weight of t to everything else == its key when added.
+            let mut total = 0.0;
+            for &v in &active {
+                if v != t {
+                    total += w[t][v];
+                }
+            }
+            total
+        };
+
+        let better = best.as_ref().is_none_or(|b| cut_of_phase < b.weight);
+        if better {
+            let side_a: Vec<NodeIdx> = members[t].iter().map(|&i| NodeIdx(i)).collect();
+            let side_b: Vec<NodeIdx> = active
+                .iter()
+                .filter(|&&v| v != t)
+                .flat_map(|&v| members[v].iter().map(|&i| NodeIdx(i)))
+                .collect();
+            best = Some(Cut {
+                side_a,
+                side_b,
+                weight: cut_of_phase,
+            });
+        }
+
+        // Merge t into s.
+        let t_members = std::mem::take(&mut members[t]);
+        members[s].extend(t_members);
+        let absorbed = w[t].clone();
+        for (v, &tv) in absorbed.iter().enumerate() {
+            if v != s {
+                let merged = w[s][v] + tv;
+                w[s][v] = merged;
+                w[v][s] = merged;
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+
+    Ok(best.expect("graph with >= 2 nodes yields a cut"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_cut_is_their_mutual_weight() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 0.5);
+        g.add_edge(b, a, 0.7);
+        let cut = min_cut(&g).unwrap();
+        assert!((cut.weight - 1.2).abs() < 1e-12);
+        assert_eq!(cut.side_a.len() + cut.side_b.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 5.0);
+        let _ = c;
+        let cut = min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 0.0);
+        assert_eq!(cut.smaller_side().len(), 1);
+    }
+
+    #[test]
+    fn single_node_graph_errors() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        g.add_node(());
+        assert!(matches!(min_cut(&g), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn barbell_cut_severs_the_bridge() {
+        // Two cliques of 4 joined by one weight-0.3 bridge.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let n: Vec<_> = (0..8).map(|_| g.add_node(())).collect();
+        for group in [&n[0..4], &n[4..8]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(group[i], group[j], 1.0);
+                }
+            }
+        }
+        g.add_edge(n[3], n[4], 0.3);
+        let cut = min_cut(&g).unwrap();
+        assert!((cut.weight - 0.3).abs() < 1e-9);
+        let mut small: Vec<usize> = cut.smaller_side().iter().map(|x| x.index()).collect();
+        small.sort();
+        assert!(small == vec![0, 1, 2, 3] || small == vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn star_cuts_off_the_lightest_leaf() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let hub = g.add_node(());
+        let leaves: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        let ws = [0.9, 0.2, 0.7, 0.5];
+        for (leaf, &w) in leaves.iter().zip(&ws) {
+            g.add_edge(hub, *leaf, w);
+        }
+        let cut = min_cut(&g).unwrap();
+        assert!((cut.weight - 0.2).abs() < 1e-12);
+        assert_eq!(cut.smaller_side(), &[leaves[1]]);
+    }
+
+    #[test]
+    fn both_sides_are_nonempty_and_partition_nodes() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(n[i], n[(i + 1) % 5], (i + 1) as f64 / 10.0);
+        }
+        let cut = min_cut(&g).unwrap();
+        assert!(!cut.side_a.is_empty());
+        assert!(!cut.side_b.is_empty());
+        let mut all: Vec<_> = cut.side_a.iter().chain(&cut.side_b).copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph algorithms used by the integration framework.
+//!
+//! * [`traverse`] — BFS/DFS reachability, topological order, cycle check
+//!   (rule R2 of the paper requires the integration DAG to be a tree, which
+//!   the hierarchy checks with these primitives);
+//! * [`scc`] — Tarjan strongly connected components (used to detect
+//!   influence cycles before truncating the separation series);
+//! * [`mincut`] — Stoer–Wagner global minimum cut on the symmetrised
+//!   influence weights (the cut step of heuristic H2);
+//! * [`stcut`] — Edmonds–Karp source–target minimum cut (the paper's
+//!   "cut the graph using source and target nodes" H2 variation);
+//! * [`partition`] — recursive min-cut bisection into `k` parts (the whole
+//!   of heuristic H2, with the paper's "cut the largest part" variant).
+
+pub mod mincut;
+pub mod partition;
+pub mod scc;
+pub mod stcut;
+pub mod traverse;
+
+pub use mincut::{min_cut, Cut};
+pub use partition::{induced_subgraph, recursive_min_cut, BisectPolicy};
+pub use scc::{is_strongly_connected, strongly_connected_components};
+pub use stcut::st_min_cut;
+pub use traverse::{
+    bfs_order, dfs_order, has_cycle, is_reachable, reachable_set, topological_order,
+};

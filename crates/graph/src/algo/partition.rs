@@ -1,0 +1,235 @@
+//! Recursive min-cut partitioning (heuristic H2 of the paper).
+//!
+//! The paper: *"Find the min-cut of the graph. Divide the graph into two
+//! parts along the cut. Find the min-cut in each half and repeat the
+//! process, until the requisite number of components has been generated.
+//! Other variations include: cut the portion with the largest number of
+//! nodes."* Both the default (cut the part with the heaviest internal
+//! connectivity next — a greedy variant that keeps cuts cheap) and the
+//! largest-part variant are provided.
+
+use crate::error::GraphError;
+use crate::{algo::mincut, DiGraph, NodeIdx};
+
+/// Which part to bisect next while more parts are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BisectPolicy {
+    /// Cut the part with the most nodes (the paper's stated variation).
+    #[default]
+    LargestPart,
+    /// Cut the part whose internal (symmetrised) weight is largest, so the
+    /// most strongly coupled cluster is broken where it is cheapest.
+    HeaviestPart,
+}
+
+/// Splits the nodes of `g` into exactly `parts` groups by recursive
+/// Stoer–Wagner bisection of the symmetrised weights.
+///
+/// Every returned group is non-empty and the groups partition the node set.
+///
+/// # Errors
+///
+/// * [`GraphError::EmptyGraph`] when the graph has no nodes;
+/// * [`GraphError::TooManyParts`] when `parts` is zero or exceeds the node
+///   count.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, algo::{recursive_min_cut, BisectPolicy}};
+///
+/// let mut g: DiGraph<(), f64> = DiGraph::new();
+/// let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+/// g.add_edge(n[0], n[1], 1.0);
+/// g.add_edge(n[2], n[3], 1.0);
+/// g.add_edge(n[1], n[2], 0.1);
+/// let parts = recursive_min_cut(&g, 2, BisectPolicy::LargestPart)?;
+/// assert_eq!(parts.len(), 2);
+/// # Ok::<(), fcm_graph::GraphError>(())
+/// ```
+pub fn recursive_min_cut<N, E: Copy + Into<f64>>(
+    g: &DiGraph<N, E>,
+    parts: usize,
+    policy: BisectPolicy,
+) -> Result<Vec<Vec<NodeIdx>>, GraphError> {
+    let n = g.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if parts == 0 || parts > n {
+        return Err(GraphError::TooManyParts {
+            requested: parts,
+            nodes: n,
+        });
+    }
+
+    let mut groups: Vec<Vec<NodeIdx>> = vec![g.node_indices().collect()];
+    while groups.len() < parts {
+        let split_at = choose_group(g, &groups, policy)
+            .expect("parts <= n guarantees a splittable group exists");
+        let group = groups.swap_remove(split_at);
+        let (sub, back) = induced_subgraph(g, &group);
+        let cut = mincut::min_cut(&sub)?;
+        let to_orig = |side: &[NodeIdx]| side.iter().map(|&i| back[i.index()]).collect::<Vec<_>>();
+        groups.push(to_orig(&cut.side_a));
+        groups.push(to_orig(&cut.side_b));
+    }
+    Ok(groups)
+}
+
+/// Index of the group to bisect next, per policy; `None` when no group has
+/// two or more nodes.
+fn choose_group<N, E: Copy + Into<f64>>(
+    g: &DiGraph<N, E>,
+    groups: &[Vec<NodeIdx>],
+    policy: BisectPolicy,
+) -> Option<usize> {
+    let splittable = groups.iter().enumerate().filter(|(_, grp)| grp.len() >= 2);
+    match policy {
+        BisectPolicy::LargestPart => splittable.max_by_key(|(_, grp)| grp.len()).map(|(i, _)| i),
+        BisectPolicy::HeaviestPart => splittable
+            .map(|(i, grp)| (i, internal_weight(g, grp)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+            .map(|(i, _)| i),
+    }
+}
+
+/// Sum of symmetrised weights of edges with both endpoints in `group`.
+fn internal_weight<N, E: Copy + Into<f64>>(g: &DiGraph<N, E>, group: &[NodeIdx]) -> f64 {
+    let mut inside = vec![false; g.node_count()];
+    for &v in group {
+        inside[v.index()] = true;
+    }
+    g.edges()
+        .filter(|(_, e)| inside[e.from.index()] && inside[e.to.index()])
+        .map(|(_, e)| e.weight.into())
+        .sum()
+}
+
+/// The subgraph induced by `group`, plus the mapping from subgraph indices
+/// back to original indices.
+pub fn induced_subgraph<N, E: Copy>(
+    g: &DiGraph<N, E>,
+    group: &[NodeIdx],
+) -> (DiGraph<(), E>, Vec<NodeIdx>) {
+    let mut fwd = vec![usize::MAX; g.node_count()];
+    let mut back = Vec::with_capacity(group.len());
+    let mut sub: DiGraph<(), E> = DiGraph::with_capacity(group.len());
+    for &v in group {
+        fwd[v.index()] = sub.add_node(()).index();
+        back.push(v);
+    }
+    for (_, e) in g.edges() {
+        let (u, v) = (fwd[e.from.index()], fwd[e.to.index()]);
+        if u != usize::MAX && v != usize::MAX {
+            sub.add_edge(NodeIdx(u), NodeIdx(v), e.weight);
+        }
+    }
+    (sub, back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_clusters() -> DiGraph<(), f64> {
+        // Clusters {0,1,2}, {3,4,5}, {6,7,8} tightly bound internally,
+        // loosely bound across.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let n: Vec<_> = (0..9).map(|_| g.add_node(())).collect();
+        for base in [0, 3, 6] {
+            g.add_edge(n[base], n[base + 1], 1.0);
+            g.add_edge(n[base + 1], n[base + 2], 1.0);
+            g.add_edge(n[base + 2], n[base], 1.0);
+        }
+        g.add_edge(n[2], n[3], 0.05);
+        g.add_edge(n[5], n[6], 0.05);
+        g
+    }
+
+    #[test]
+    fn one_part_returns_everything() {
+        let g = three_clusters();
+        let parts = recursive_min_cut(&g, 1, BisectPolicy::LargestPart).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 9);
+    }
+
+    #[test]
+    fn three_parts_recover_the_clusters() {
+        let g = three_clusters();
+        for policy in [BisectPolicy::LargestPart, BisectPolicy::HeaviestPart] {
+            let mut parts = recursive_min_cut(&g, 3, policy).unwrap();
+            for p in &mut parts {
+                p.sort();
+            }
+            parts.sort();
+            let expect: Vec<Vec<NodeIdx>> = vec![
+                vec![NodeIdx(0), NodeIdx(1), NodeIdx(2)],
+                vec![NodeIdx(3), NodeIdx(4), NodeIdx(5)],
+                vec![NodeIdx(6), NodeIdx(7), NodeIdx(8)],
+            ];
+            assert_eq!(parts, expect, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn n_parts_are_singletons() {
+        let g = three_clusters();
+        let parts = recursive_min_cut(&g, 9, BisectPolicy::LargestPart).unwrap();
+        assert_eq!(parts.len(), 9);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn zero_or_excess_parts_error() {
+        let g = three_clusters();
+        assert!(matches!(
+            recursive_min_cut(&g, 0, BisectPolicy::LargestPart),
+            Err(GraphError::TooManyParts {
+                requested: 0,
+                nodes: 9
+            })
+        ));
+        assert!(matches!(
+            recursive_min_cut(&g, 10, BisectPolicy::LargestPart),
+            Err(GraphError::TooManyParts {
+                requested: 10,
+                nodes: 9
+            })
+        ));
+        let empty: DiGraph<(), f64> = DiGraph::new();
+        assert!(matches!(
+            recursive_min_cut(&empty, 1, BisectPolicy::LargestPart),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn groups_partition_the_node_set() {
+        let g = three_clusters();
+        for k in 1..=9 {
+            let parts = recursive_min_cut(&g, k, BisectPolicy::HeaviestPart).unwrap();
+            assert_eq!(parts.len(), k);
+            let mut all: Vec<_> = parts.into_iter().flatten().collect();
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), 9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = three_clusters();
+        let (sub, back) = induced_subgraph(&g, &[NodeIdx(0), NodeIdx(1), NodeIdx(2), NodeIdx(3)]);
+        assert_eq!(sub.node_count(), 4);
+        // Internal: the 3 cluster edges plus the 2->3 bridge.
+        assert_eq!(sub.edge_count(), 4);
+        assert_eq!(back, vec![NodeIdx(0), NodeIdx(1), NodeIdx(2), NodeIdx(3)]);
+    }
+
+    #[test]
+    fn default_policy_is_largest_part() {
+        assert_eq!(BisectPolicy::default(), BisectPolicy::LargestPart);
+    }
+}

@@ -1,0 +1,193 @@
+//! Tarjan strongly connected components (iterative).
+//!
+//! The separation series of the paper (Eq. 3) converges only when influence
+//! cycles have products `< 1`; detecting cycles via SCCs lets callers warn
+//! about (or renormalise) pathological influence graphs.
+
+use crate::{DiGraph, NodeIdx};
+
+/// Computes the strongly connected components of `g`.
+///
+/// Components are returned in **reverse topological order** of the
+/// condensation (a property of Tarjan's algorithm); each component lists its
+/// member nodes.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, algo};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// g.add_edge(b, c, ());
+/// let sccs = algo::strongly_connected_components(&g);
+/// assert_eq!(sccs.len(), 2);
+/// ```
+pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeIdx>> {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+
+    struct State {
+        index: Vec<usize>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        components: Vec<Vec<NodeIdx>>,
+    }
+
+    let mut st = State {
+        index: vec![UNVISITED; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        components: Vec::new(),
+    };
+
+    // Iterative Tarjan: each call frame is (node, iterator position).
+    for root in 0..n {
+        if st.index[root] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut succ_pos)) = call_stack.last_mut() {
+            if *succ_pos == 0 {
+                st.index[v] = st.next_index;
+                st.lowlink[v] = st.next_index;
+                st.next_index += 1;
+                st.stack.push(v);
+                st.on_stack[v] = true;
+            }
+            let succs: Vec<usize> = g.successors(NodeIdx(v)).map(NodeIdx::index).collect();
+            let mut recursed = false;
+            while *succ_pos < succs.len() {
+                let w = succs[*succ_pos];
+                *succ_pos += 1;
+                if st.index[w] == UNVISITED {
+                    call_stack.push((w, 0));
+                    recursed = true;
+                    break;
+                } else if st.on_stack[w] {
+                    st.lowlink[v] = st.lowlink[v].min(st.index[w]);
+                }
+            }
+            if recursed {
+                continue;
+            }
+            // Finished v.
+            if st.lowlink[v] == st.index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = st.stack.pop().expect("tarjan stack underflow");
+                    st.on_stack[w] = false;
+                    comp.push(NodeIdx(w));
+                    if w == v {
+                        break;
+                    }
+                }
+                st.components.push(comp);
+            }
+            call_stack.pop();
+            if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                st.lowlink[parent] = st.lowlink[parent].min(st.lowlink[v]);
+            }
+        }
+    }
+    st.components
+}
+
+/// Whether the whole graph is one strongly connected component.
+pub fn is_strongly_connected<N, E>(g: &DiGraph<N, E>) -> bool {
+    !g.is_empty() && strongly_connected_components(g).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_nodes_are_their_own_components() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        g.add_node(());
+        g.add_node(());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn two_cycles_connected_by_a_bridge() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        // Cycle 0-1-2, cycle 3-4-5, bridge 2 -> 3.
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[0], ());
+        g.add_edge(n[3], n[4], ());
+        g.add_edge(n[4], n[5], ());
+        g.add_edge(n[5], n[3], ());
+        g.add_edge(n[2], n[3], ());
+        let mut sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        for c in &mut sccs {
+            c.sort();
+        }
+        // Reverse topological: the sink component {3,4,5} comes first.
+        assert_eq!(sccs[0], vec![n[3], n[4], n[5]]);
+        assert_eq!(sccs[1], vec![n[0], n[1], n[2]]);
+    }
+
+    #[test]
+    fn dag_has_all_singletons() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn full_cycle_is_strongly_connected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        for i in 0..4 {
+            g.add_edge(n[i], n[(i + 1) % 4], ());
+        }
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_not_strongly_connected() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(!is_strongly_connected(&g));
+        assert!(strongly_connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..8).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[0], ());
+        g.add_edge(n[2], n[3], ());
+        g.add_edge(n[5], n[6], ());
+        g.add_edge(n[6], n[7], ());
+        g.add_edge(n[7], n[5], ());
+        let sccs = strongly_connected_components(&g);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+        let mut all: Vec<_> = sccs.into_iter().flatten().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 8);
+    }
+}

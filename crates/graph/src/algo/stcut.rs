@@ -1,0 +1,235 @@
+//! Source–target minimum cut via Edmonds–Karp max-flow.
+//!
+//! The paper's H2 lists this variation explicitly: "Other variations
+//! include … to cut the graph using source and target nodes." The cut is
+//! computed on the symmetrised weights (a cut separates node sets
+//! regardless of edge direction), matching [`min_cut`](super::min_cut).
+
+use std::collections::VecDeque;
+
+use crate::algo::mincut::Cut;
+use crate::error::GraphError;
+use crate::{DiGraph, NodeIdx};
+
+/// Computes a minimum cut separating `source` from `target` on the
+/// symmetrised weights, via Edmonds–Karp max-flow.
+///
+/// Returns a [`Cut`] whose `side_a` contains `source` and `side_b`
+/// contains `target`.
+///
+/// # Errors
+///
+/// * [`GraphError::EmptyGraph`] — fewer than two nodes;
+/// * [`GraphError::NodeOutOfBounds`] — invalid endpoints;
+/// * [`GraphError::SelfLoop`] — `source == target`.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, NodeIdx, algo::st_min_cut};
+///
+/// // a -1.0- b -0.1- c: separating a from c severs the thin middle edge.
+/// let mut g: DiGraph<(), f64> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 0.1);
+/// let cut = st_min_cut(&g, a, c)?;
+/// assert!((cut.weight - 0.1).abs() < 1e-9);
+/// assert!(cut.side_a.contains(&b));
+/// # Ok::<(), fcm_graph::GraphError>(())
+/// ```
+pub fn st_min_cut<N, E: Copy + Into<f64>>(
+    g: &DiGraph<N, E>,
+    source: NodeIdx,
+    target: NodeIdx,
+) -> Result<Cut, GraphError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if source.index() >= n || target.index() >= n {
+        return Err(GraphError::NodeOutOfBounds {
+            index: source.index().max(target.index()),
+            len: n,
+        });
+    }
+    if source == target {
+        return Err(GraphError::SelfLoop {
+            node: source.index(),
+        });
+    }
+
+    // Symmetrised capacity matrix (dense: FCM graphs are small).
+    let mut cap = vec![vec![0.0f64; n]; n];
+    for (_, e) in g.edges() {
+        let (u, v) = (e.from.index(), e.to.index());
+        let w: f64 = e.weight.into();
+        cap[u][v] += w;
+        cap[v][u] += w;
+    }
+
+    let (s, t) = (source.index(), target.index());
+    let mut flow_value = 0.0f64;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            if u == t {
+                break;
+            }
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 1e-12 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            break; // no augmenting path: max flow reached
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow_value += bottleneck;
+    }
+
+    // Source side = residual-reachable set from s.
+    let mut reachable = vec![false; n];
+    reachable[s] = true;
+    let mut queue = VecDeque::from([s]);
+    while let Some(u) = queue.pop_front() {
+        for v in 0..n {
+            if !reachable[v] && cap[u][v] > 1e-12 {
+                reachable[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let side_a: Vec<NodeIdx> = (0..n).filter(|&i| reachable[i]).map(NodeIdx).collect();
+    let side_b: Vec<NodeIdx> = (0..n).filter(|&i| !reachable[i]).map(NodeIdx).collect();
+    Ok(Cut {
+        side_a,
+        side_b,
+        weight: flow_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_cut_severs_the_thinnest_link() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let n: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 0.9);
+        g.add_edge(n[1], n[2], 0.2);
+        g.add_edge(n[2], n[3], 0.7);
+        let cut = st_min_cut(&g, n[0], n[3]).unwrap();
+        assert!((cut.weight - 0.2).abs() < 1e-9);
+        assert!(cut.side_a.contains(&n[0]) && cut.side_a.contains(&n[1]));
+        assert!(cut.side_b.contains(&n[2]) && cut.side_b.contains(&n[3]));
+    }
+
+    #[test]
+    fn st_cut_matches_flow_on_parallel_paths() {
+        // Two disjoint s-t paths with bottlenecks 0.3 and 0.4: max flow
+        // (= min cut) is 0.7.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 0.3);
+        g.add_edge(a, t, 0.9);
+        g.add_edge(s, b, 0.8);
+        g.add_edge(b, t, 0.4);
+        let cut = st_min_cut(&g, s, t).unwrap();
+        assert!((cut.weight - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero_cut() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        let cut = st_min_cut(&g, a, c).unwrap();
+        assert_eq!(cut.weight, 0.0);
+        assert!(cut.side_b.contains(&c));
+        assert!(!cut.side_a.contains(&c));
+    }
+
+    #[test]
+    fn st_cut_is_never_below_the_global_min_cut() {
+        use crate::algo::min_cut;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let mut g: DiGraph<(), f64> = DiGraph::new();
+            let nodes: Vec<_> = (0..7).map(|_| g.add_node(())).collect();
+            for &a in &nodes {
+                for &b in &nodes {
+                    if a != b && rng.gen::<f64>() < 0.4 {
+                        g.add_edge(a, b, rng.gen_range(0.05..0.9));
+                    }
+                }
+            }
+            let global = min_cut(&g).unwrap();
+            let st = st_min_cut(&g, nodes[0], nodes[6]).unwrap();
+            assert!(st.weight >= global.weight - 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_endpoints_error() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        assert!(matches!(
+            st_min_cut(&g, a, a),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            st_min_cut(&g, a, NodeIdx(9)),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        let single: DiGraph<(), f64> = DiGraph::new();
+        assert!(matches!(
+            st_min_cut(&single, a, b),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn direction_is_ignored_for_capacity() {
+        // Only a back-edge exists; the undirected cut still costs it.
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(b, a, 0.5);
+        let cut = st_min_cut(&g, a, b).unwrap();
+        assert!((cut.weight - 0.5).abs() < 1e-9);
+    }
+}

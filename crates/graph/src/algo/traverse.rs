@@ -1,0 +1,215 @@
+//! Reachability, traversal orders, and cycle detection.
+
+use std::collections::VecDeque;
+
+use crate::{DiGraph, NodeIdx};
+
+/// Returns the nodes reachable from `start` (including `start`) in BFS
+/// order.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, algo};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// let order = algo::bfs_order(&g, a);
+/// assert_eq!(order, vec![a, b]);
+/// assert!(!order.contains(&c));
+/// ```
+pub fn bfs_order<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<NodeIdx> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    if start.index() >= g.node_count() {
+        return order;
+    }
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the nodes reachable from `start` (including `start`) in DFS
+/// preorder.
+pub fn dfs_order<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<NodeIdx> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    if start.index() >= g.node_count() {
+        return order;
+    }
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if seen[u.index()] {
+            continue;
+        }
+        seen[u.index()] = true;
+        order.push(u);
+        // Push successors in reverse so the first successor is visited first.
+        let succs: Vec<_> = g.successors(u).collect();
+        for v in succs.into_iter().rev() {
+            if !seen[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Whether `to` is reachable from `from` following edge directions.
+pub fn is_reachable<N, E>(g: &DiGraph<N, E>, from: NodeIdx, to: NodeIdx) -> bool {
+    if from == to {
+        return true;
+    }
+    reachable_set(g, from)[to.index()]
+}
+
+/// Boolean reachability vector from `start` (entry `i` is `true` when node
+/// `i` is reachable, including `start` itself).
+pub fn reachable_set<N, E>(g: &DiGraph<N, E>, start: NodeIdx) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    if start.index() >= g.node_count() {
+        return seen;
+    }
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in g.successors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Kahn topological order, or `None` when the graph has a directed cycle.
+pub fn topological_order<N, E>(g: &DiGraph<N, E>) -> Option<Vec<NodeIdx>> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeIdx(i))).collect();
+    let mut queue: VecDeque<NodeIdx> = (0..n).filter(|&i| in_deg[i] == 0).map(NodeIdx).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.successors(u) {
+            in_deg[v.index()] -= 1;
+            if in_deg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether the graph contains a directed cycle.
+pub fn has_cycle<N, E>(g: &DiGraph<N, E>) -> bool {
+    topological_order(g).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph<usize, ()> {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_visits_levels_in_order() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        assert_eq!(bfs_order(&g, a), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, d, ());
+        g.add_edge(a, c, ());
+        assert_eq!(dfs_order(&g, a), vec![a, b, d, c]);
+    }
+
+    #[test]
+    fn reachability_respects_direction() {
+        let g = chain(4);
+        assert!(is_reachable(&g, NodeIdx(0), NodeIdx(3)));
+        assert!(!is_reachable(&g, NodeIdx(3), NodeIdx(0)));
+        assert!(is_reachable(&g, NodeIdx(2), NodeIdx(2)));
+    }
+
+    #[test]
+    fn out_of_range_start_yields_nothing() {
+        let g = chain(2);
+        assert!(bfs_order(&g, NodeIdx(9)).is_empty());
+        assert!(dfs_order(&g, NodeIdx(9)).is_empty());
+        assert!(!reachable_set(&g, NodeIdx(9)).iter().any(|&b| b));
+    }
+
+    #[test]
+    fn topological_order_on_dag() {
+        let g = chain(5);
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 5);
+        // Every edge goes forward in the order.
+        let pos: Vec<_> = {
+            let mut p = vec![0; 5];
+            for (i, n) in order.iter().enumerate() {
+                p[n.index()] = i;
+            }
+            p
+        };
+        for (_, e) in g.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = chain(3);
+        g.add_edge(NodeIdx(2), NodeIdx(0), ());
+        assert!(has_cycle(&g));
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph_topological_order_is_empty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert_eq!(topological_order(&g), Some(vec![]));
+        assert!(!has_cycle(&g));
+    }
+}

@@ -1,0 +1,173 @@
+//! Graphviz DOT rendering of directed graphs.
+//!
+//! The paper communicates every step of its method through node-and-edge
+//! figures; this module renders any [`DiGraph`] in DOT so the
+//! reproduction's figures can be drawn with standard tooling
+//! (`dot -Tsvg`).
+
+use std::fmt::{Display, Write as _};
+
+use crate::{DiGraph, NodeIdx};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Whether edges with `Display` text `"0"` (e.g. replica links)
+    /// render dashed without a label.
+    pub dash_zero_edges: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "fcm".into(),
+            dash_zero_edges: true,
+        }
+    }
+}
+
+/// Renders `g` as a DOT digraph, labelling nodes and edges with their
+/// `Display` implementations.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::{DiGraph, dot};
+///
+/// let mut g: DiGraph<&str, f64> = DiGraph::new();
+/// let a = g.add_node("p1");
+/// let b = g.add_node("p2");
+/// g.add_edge(a, b, 0.5);
+/// let rendered = dot::render(&g, &dot::DotOptions::default());
+/// assert!(rendered.contains("digraph fcm"));
+/// assert!(rendered.contains("\"p1\" -> \"p2\""));
+/// ```
+pub fn render<N: Display, E: Display>(g: &DiGraph<N, E>, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse];");
+    for (idx, node) in g.nodes() {
+        let _ = writeln!(out, "  \"{}\" [id=\"{}\"];", escape(&node.to_string()), idx);
+    }
+    for (_, e) in g.edges() {
+        let label = e.weight.to_string();
+        let from = escape(&display_of(g, e.from));
+        let to = escape(&display_of(g, e.to));
+        if options.dash_zero_edges && is_zero_label(&label) {
+            let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [style=dashed, dir=none];");
+        } else {
+            let _ = writeln!(
+                out,
+                "  \"{from}\" -> \"{to}\" [label=\"{}\"];",
+                escape(&label)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn display_of<N: Display, E>(g: &DiGraph<N, E>, idx: NodeIdx) -> String {
+    g.node(idx).map(|n| n.to_string()).unwrap_or_default()
+}
+
+fn is_zero_label(label: &str) -> bool {
+    label == "0" || label.starts_with("0 (")
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "g".into()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<&'static str, f64> {
+        let mut g = DiGraph::new();
+        let a = g.add_node("p1");
+        let b = g.add_node("p2");
+        let c = g.add_node("p3");
+        g.add_edge(a, b, 0.5);
+        g.add_edge(b, c, 0.25);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_labelled_edges() {
+        let s = render(&sample(), &DotOptions::default());
+        assert!(s.starts_with("digraph fcm {"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"p1\" [id=\"n0\"];"));
+        assert!(s.contains("\"p1\" -> \"p2\" [label=\"0.5\"];"));
+        assert!(s.contains("\"p2\" -> \"p3\" [label=\"0.25\"];"));
+    }
+
+    #[test]
+    fn zero_edges_render_dashed() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("r1");
+        let b = g.add_node("r2");
+        g.add_edge(a, b, "0 (replica)");
+        let s = render(&g, &DotOptions::default());
+        assert!(s.contains("style=dashed"));
+        assert!(!s.contains("label=\"0 (replica)\""));
+        // With dashing disabled, the label appears.
+        let s2 = render(
+            &g,
+            &DotOptions {
+                dash_zero_edges: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(s2.contains("label=\"0 (replica)\""));
+    }
+
+    #[test]
+    fn names_and_labels_are_sanitised() {
+        let mut g: DiGraph<String, f64> = DiGraph::new();
+        let a = g.add_node("we\"ird".into());
+        let b = g.add_node("ok".into());
+        g.add_edge(a, b, 1.0);
+        let s = render(
+            &g,
+            &DotOptions {
+                name: "my graph!".into(),
+                dash_zero_edges: true,
+            },
+        );
+        assert!(s.contains("digraph my_graph_"));
+        assert!(s.contains("we\\\"ird"));
+        let empty = sanitize("");
+        assert_eq!(empty, "g");
+    }
+
+    #[test]
+    fn empty_graph_renders_a_valid_skeleton() {
+        let g: DiGraph<&str, f64> = DiGraph::new();
+        let s = render(&g, &DotOptions::default());
+        assert!(s.contains("digraph fcm {"));
+        assert_eq!(s.lines().count(), 4);
+    }
+}

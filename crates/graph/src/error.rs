@@ -1,0 +1,112 @@
+//! Error types for graph construction and algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was not smaller than the node count.
+    NodeOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// A self-loop was requested; influence of an FCM on itself is
+    /// meaningless in the paper's model, so self-loops are rejected.
+    SelfLoop {
+        /// The node on which the self-loop was attempted.
+        node: usize,
+    },
+    /// An algorithm requiring a non-empty graph was invoked on an empty one.
+    EmptyGraph,
+    /// A partition request asked for more parts than there are nodes.
+    TooManyParts {
+        /// Number of parts requested.
+        requested: usize,
+        /// Number of nodes available.
+        nodes: usize,
+    },
+    /// Matrix dimensions did not agree for the requested operation.
+    DimensionMismatch {
+        /// Left-hand dimensions `(rows, cols)`.
+        left: (usize, usize),
+        /// Right-hand dimensions `(rows, cols)`.
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "node index {index} out of bounds for graph of {len} nodes"
+                )
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not permitted")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::TooManyParts { requested, nodes } => {
+                write!(f, "cannot partition {nodes} nodes into {requested} parts")
+            }
+            GraphError::DimensionMismatch { left, right } => write!(
+                f,
+                "matrix dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::NodeOutOfBounds { index: 9, len: 3 },
+                "node index 9 out of bounds for graph of 3 nodes",
+            ),
+            (
+                GraphError::SelfLoop { node: 2 },
+                "self-loop on node 2 is not permitted",
+            ),
+            (
+                GraphError::EmptyGraph,
+                "operation requires a non-empty graph",
+            ),
+            (
+                GraphError::TooManyParts {
+                    requested: 5,
+                    nodes: 2,
+                },
+                "cannot partition 2 nodes into 5 parts",
+            ),
+            (
+                GraphError::DimensionMismatch {
+                    left: (2, 3),
+                    right: (4, 5),
+                },
+                "matrix dimension mismatch: 2x3 vs 4x5",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(GraphError::EmptyGraph);
+    }
+}

@@ -1,0 +1,350 @@
+//! Dense `f64` matrices for the influence power series (paper Eq. 3).
+//!
+//! The paper's *separation* metric sums walk contributions
+//! `P_ij + Σ_k P_ik P_kj + Σ_l Σ_k P_ik P_kl P_lj + …`, i.e. the entries of
+//! `P + P² + P³ + …` truncated when higher-order terms become negligible.
+//! [`Matrix::walk_series`] computes that truncated sum.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::{DiGraph, NodeIdx};
+
+/// A dense row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use fcm_graph::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 2);
+/// m[(0, 1)] = 0.5;
+/// m[(1, 0)] = 0.25;
+/// let sq = &m * &m;
+/// assert_eq!(sq[(0, 0)], 0.125);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Builds the `n × n` weight matrix of a graph: entry `(i, j)` is the sum
+    /// of weights of all edges `i → j` (zero when absent).
+    pub fn from_graph<N, E: Copy + Into<f64>>(g: &DiGraph<N, E>) -> Self {
+        let n = g.node_count();
+        let mut m = Matrix::zeros(n, n);
+        for (_, e) in g.edges() {
+            m[(e.from.index(), e.to.index())] += e.weight.into();
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(row, col)`, or `None` when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Checked matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when `self.cols !=
+    /// rhs.rows`.
+    pub fn checked_mul(&self, rhs: &Matrix) -> Result<Matrix, GraphError> {
+        if self.cols != rhs.rows {
+            return Err(GraphError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checked matrix sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when shapes differ.
+    pub fn checked_add(&self, rhs: &Matrix) -> Result<Matrix, GraphError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(GraphError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += r;
+        }
+        Ok(out)
+    }
+
+    /// Largest absolute entry (`0.0` for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Truncated walk series `Σ_{k=1..order} P^k` — the transitive-influence
+    /// sum of the paper's Eq. 3 (`separation = 1 − series entry`).
+    ///
+    /// Stops early when every entry of the next power is below `epsilon`
+    /// (the paper: "at some point, higher-order terms are likely to be small
+    /// enough to be neglected"). `order == 0` yields the zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn walk_series(&self, order: usize, epsilon: f64) -> Matrix {
+        assert_eq!(self.rows, self.cols, "walk series requires a square matrix");
+        let mut acc = Matrix::zeros(self.rows, self.cols);
+        let mut power = Matrix::identity(self.rows);
+        for _ in 0..order {
+            power = power.checked_mul(self).expect("square matrices");
+            if power.max_abs() < epsilon {
+                break;
+            }
+            acc = acc.checked_add(&power).expect("same shape");
+        }
+        acc
+    }
+
+    /// The walk-series entry for a node pair, i.e. `1 − separation(i, j)`.
+    pub fn transitive_influence(&self, from: NodeIdx, to: NodeIdx, order: usize) -> f64 {
+        self.walk_series(order, 1e-12)
+            .get(from.index(), to.index())
+            .unwrap_or(0.0)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch; use [`Matrix::checked_mul`] to handle
+    /// the error.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.checked_mul(rhs).expect("matrix dimension mismatch")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch; use [`Matrix::checked_add`] to handle
+    /// the error.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.checked_add(rhs).expect("matrix dimension mismatch")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:.4}", self.data[r * self.cols + c])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(&m * &i, m);
+        assert_eq!(&i * &m, m);
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let b = Matrix::from_rows(3, 2, &[3.0, 1.0, 2.0, 1.0, 1.0, 0.0]);
+        let c = a.checked_mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(2, 2, &[5.0, 1.0, 4.0, 2.0]));
+    }
+
+    #[test]
+    fn mismatched_multiplication_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.checked_mul(&b),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_addition_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.checked_add(&b),
+            Err(GraphError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_graph_sums_parallel_edges() {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 0.25);
+        g.add_edge(a, b, 0.5);
+        let m = Matrix::from_graph(&g);
+        assert_eq!(m[(0, 1)], 0.75);
+        assert_eq!(m[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn walk_series_on_a_chain_accumulates_transitive_terms() {
+        // a -> b (0.5), b -> c (0.4): direct a->c is 0, two-step is 0.2.
+        let mut p = Matrix::zeros(3, 3);
+        p[(0, 1)] = 0.5;
+        p[(1, 2)] = 0.4;
+        let s1 = p.walk_series(1, 0.0);
+        assert_eq!(s1[(0, 2)], 0.0);
+        let s2 = p.walk_series(2, 0.0);
+        assert!((s2[(0, 2)] - 0.2).abs() < 1e-12);
+        // No walks longer than 2 exist, so higher orders change nothing.
+        let s5 = p.walk_series(5, 0.0);
+        assert!((s5[(0, 2)] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_series_early_stops_below_epsilon() {
+        let mut p = Matrix::zeros(2, 2);
+        p[(0, 1)] = 1e-4;
+        p[(1, 0)] = 1e-4;
+        // Second power has max entry 1e-8 < epsilon, so the series equals P.
+        let s = p.walk_series(10, 1e-6);
+        assert_eq!(s, p.walk_series(1, 0.0));
+    }
+
+    #[test]
+    fn transitive_influence_reads_one_entry() {
+        let mut p = Matrix::zeros(3, 3);
+        p[(0, 1)] = 0.5;
+        p[(1, 2)] = 0.4;
+        let v = p.transitive_influence(NodeIdx(0), NodeIdx(2), 4);
+        assert!((v - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn walk_series_requires_square() {
+        Matrix::zeros(2, 3).walk_series(2, 0.0);
+    }
+
+    #[test]
+    fn max_abs_of_zero_matrix_is_zero() {
+        assert_eq!(Matrix::zeros(3, 3).max_abs(), 0.0);
+        let mut m = Matrix::zeros(1, 2);
+        m[(0, 1)] = -2.5;
+        assert_eq!(m.max_abs(), 2.5);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 0.5, 0.25, 0.0]);
+        let s = m.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with("1.0000 0.5000"));
+    }
+
+    #[test]
+    fn get_is_bounds_checked() {
+        let m = Matrix::zeros(2, 2);
+        assert_eq!(m.get(1, 1), Some(0.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the scheduling substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::job::JobId;
+
+/// Errors reported by job-set construction and schedulability analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A job has zero computation time or a window shorter than its work.
+    MalformedJob {
+        /// The offending job id.
+        id: JobId,
+    },
+    /// Two jobs in one set share an id.
+    DuplicateJobId {
+        /// The duplicated id.
+        id: JobId,
+    },
+    /// A periodic task has zero period or zero worst-case execution time.
+    MalformedTask {
+        /// Index of the offending task.
+        index: usize,
+    },
+    /// The non-preemptive search exceeded its node budget (the instance is
+    /// too large for exact analysis).
+    SearchBudgetExceeded {
+        /// Number of branch-and-bound nodes explored before giving up.
+        explored: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::MalformedJob { id } => {
+                write!(f, "job {id} cannot meet its deadline even in isolation")
+            }
+            SchedError::DuplicateJobId { id } => write!(f, "duplicate job id {id}"),
+            SchedError::MalformedTask { index } => {
+                write!(f, "periodic task {index} has zero period or execution time")
+            }
+            SchedError::SearchBudgetExceeded { explored } => {
+                write!(
+                    f,
+                    "non-preemptive search budget exceeded after {explored} nodes"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(
+            SchedError::MalformedJob { id: 7 }.to_string(),
+            "job 7 cannot meet its deadline even in isolation"
+        );
+        assert_eq!(
+            SchedError::DuplicateJobId { id: 3 }.to_string(),
+            "duplicate job id 3"
+        );
+        assert!(SchedError::SearchBudgetExceeded { explored: 10 }
+            .to_string()
+            .contains("10 nodes"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        check(SchedError::DuplicateJobId { id: 0 });
+    }
+}

@@ -1,0 +1,317 @@
+//! The one-shot job model: the paper's ⟨EST, TCD, CT⟩ timing triple.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchedError;
+
+/// Discrete time in ticks. The paper's example uses small integer times;
+/// a tick can be interpreted as any convenient unit (ms in the avionics
+/// workload).
+pub type Time = u64;
+
+/// Identifier a caller attaches to a job (e.g. the FCM or process id).
+pub type JobId = u64;
+
+/// A one-shot job: released at `est`, must finish `ct` units of work by the
+/// absolute deadline `tcd`.
+///
+/// This mirrors the paper's per-process timing attributes: earliest start
+/// time (EST), task completion deadline (TCD) and computation time (CT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Caller-chosen identifier.
+    pub id: JobId,
+    /// Earliest start time (release).
+    pub est: Time,
+    /// Absolute completion deadline.
+    pub tcd: Time,
+    /// Computation time (worst case).
+    pub ct: Time,
+}
+
+impl Job {
+    /// Creates a job from the paper's ⟨EST, TCD, CT⟩ triple.
+    ///
+    /// Invalid triples (zero computation time, or a window `tcd − est`
+    /// shorter than `ct`) are accepted here and rejected by
+    /// [`JobSet::new`], so tests can construct trivially infeasible jobs.
+    pub fn new(id: JobId, est: Time, tcd: Time, ct: Time) -> Self {
+        Job { id, est, tcd, ct }
+    }
+
+    /// The slack `tcd − est − ct`; `None` when the window cannot fit the
+    /// work at all.
+    pub fn slack(&self) -> Option<Time> {
+        (self.tcd.saturating_sub(self.est)).checked_sub(self.ct)
+    }
+
+    /// Whether the job can meet its deadline when run alone.
+    pub fn is_well_formed(&self) -> bool {
+        self.ct > 0
+            && self
+                .est
+                .checked_add(self.ct)
+                .is_some_and(|end| end <= self.tcd)
+    }
+
+    /// Latest time the job may start and still finish by its deadline when
+    /// run without preemption.
+    pub fn latest_start(&self) -> Time {
+        self.tcd.saturating_sub(self.ct)
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}⟨{},{},{}⟩", self.id, self.est, self.tcd, self.ct)
+    }
+}
+
+/// A validated collection of jobs to be scheduled on one processor.
+///
+/// # Example
+///
+/// ```
+/// use fcm_sched::{Job, JobSet};
+///
+/// let set = JobSet::new(vec![Job::new(0, 0, 5, 2), Job::new(1, 1, 9, 3)])?;
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.total_work(), 5);
+/// # Ok::<(), fcm_sched::SchedError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JobSet {
+    jobs: Vec<Job>,
+}
+
+impl JobSet {
+    /// Creates a job set, validating each job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::MalformedJob`] when any job has zero
+    /// computation time or a window too short to run even in isolation, and
+    /// [`SchedError::DuplicateJobId`] when two jobs share an id.
+    pub fn new(jobs: Vec<Job>) -> Result<Self, SchedError> {
+        for job in &jobs {
+            if !job.is_well_formed() {
+                return Err(SchedError::MalformedJob { id: job.id });
+            }
+        }
+        let mut ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            let dup = ids
+                .windows(2)
+                .find(|w| w[0] == w[1])
+                .map(|w| w[0])
+                .expect("duplicate exists");
+            return Err(SchedError::DuplicateJobId { id: dup });
+        }
+        Ok(JobSet { jobs })
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in insertion order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Iterates over the jobs.
+    pub fn iter(&self) -> std::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+
+    /// Sum of computation times.
+    pub fn total_work(&self) -> Time {
+        self.jobs.iter().map(|j| j.ct).sum()
+    }
+
+    /// Earliest release among the jobs (`0` for an empty set).
+    pub fn earliest_release(&self) -> Time {
+        self.jobs.iter().map(|j| j.est).min().unwrap_or(0)
+    }
+
+    /// Latest deadline among the jobs (`0` for an empty set).
+    pub fn latest_deadline(&self) -> Time {
+        self.jobs.iter().map(|j| j.tcd).max().unwrap_or(0)
+    }
+
+    /// Demand-based utilisation over the busy window
+    /// `total_work / (latest_deadline − earliest_release)`; `f64::INFINITY`
+    /// for a zero-length window with work.
+    pub fn window_utilisation(&self) -> f64 {
+        let span = self
+            .latest_deadline()
+            .saturating_sub(self.earliest_release());
+        if span == 0 {
+            if self.total_work() == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.total_work() as f64 / span as f64
+        }
+    }
+
+    /// Merges two job sets (e.g. when two SW nodes are combined onto one
+    /// processor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::DuplicateJobId`] when the sets share an id.
+    pub fn merged(&self, other: &JobSet) -> Result<JobSet, SchedError> {
+        let mut jobs = self.jobs.clone();
+        jobs.extend_from_slice(&other.jobs);
+        JobSet::new(jobs)
+    }
+
+    /// A necessary (not sufficient) feasibility condition: for every
+    /// deadline `d`, the work released at or after every `r ≤ d` and due by
+    /// `d` fits in `[r, d]`. Cheap pre-filter before exact EDF simulation.
+    pub fn demand_bound_ok(&self) -> bool {
+        let mut releases: Vec<Time> = self.jobs.iter().map(|j| j.est).collect();
+        releases.sort_unstable();
+        releases.dedup();
+        let mut deadlines: Vec<Time> = self.jobs.iter().map(|j| j.tcd).collect();
+        deadlines.sort_unstable();
+        deadlines.dedup();
+        for &r in &releases {
+            for &d in deadlines.iter().filter(|&&d| d > r) {
+                let demand: Time = self
+                    .jobs
+                    .iter()
+                    .filter(|j| j.est >= r && j.tcd <= d)
+                    .map(|j| j.ct)
+                    .sum();
+                if demand > d - r {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<'a> IntoIterator for &'a JobSet {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+impl fmt::Display for JobSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{j}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_job_properties() {
+        let j = Job::new(1, 2, 10, 3);
+        assert!(j.is_well_formed());
+        assert_eq!(j.slack(), Some(5));
+        assert_eq!(j.latest_start(), 7);
+        assert_eq!(j.to_string(), "j1⟨2,10,3⟩");
+    }
+
+    #[test]
+    fn zero_ct_is_malformed() {
+        let j = Job::new(1, 0, 10, 0);
+        assert!(!j.is_well_formed());
+        assert!(matches!(
+            JobSet::new(vec![j]),
+            Err(SchedError::MalformedJob { id: 1 })
+        ));
+    }
+
+    #[test]
+    fn window_shorter_than_work_is_malformed() {
+        let j = Job::new(2, 5, 7, 3);
+        assert!(!j.is_well_formed());
+        assert_eq!(j.slack(), None);
+        assert!(JobSet::new(vec![j]).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let err = JobSet::new(vec![Job::new(1, 0, 5, 1), Job::new(1, 0, 9, 1)]).unwrap_err();
+        assert!(matches!(err, SchedError::DuplicateJobId { id: 1 }));
+    }
+
+    #[test]
+    fn aggregates_over_the_set() {
+        let set = JobSet::new(vec![Job::new(0, 2, 10, 3), Job::new(1, 0, 20, 5)]).unwrap();
+        assert_eq!(set.total_work(), 8);
+        assert_eq!(set.earliest_release(), 0);
+        assert_eq!(set.latest_deadline(), 20);
+        assert!((set.window_utilisation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_aggregates_are_zero() {
+        let set = JobSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.total_work(), 0);
+        assert_eq!(set.window_utilisation(), 0.0);
+        assert!(set.demand_bound_ok());
+    }
+
+    #[test]
+    fn merge_combines_and_checks_ids() {
+        let a = JobSet::new(vec![Job::new(0, 0, 5, 1)]).unwrap();
+        let b = JobSet::new(vec![Job::new(1, 0, 5, 1)]).unwrap();
+        let m = a.merged(&b).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(a.merged(&a).is_err());
+    }
+
+    #[test]
+    fn demand_bound_detects_overload() {
+        // Two jobs both confined to [0, 4] needing 3 each: demand 6 > 4.
+        let set = JobSet::new(vec![Job::new(0, 0, 4, 3), Job::new(1, 0, 4, 3)]).unwrap();
+        assert!(!set.demand_bound_ok());
+        // Loosen one deadline: now demand fits.
+        let ok = JobSet::new(vec![Job::new(0, 0, 4, 3), Job::new(1, 0, 8, 3)]).unwrap();
+        assert!(ok.demand_bound_ok());
+    }
+
+    #[test]
+    fn display_lists_jobs() {
+        let set = JobSet::new(vec![Job::new(0, 0, 5, 1), Job::new(1, 1, 6, 2)]).unwrap();
+        assert_eq!(set.to_string(), "{j0⟨0,5,1⟩, j1⟨1,6,2⟩}");
+    }
+
+    #[test]
+    fn iteration_matches_jobs_slice() {
+        let set = JobSet::new(vec![Job::new(0, 0, 5, 1), Job::new(1, 1, 6, 2)]).unwrap();
+        let via_iter: Vec<_> = set.iter().copied().collect();
+        let via_for: Vec<_> = (&set).into_iter().copied().collect();
+        assert_eq!(via_iter, set.jobs().to_vec());
+        assert_eq!(via_for, set.jobs().to_vec());
+    }
+}

@@ -1,0 +1,49 @@
+//! Real-time scheduling substrate for the DDSI framework.
+//!
+//! The ICDCS'98 paper requires a schedulability check at two points:
+//!
+//! 1. **Node combination** — two SW nodes may be combined only when their
+//!    processes remain schedulable on one processor; the worked example
+//!    rejects combinations whose ⟨EST, TCD, CT⟩ triples conflict
+//!    ("two nodes with timing constraints ⟨…⟩ and ⟨…⟩ cannot be scheduled
+//!    on the same processor, and therefore cannot be combined").
+//! 2. **Mapping** — "the processes in the cluster must all be schedulable
+//!    so that their timing requirements are met. If this is not possible on
+//!    any HW resource, the current partition must be rejected."
+//!
+//! The paper defers to "several well-known scheduling algorithms" [its
+//! ref. 10, Stankovic et al.]; this crate implements them:
+//!
+//! * [`Job`] / [`JobSet`] — one-shot jobs with release time (EST), absolute
+//!   deadline (TCD) and computation time (CT), exactly the paper's triple;
+//! * [`edf`] — exact preemptive feasibility via EDF simulation (EDF is
+//!   optimal on one processor, so its verdict is definitive);
+//! * [`nonpreemptive`] — exact non-preemptive feasibility by
+//!   branch-and-bound with an EDD fast path;
+//! * [`periodic`] — periodic task utilisation tests (EDF bound,
+//!   Liu–Layland RM bound, exact response-time analysis).
+//!
+//! # Example
+//!
+//! ```
+//! use fcm_sched::{Job, JobSet, edf};
+//!
+//! let set = JobSet::new(vec![
+//!     Job::new(0, 0, 10, 4),
+//!     Job::new(1, 0, 12, 4),
+//! ])?;
+//! assert!(edf::feasible(&set));
+//! # Ok::<(), fcm_sched::SchedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edf;
+mod error;
+mod job;
+pub mod nonpreemptive;
+pub mod periodic;
+
+pub use error::SchedError;
+pub use job::{Job, JobId, JobSet, Time};

@@ -1,0 +1,235 @@
+//! Periodic task schedulability tests.
+//!
+//! The avionics workload models recurring control loops as periodic tasks;
+//! combining two SW nodes onto one processor requires the union of their
+//! periodic task sets to remain schedulable. Three classical tests are
+//! provided (all from Liu–Layland and the response-time analysis
+//! literature the paper cites through Stankovic et al.):
+//!
+//! * EDF: feasible iff total utilisation ≤ 1 (implicit deadlines);
+//! * Rate-monotonic sufficient bound `U ≤ n(2^{1/n} − 1)`;
+//! * Exact fixed-priority response-time analysis.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SchedError;
+use crate::job::Time;
+
+/// A periodic task with implicit deadline (deadline = period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    /// Activation period (also the relative deadline).
+    pub period: Time,
+    /// Worst-case execution time per activation.
+    pub wcet: Time,
+}
+
+impl PeriodicTask {
+    /// Creates a periodic task.
+    pub fn new(period: Time, wcet: Time) -> Self {
+        PeriodicTask { period, wcet }
+    }
+
+    /// Utilisation `wcet / period`.
+    pub fn utilisation(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+}
+
+/// A validated set of periodic tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TaskSet {
+    tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::MalformedTask`] when a task has zero period or
+    /// zero execution time, or execution time exceeding its period.
+    pub fn new(tasks: Vec<PeriodicTask>) -> Result<Self, SchedError> {
+        for (index, t) in tasks.iter().enumerate() {
+            if t.period == 0 || t.wcet == 0 || t.wcet > t.period {
+                return Err(SchedError::MalformedTask { index });
+            }
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// The tasks.
+    pub fn tasks(&self) -> &[PeriodicTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total utilisation `Σ wcet/period`.
+    pub fn utilisation(&self) -> f64 {
+        self.tasks.iter().map(PeriodicTask::utilisation).sum()
+    }
+
+    /// EDF exact test for implicit deadlines: feasible iff `U ≤ 1`.
+    pub fn edf_feasible(&self) -> bool {
+        self.utilisation() <= 1.0 + 1e-12
+    }
+
+    /// Liu–Layland sufficient rate-monotonic bound `U ≤ n(2^{1/n} − 1)`.
+    ///
+    /// A `false` result is inconclusive; use
+    /// [`TaskSet::rm_response_time_feasible`] for the exact verdict.
+    pub fn rm_utilisation_bound_ok(&self) -> bool {
+        let n = self.tasks.len();
+        if n == 0 {
+            return true;
+        }
+        self.utilisation() <= liu_layland_bound(n) + 1e-12
+    }
+
+    /// Exact fixed-priority (rate-monotonic order) response-time analysis.
+    ///
+    /// Returns the per-task worst-case response times in RM priority order,
+    /// or `None` when some task's response exceeds its period (unschedulable)
+    /// or the iteration diverges.
+    pub fn rm_response_times(&self) -> Option<Vec<Time>> {
+        let mut sorted = self.tasks.clone();
+        sorted.sort_by_key(|t| t.period);
+        let mut responses = Vec::with_capacity(sorted.len());
+        for i in 0..sorted.len() {
+            let ti = sorted[i];
+            let mut r = ti.wcet;
+            loop {
+                let interference: Time = sorted[..i]
+                    .iter()
+                    .map(|h| r.div_ceil(h.period) * h.wcet)
+                    .sum();
+                let next = ti.wcet + interference;
+                if next > ti.period {
+                    return None;
+                }
+                if next == r {
+                    break;
+                }
+                r = next;
+            }
+            responses.push(r);
+        }
+        Some(responses)
+    }
+
+    /// Exact rate-monotonic feasibility via response-time analysis.
+    pub fn rm_response_time_feasible(&self) -> bool {
+        self.rm_response_times().is_some()
+    }
+
+    /// Union of two task sets (combining SW nodes onto one processor).
+    pub fn merged(&self, other: &TaskSet) -> TaskSet {
+        let mut tasks = self.tasks.clone();
+        tasks.extend_from_slice(&other.tasks);
+        TaskSet { tasks }
+    }
+}
+
+/// The Liu–Layland bound `n(2^{1/n} − 1)`.
+pub fn liu_layland_bound(n: usize) -> f64 {
+    let nf = n as f64;
+    nf * (2f64.powf(1.0 / nf) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(tasks: &[(Time, Time)]) -> TaskSet {
+        TaskSet::new(
+            tasks
+                .iter()
+                .map(|&(p, c)| PeriodicTask::new(p, c))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn utilisation_sums() {
+        let set = ts(&[(10, 2), (20, 5)]);
+        assert!((set.utilisation() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_tasks_are_rejected() {
+        assert!(matches!(
+            TaskSet::new(vec![PeriodicTask::new(0, 1)]),
+            Err(SchedError::MalformedTask { index: 0 })
+        ));
+        assert!(TaskSet::new(vec![PeriodicTask::new(5, 0)]).is_err());
+        assert!(TaskSet::new(vec![PeriodicTask::new(5, 6)]).is_err());
+    }
+
+    #[test]
+    fn edf_accepts_full_utilisation() {
+        assert!(ts(&[(2, 1), (4, 2)]).edf_feasible()); // U = 1.0
+        assert!(!ts(&[(2, 1), (4, 2), (8, 1)]).edf_feasible()); // U = 1.125
+    }
+
+    #[test]
+    fn liu_layland_bound_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284271).abs() < 1e-6);
+        // Limit is ln 2 ≈ 0.6931.
+        assert!((liu_layland_bound(1000) - std::f64::consts::LN_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rm_bound_is_sufficient_not_necessary() {
+        // Classic example: harmonic periods schedulable at U = 1 although
+        // above the LL bound.
+        let set = ts(&[(2, 1), (4, 2)]);
+        assert!(!set.rm_utilisation_bound_ok());
+        assert!(set.rm_response_time_feasible());
+    }
+
+    #[test]
+    fn response_times_match_hand_computation() {
+        // T1 (4,1), T2 (6,2), T3 (12,3):
+        // R1 = 1; R2 = 2 + ceil(2/4)*1 = 3 -> 2+1=3 stable;
+        // R3: 3 + ceil(r/4)*1 + ceil(r/6)*2 → r=3: 3+1+2=6; r=6: 3+2+2=7;
+        // r=7: 3+2+4=9; r=9: 3+3+4=10; r=10: 3+3+4=10 stable.
+        let set = ts(&[(4, 1), (6, 2), (12, 3)]);
+        assert_eq!(set.rm_response_times(), Some(vec![1, 3, 10]));
+    }
+
+    #[test]
+    fn rm_unschedulable_set_returns_none() {
+        let set = ts(&[(4, 2), (6, 3)]); // U ≈ 1.0, RM misses T2
+        assert_eq!(set.rm_response_times(), None);
+        assert!(!set.rm_response_time_feasible());
+    }
+
+    #[test]
+    fn empty_set_is_trivially_feasible() {
+        let set = TaskSet::default();
+        assert!(set.is_empty());
+        assert!(set.edf_feasible());
+        assert!(set.rm_utilisation_bound_ok());
+        assert!(set.rm_response_time_feasible());
+    }
+
+    #[test]
+    fn merge_unions_the_tasks() {
+        let a = ts(&[(10, 1)]);
+        let b = ts(&[(20, 2)]);
+        let m = a.merged(&b);
+        assert_eq!(m.len(), 2);
+        assert!((m.utilisation() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Injectable faults.
+//!
+//! The three injectable kinds cover the paper's per-level fault classes:
+//! value corruption (erroneous parameters / globals / messages), timing
+//! overrun (the task-level "one task's delay … may cause another to miss
+//! its deadline"), and crash (omission of all further outputs).
+
+use serde::{Deserialize, Serialize};
+
+use fcm_sched::Time;
+
+use crate::model::TaskId;
+
+/// The kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The task's outputs become corrupt from the injection time onward.
+    ValueCorruption,
+    /// Every subsequent job of the task runs `factor` times its nominal
+    /// computation time.
+    TimingOverrun {
+        /// Multiplier on the computation time (≥ 1 meaningful).
+        factor: u32,
+    },
+    /// The task stops producing outputs (its jobs still consume CPU until
+    /// the current one finishes, then the task never writes again).
+    Crash,
+}
+
+/// One fault injection: `kind` strikes `target` at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Injection {
+    /// Injection time.
+    pub at: Time,
+    /// The task struck.
+    pub target: TaskId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl Injection {
+    /// Corrupts `target`'s outputs from `at` onward.
+    pub fn value(at: Time, target: TaskId) -> Self {
+        Injection {
+            at,
+            target,
+            kind: FaultKind::ValueCorruption,
+        }
+    }
+
+    /// Makes `target` overrun by `factor` from `at` onward.
+    pub fn overrun(at: Time, target: TaskId, factor: u32) -> Self {
+        Injection {
+            at,
+            target,
+            kind: FaultKind::TimingOverrun { factor },
+        }
+    }
+
+    /// Crashes `target` at `at`.
+    pub fn crash(at: Time, target: TaskId) -> Self {
+        Injection {
+            at,
+            target,
+            kind: FaultKind::Crash,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let v = Injection::value(5, 2);
+        assert_eq!(v.at, 5);
+        assert_eq!(v.target, 2);
+        assert!(matches!(v.kind, FaultKind::ValueCorruption));
+        let o = Injection::overrun(1, 0, 3);
+        assert!(matches!(o.kind, FaultKind::TimingOverrun { factor: 3 }));
+        let c = Injection::crash(9, 1);
+        assert!(matches!(c.kind, FaultKind::Crash));
+    }
+}

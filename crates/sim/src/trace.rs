@@ -1,0 +1,159 @@
+//! Per-trial observations.
+
+use serde::{Deserialize, Serialize};
+
+use bytes::Bytes;
+use fcm_sched::Time;
+
+use crate::model::{MediumId, TaskId};
+
+/// A notable event recorded during a trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job of `task` completed at `at`.
+    Completion {
+        /// The completing task.
+        task: TaskId,
+        /// Completion time.
+        at: Time,
+    },
+    /// A job of `task` missed its absolute deadline `deadline` (completed
+    /// at `at`).
+    DeadlineMiss {
+        /// The missing task.
+        task: TaskId,
+        /// The absolute deadline missed.
+        deadline: Time,
+        /// Actual completion time.
+        at: Time,
+    },
+    /// `medium` became corrupt at `at` due to a write by `writer`.
+    MediumCorrupted {
+        /// The corrupted medium.
+        medium: MediumId,
+        /// The corrupting task.
+        writer: TaskId,
+        /// Corruption time.
+        at: Time,
+    },
+    /// A fault latched into `task` at `at` (manifestation of a corrupt
+    /// input, or a direct injection).
+    FaultLatched {
+        /// The newly faulty task.
+        task: TaskId,
+        /// Latch time.
+        at: Time,
+    },
+}
+
+/// The observable outcome of one simulated trial.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Latched value-fault flag per task.
+    pub value_faulty: Vec<bool>,
+    /// Deadline misses per task.
+    pub deadline_misses: Vec<u32>,
+    /// Completed jobs per task.
+    pub completions: Vec<u32>,
+    /// Times each medium transitioned clean → corrupt.
+    pub medium_corruptions: Vec<u32>,
+    /// Corrupt inputs detected and discarded by each task's recovery
+    /// blocks.
+    pub recoveries: Vec<u32>,
+    /// Final payload of each medium (`None` until first written). Corrupt
+    /// payloads carry the `CORRUPT` marker bytes.
+    pub medium_payloads: Vec<Option<Bytes>>,
+    /// Chronological event log.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an all-clean trace for the given system dimensions.
+    pub fn empty(tasks: usize, media: usize) -> Self {
+        Trace {
+            value_faulty: vec![false; tasks],
+            deadline_misses: vec![0; tasks],
+            completions: vec![0; tasks],
+            medium_corruptions: vec![0; media],
+            recoveries: vec![0; tasks],
+            medium_payloads: vec![None; media],
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether `task` exhibited any fault (latched value fault or at least
+    /// one deadline miss) — the paper's "fault in the FCM" predicate used
+    /// by influence measurement.
+    pub fn faulty(&self, task: TaskId) -> bool {
+        self.value_faulty.get(task).copied().unwrap_or(false)
+            || self.deadline_misses.get(task).copied().unwrap_or(0) > 0
+    }
+
+    /// Whether `task` exhibited a latched *value* fault specifically.
+    pub fn value_faulty(&self, task: TaskId) -> bool {
+        self.value_faulty.get(task).copied().unwrap_or(false)
+    }
+
+    /// Whether `task` missed at least one deadline.
+    pub fn missed_deadline(&self, task: TaskId) -> bool {
+        self.deadline_misses.get(task).copied().unwrap_or(0) > 0
+    }
+
+    /// Total faults observed across the system.
+    pub fn total_faults(&self) -> u32 {
+        let value: u32 = self.value_faulty.iter().map(|&b| u32::from(b)).sum();
+        let timing: u32 = self.deadline_misses.iter().sum();
+        value + timing
+    }
+
+    /// One-line human-readable summary of the trial.
+    pub fn summary(&self) -> String {
+        format!(
+            "completions={} value_faults={} deadline_misses={} corruptions={} recoveries={}",
+            self.completions.iter().sum::<u32>(),
+            self.value_faulty.iter().filter(|&&b| b).count(),
+            self.deadline_misses.iter().sum::<u32>(),
+            self.medium_corruptions.iter().sum::<u32>(),
+            self.recoveries.iter().sum::<u32>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let t = Trace::empty(3, 2);
+        assert!(!t.faulty(0));
+        assert!(!t.faulty(99));
+        assert_eq!(t.total_faults(), 0);
+        assert_eq!(t.medium_payloads.len(), 2);
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let mut t = Trace::empty(2, 1);
+        t.completions[0] = 3;
+        t.value_faulty[1] = true;
+        let s = t.summary();
+        assert!(s.contains("completions=3"));
+        assert!(s.contains("value_faults=1"));
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn faulty_covers_both_fault_kinds() {
+        let mut t = Trace::empty(2, 0);
+        t.value_faulty[0] = true;
+        t.deadline_misses[1] = 2;
+        assert!(t.faulty(0));
+        assert!(t.value_faulty(0));
+        assert!(!t.missed_deadline(0));
+        assert!(t.faulty(1));
+        assert!(t.missed_deadline(1));
+        assert!(!t.value_faulty(1));
+        assert_eq!(t.total_faults(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the Eq. 1 occurrence estimator (p₁) and the
+//! recovery-block model.
+
+use fcm_core::FactorKind;
+use fcm_sim::model::{SystemSpec, SystemSpecBuilder};
+use fcm_sim::{engine, InfluenceCampaign, Injection};
+
+fn chain_with(fault_rate: f64, recovery: f64) -> SystemSpec {
+    let mut b = SystemSpecBuilder::new(1);
+    let m = b.add_medium("gv", FactorKind::GlobalVariable, 1.0).unwrap();
+    b.task("w", 0)
+        .one_shot(0, 10, 1)
+        .writes(m)
+        .fault_rate(fault_rate)
+        .build()
+        .unwrap();
+    b.task("r", 0)
+        .one_shot(5, 10, 1)
+        .reads(m)
+        .recovery(recovery)
+        .build()
+        .unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn occurrence_estimator_recovers_the_fault_rate() {
+    let campaign = InfluenceCampaign::new(chain_with(0.35, 0.0), 20, 4000, 3);
+    let p1 = campaign.measure_occurrence(0).unwrap();
+    assert!(
+        (p1.estimate - 0.35).abs() < 0.03,
+        "estimate {}",
+        p1.estimate
+    );
+    // The reader has no spontaneous faults of its own, but it *can* catch
+    // the writer's spontaneous corruption (vulnerability 1, p2 = 1), so
+    // measure only the writer here.
+}
+
+#[test]
+fn zero_fault_rate_means_zero_occurrence() {
+    let campaign = InfluenceCampaign::new(chain_with(0.0, 0.0), 20, 500, 5);
+    assert_eq!(campaign.measure_occurrence(0).unwrap().estimate, 0.0);
+    assert_eq!(campaign.baseline(1).unwrap().estimate, 0.0);
+}
+
+#[test]
+fn full_eq1_chain_occurrence_times_transmission_times_manifestation() {
+    // p1 = 0.5 at the writer, p2 = 1, p3 = 1: the reader fails in the
+    // trials where the writer spontaneously faulted before its write.
+    let campaign = InfluenceCampaign::new(chain_with(0.5, 0.0), 20, 4000, 7);
+    let reader_faults = campaign.baseline(1).unwrap();
+    assert!(
+        (reader_faults.estimate - 0.5).abs() < 0.03,
+        "estimate {}",
+        reader_faults.estimate
+    );
+}
+
+#[test]
+fn perfect_recovery_blocks_all_manifestation() {
+    let spec = chain_with(0.0, 1.0);
+    let trace = engine::run(&spec, &[Injection::value(0, 0)], 11, 50);
+    assert!(trace.value_faulty(0));
+    assert!(!trace.value_faulty(1));
+    assert_eq!(trace.recoveries[1], 1);
+}
+
+#[test]
+fn partial_recovery_scales_measured_influence() {
+    // influence = (1 − recovery) × p3 with p2 = 1.
+    let no_recovery = InfluenceCampaign::new(chain_with(0.0, 0.0), 20, 4000, 13);
+    let with_recovery = InfluenceCampaign::new(chain_with(0.0, 0.6), 20, 4000, 13);
+    let raw = no_recovery.measure_influence(0, 1).unwrap().estimate;
+    let guarded = with_recovery.measure_influence(0, 1).unwrap().estimate;
+    assert!((raw - 1.0).abs() < 0.01, "raw {raw}");
+    assert!((guarded - 0.4).abs() < 0.03, "guarded {guarded}");
+}
+
+#[test]
+fn recovery_does_not_clean_the_medium() {
+    // The recovery block protects the reader but leaves the corrupt
+    // medium in place for later readers without protection.
+    let mut b = SystemSpecBuilder::new(1);
+    let m = b.add_medium("gv", FactorKind::GlobalVariable, 1.0).unwrap();
+    b.task("w", 0).one_shot(0, 30, 1).writes(m).build().unwrap();
+    b.task("guarded", 0)
+        .one_shot(5, 30, 1)
+        .reads(m)
+        .recovery(1.0)
+        .build()
+        .unwrap();
+    b.task("naive", 0)
+        .one_shot(10, 30, 1)
+        .reads(m)
+        .build()
+        .unwrap();
+    let spec = b.build().unwrap();
+    let trace = engine::run(&spec, &[Injection::value(0, 0)], 17, 50);
+    assert!(!trace.value_faulty(1));
+    assert!(trace.value_faulty(2));
+}

@@ -1,0 +1,149 @@
+//! TMR masking through the majority voter: the downstream half of the
+//! paper's replication story, executed in the simulator.
+
+use fcm_core::FactorKind;
+use fcm_sim::model::{SystemSpec, SystemSpecBuilder};
+use fcm_sim::{engine, InfluenceCampaign, Injection, TaskId};
+
+/// Three replica writers feeding one voter through separate channels.
+fn tmr_system() -> (SystemSpec, [TaskId; 3], TaskId) {
+    let mut b = SystemSpecBuilder::new(4);
+    let channels: Vec<_> = (0..3)
+        .map(|i| {
+            b.add_medium(format!("ch{i}"), FactorKind::MessagePassing, 1.0)
+                .expect("valid probability")
+        })
+        .collect();
+    let replicas: Vec<TaskId> = channels
+        .iter()
+        .enumerate()
+        .map(|(i, &ch)| {
+            b.task(format!("rep{i}"), i)
+                .one_shot(0, 10, 1)
+                .writes(ch)
+                .build()
+                .expect("valid task")
+        })
+        .collect();
+    let mut voter = b.task("voter", 3).one_shot(5, 10, 1).voter();
+    for &ch in &channels {
+        voter = voter.reads(ch);
+    }
+    let voter = voter.build().expect("valid task");
+    (
+        b.build().expect("valid system"),
+        [replicas[0], replicas[1], replicas[2]],
+        voter,
+    )
+}
+
+#[test]
+fn single_replica_fault_is_masked() {
+    let (spec, reps, voter) = tmr_system();
+    let trace = engine::run(&spec, &[Injection::value(0, reps[0])], 1, 20);
+    assert!(trace.value_faulty(reps[0]));
+    assert!(!trace.value_faulty(voter));
+    // The mask is recorded as a recovery.
+    assert_eq!(trace.recoveries[voter], 1);
+}
+
+#[test]
+fn two_replica_faults_defeat_the_vote() {
+    let (spec, reps, voter) = tmr_system();
+    let trace = engine::run(
+        &spec,
+        &[Injection::value(0, reps[0]), Injection::value(0, reps[1])],
+        1,
+        20,
+    );
+    assert!(trace.value_faulty(voter));
+    assert_eq!(trace.recoveries[voter], 0);
+}
+
+#[test]
+fn all_three_faults_also_defeat_the_vote() {
+    let (spec, reps, voter) = tmr_system();
+    let injections: Vec<Injection> = reps.iter().map(|&r| Injection::value(0, r)).collect();
+    let trace = engine::run(&spec, &injections, 1, 20);
+    assert!(trace.value_faulty(voter));
+}
+
+#[test]
+fn voter_influence_from_one_replica_is_zero() {
+    let (spec, reps, voter) = tmr_system();
+    let campaign = InfluenceCampaign::new(spec, 20, 300, 9);
+    let single = campaign.measure_influence(reps[0], voter).unwrap();
+    assert_eq!(single.estimate, 0.0);
+}
+
+#[test]
+fn without_voting_a_single_fault_propagates() {
+    // The same shape but with an ordinary (non-voter) consumer.
+    let mut b = SystemSpecBuilder::new(4);
+    let channels: Vec<_> = (0..3)
+        .map(|i| {
+            b.add_medium(format!("ch{i}"), FactorKind::MessagePassing, 1.0)
+                .unwrap()
+        })
+        .collect();
+    for (i, &ch) in channels.iter().enumerate() {
+        b.task(format!("rep{i}"), i)
+            .one_shot(0, 10, 1)
+            .writes(ch)
+            .build()
+            .unwrap();
+    }
+    let mut consumer = b.task("consumer", 3).one_shot(5, 10, 1);
+    for &ch in &channels {
+        consumer = consumer.reads(ch);
+    }
+    let consumer = consumer.build().unwrap();
+    let spec = b.build().unwrap();
+    let trace = engine::run(&spec, &[Injection::value(0, 0)], 1, 20);
+    assert!(trace.value_faulty(consumer));
+}
+
+#[test]
+fn lossy_channels_make_masking_probabilistic() {
+    // With transmission 0.5 on each channel, two injected replicas reach
+    // the voter both-corrupt only ~25% of the time.
+    let mut b = SystemSpecBuilder::new(4);
+    let channels: Vec<_> = (0..3)
+        .map(|i| {
+            b.add_medium(format!("ch{i}"), FactorKind::MessagePassing, 0.5)
+                .unwrap()
+        })
+        .collect();
+    let reps: Vec<TaskId> = channels
+        .iter()
+        .enumerate()
+        .map(|(i, &ch)| {
+            b.task(format!("rep{i}"), i)
+                .one_shot(0, 10, 1)
+                .writes(ch)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let mut voter = b.task("voter", 3).one_shot(5, 10, 1).voter();
+    for &ch in &channels {
+        voter = voter.reads(ch);
+    }
+    let voter = voter.build().unwrap();
+    let spec = b.build().unwrap();
+    let mut faulty = 0u32;
+    let trials: u64 = 2000;
+    for seed in 0..trials {
+        let trace = engine::run(
+            &spec,
+            &[Injection::value(0, reps[0]), Injection::value(0, reps[1])],
+            seed,
+            20,
+        );
+        if trace.value_faulty(voter) {
+            faulty += 1;
+        }
+    }
+    let rate = f64::from(faulty) / trials as f64;
+    assert!((rate - 0.25).abs() < 0.04, "rate {rate}");
+}

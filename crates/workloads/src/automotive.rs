@@ -1,0 +1,297 @@
+//! A synthetic automotive ADAS suite — a second domain instance.
+//!
+//! The paper's framework claims generality beyond avionics ("the design
+//! of a customized dependable system for each specific operational
+//! requirement is usually neither viable nor economically feasible");
+//! this module instantiates the same integration problem for a driver-
+//! assistance platform: perception feeding a TMR trajectory planner,
+//! duplex brake control, a domain-controller platform with located
+//! sensors, and low-criticality infotainment sharing the hardware. The
+//! attribute ranges assume a 100 ms planning frame (1 tick = 1 ms) and
+//! are synthetic.
+
+use fcm_alloc::replication::{expand_replicas, Expansion};
+use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
+use fcm_alloc::{HwGraph, HwNode};
+use fcm_core::{AttributeSet, FaultTolerance};
+use fcm_graph::NodeIdx;
+
+/// Index of each function in the suite graph (pre-expansion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdasNodes {
+    /// Camera perception (needs the `camera` resource).
+    pub camera: NodeIdx,
+    /// Radar perception (needs the `radar` resource).
+    pub radar: NodeIdx,
+    /// Duplex sensor fusion.
+    pub fusion: NodeIdx,
+    /// TMR trajectory planner.
+    pub planner: NodeIdx,
+    /// Duplex brake-by-wire controller.
+    pub brakes: NodeIdx,
+    /// Steering controller.
+    pub steering: NodeIdx,
+    /// Driver-monitoring system.
+    pub dms: NodeIdx,
+    /// Infotainment head unit.
+    pub infotainment: NodeIdx,
+    /// Telematics / OTA agent (needs the `cellular` resource).
+    pub telematics: NodeIdx,
+    /// Diagnostic logger.
+    pub diagnostics: NodeIdx,
+}
+
+/// Builds the ten-function ADAS suite graph.
+pub fn suite() -> (SwGraph, AdasNodes) {
+    let mut b = SwGraphBuilder::new();
+    let camera = b.add_process(
+        "camera",
+        AttributeSet::default()
+            .with_criticality(8)
+            .with_timing(0, 33, 8)
+            .with_throughput(2.5),
+    );
+    let radar = b.add_process(
+        "radar",
+        AttributeSet::default()
+            .with_criticality(8)
+            .with_timing(0, 25, 5)
+            .with_throughput(1.5),
+    );
+    let fusion = b.add_process(
+        "fusion",
+        AttributeSet::default()
+            .with_criticality(9)
+            .with_fault_tolerance(FaultTolerance::DUPLEX)
+            .with_timing(5, 40, 6)
+            .with_throughput(1.2),
+    );
+    let planner = b.add_process(
+        "planner",
+        AttributeSet::default()
+            .with_criticality(10)
+            .with_fault_tolerance(FaultTolerance::TMR)
+            .with_timing(10, 60, 10)
+            .with_throughput(1.0),
+    );
+    let brakes = b.add_process(
+        "brakes",
+        AttributeSet::default()
+            .with_criticality(10)
+            .with_fault_tolerance(FaultTolerance::DUPLEX)
+            .with_timing(0, 20, 3)
+            .with_throughput(0.6),
+    );
+    let steering = b.add_process(
+        "steering",
+        AttributeSet::default()
+            .with_criticality(9)
+            .with_timing(0, 20, 3)
+            .with_throughput(0.6),
+    );
+    let dms = b.add_process(
+        "dms",
+        AttributeSet::default()
+            .with_criticality(5)
+            .with_timing(0, 100, 10)
+            .with_throughput(0.8),
+    );
+    let infotainment = b.add_process(
+        "infotainment",
+        AttributeSet::default()
+            .with_criticality(1)
+            .with_timing(0, 200, 20)
+            .with_throughput(1.5),
+    );
+    let telematics = b.add_process(
+        "telematics",
+        AttributeSet::default()
+            .with_criticality(3)
+            .with_timing(0, 250, 15)
+            .with_security(4)
+            .with_throughput(0.5),
+    );
+    let diagnostics = b.add_process(
+        "diagnostics",
+        AttributeSet::default()
+            .with_criticality(2)
+            .with_timing(50, 500, 20)
+            .with_throughput(0.3),
+    );
+    for (from, to, w) in [
+        (camera, fusion, 0.5),
+        (radar, fusion, 0.5),
+        (fusion, planner, 0.6),
+        (planner, brakes, 0.4),
+        (planner, steering, 0.4),
+        (dms, planner, 0.2),
+        (camera, dms, 0.3),
+        (planner, infotainment, 0.1),
+        (infotainment, telematics, 0.15),
+        (telematics, diagnostics, 0.1),
+        (brakes, diagnostics, 0.05),
+        (steering, diagnostics, 0.05),
+    ] {
+        b.add_influence(from, to, w)
+            .expect("static influences valid");
+    }
+    // Safety case: the two perception pipelines must not share a failure
+    // domain with each other (common-cause sensor loss).
+    b.forbid_colocation(&[camera, radar]).expect("nodes exist");
+    let mut g = b.build();
+    for (node, tag) in [
+        (camera, "camera"),
+        (radar, "radar"),
+        (telematics, "cellular"),
+    ] {
+        g.node_mut(node)
+            .expect("node exists")
+            .required_resources
+            .insert(tag.into());
+    }
+    (
+        g,
+        AdasNodes {
+            camera,
+            radar,
+            fusion,
+            planner,
+            brakes,
+            steering,
+            dms,
+            infotainment,
+            telematics,
+            diagnostics,
+        },
+    )
+}
+
+/// The replica-expanded suite (14 nodes: 3 + 2 + 2 + 7).
+pub fn expanded_suite() -> (Expansion, AdasNodes) {
+    let (g, nodes) = suite();
+    (expand_replicas(&g), nodes)
+}
+
+/// An eight-ECU vehicle platform: two high-performance perception ECUs
+/// with the camera/radar heads, one connectivity ECU with the cellular
+/// modem, and five general domain controllers; zonal ring topology with
+/// a cross-car link.
+pub fn platform() -> HwGraph {
+    let nodes = vec![
+        HwNode::new("ecu_cam")
+            .with_resource("camera")
+            .with_capacity(8.0),
+        HwNode::new("ecu_radar")
+            .with_resource("radar")
+            .with_capacity(8.0),
+        HwNode::new("ecu_conn")
+            .with_resource("cellular")
+            .with_capacity(6.0),
+        HwNode::new("dc0").with_capacity(6.0),
+        HwNode::new("dc1").with_capacity(6.0),
+        HwNode::new("dc2").with_capacity(6.0),
+        HwNode::new("dc3").with_capacity(6.0),
+        HwNode::new("dc4").with_capacity(6.0),
+    ];
+    let mut links: Vec<(usize, usize, f64)> = (0..8).map(|i| (i, (i + 1) % 8, 1.0)).collect();
+    links.push((0, 4, 1.0)); // cross-car backbone
+    HwGraph::new(nodes, &links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::heuristics::h1;
+    use fcm_alloc::mapping::{approach_a, approach_b};
+    use fcm_core::ImportanceWeights;
+    use fcm_eval::{MappingQuality, ReliabilityModel};
+
+    #[test]
+    fn suite_shape() {
+        let (g, nodes) = suite();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(
+            g.node(nodes.planner).unwrap().attributes.fault_tolerance,
+            FaultTolerance::TMR
+        );
+        assert!(g
+            .node(nodes.camera)
+            .unwrap()
+            .must_separate_from(g.node(nodes.radar).unwrap()));
+        assert!(g
+            .node(nodes.telematics)
+            .unwrap()
+            .required_resources
+            .contains("cellular"));
+    }
+
+    #[test]
+    fn expansion_yields_fourteen_nodes() {
+        let (ex, _) = expanded_suite();
+        assert_eq!(ex.graph.node_count(), 14);
+    }
+
+    #[test]
+    fn suite_integrates_onto_the_vehicle_platform() {
+        let (ex, _) = expanded_suite();
+        let hw = platform();
+        let c = h1(&ex.graph, hw.len()).unwrap();
+        let m = approach_a(&ex.graph, &c, &hw, &ImportanceWeights::default()).unwrap();
+        m.validate(&ex.graph, &c, &hw).unwrap();
+        // The perception pipelines stayed apart.
+        let host_of = |name: &str| {
+            let (ci, _) = c
+                .clusters()
+                .iter()
+                .enumerate()
+                .find_map(|(ci, grp)| {
+                    grp.iter()
+                        .find(|&&n| ex.graph.node(n).unwrap().name == name)
+                        .map(|&n| (ci, n))
+                })
+                .expect("node clustered");
+            m.hw_of(ci).unwrap()
+        };
+        assert_ne!(host_of("camera"), host_of("radar"));
+    }
+
+    #[test]
+    fn approach_b_spreads_the_safety_functions() {
+        let (ex, _) = expanded_suite();
+        let hw = platform();
+        let (c, m) = approach_b(&ex.graph, &hw, &ImportanceWeights::default()).unwrap();
+        let q = MappingQuality::evaluate(&ex.graph, &c, &m, &hw, 9);
+        // The ASIL-D functions (criticality >= 9) barely co-locate.
+        assert!(q.critical_colocations <= 2, "{q}");
+    }
+
+    #[test]
+    fn reliability_is_finite_and_replication_sensitive() {
+        let (ex, _) = expanded_suite();
+        let hw = platform();
+        let c = h1(&ex.graph, hw.len()).unwrap();
+        let m = approach_a(&ex.graph, &c, &hw, &ImportanceWeights::default()).unwrap();
+        let model = ReliabilityModel {
+            p_hw: 0.05,
+            p_sw: 0.02,
+            critical_at: 9,
+            trials: 10_000,
+            ..ReliabilityModel::default()
+        };
+        let est = model.evaluate(&ex.graph, &c, &m);
+        // TMR planner + duplex brakes: far better than single-node loss.
+        assert!(est.mission_failure < 0.35, "{}", est.mission_failure);
+        assert!(est.mission_failure > 0.0);
+    }
+
+    #[test]
+    fn ring_topology_distances_are_respected() {
+        let hw = platform();
+        assert!(hw.is_connected());
+        // Adjacent zonal ECUs are one hop; the backbone shortcuts the ring.
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(1)), 1.0);
+        assert_eq!(hw.distance(NodeIdx(0), NodeIdx(4)), 1.0);
+        assert_eq!(hw.distance(NodeIdx(2), NodeIdx(6)), 4.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators for the DDSI experiments.
+//!
+//! * [`paper`] — the worked example of the ICDCS'98 paper's §6: the eight
+//!   processes of Table 1 with their criticality / fault-tolerance /
+//!   timing attributes and the Fig. 3 influence graph (numerals lost to
+//!   OCR are reconstructed; see the module docs for the invariants the
+//!   reconstruction preserves);
+//! * [`random`] — seeded random influence graphs with controllable size,
+//!   density, attribute distributions (experiment E1's input);
+//! * [`topologies`] — structured shapes (pipelines, hubs, bridged
+//!   cliques, layers) for the heuristic-vs-structure experiment E10;
+//! * [`materialize`] — turns a clustering + mapping into a runnable
+//!   simulator system, closing the loop between the analytic model and
+//!   execution (experiment E11);
+//! * [`measured`] — the opposite direction: turns a measured influence
+//!   matrix into the SW graph the heuristics consume, so the paper's
+//!   workflow runs end-to-end from measurements (experiment E12);
+//! * [`avionics`] — a synthetic integrated-modular-avionics suite in the
+//!   spirit of the paper's motivating example ("the integration for
+//!   flight control SW involves display, sensor, collision avoidance, and
+//!   navigation SW onto a shared platform", with the Boeing 777 AIMS
+//!   cited), both as a SW graph for allocation and as a simulator system
+//!   for fault-injection experiments;
+//! * [`automotive`] — a second domain instance (an ADAS suite with TMR
+//!   planning, duplex braking, located sensors and a zonal ECU ring),
+//!   demonstrating the framework beyond avionics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automotive;
+pub mod avionics;
+pub mod materialize;
+pub mod measured;
+pub mod paper;
+pub mod random;
+pub mod topologies;

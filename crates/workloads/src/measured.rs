@@ -1,0 +1,144 @@
+//! The paper's end-to-end workflow: measure influence, then integrate.
+//!
+//! The paper closes by stressing that "developing techniques to determine
+//! and measure actual parameters such as influence across FCMs is crucial
+//! for the techniques to be applied to real systems". This module is the
+//! bridge that applies the measurements: it runs (or accepts) a
+//! fault-injection campaign over an executable system and turns the
+//! measured influence matrix into the SW graph the allocation heuristics
+//! consume — measurement → model → integration, with no hand-assigned
+//! influence values anywhere.
+
+use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
+use fcm_core::AttributeSet;
+use fcm_sim::{InfluenceCampaign, SimError};
+
+/// Builds an SW graph whose nodes are the campaign system's tasks and
+/// whose influence edges are the *measured* pairwise influences, keeping
+/// only edges at or above `min_influence` (the paper: "there is no edge
+/// in any other case of non-influence"; sampling noise below the
+/// threshold is treated as non-influence).
+///
+/// `attributes[i]` supplies the integration attributes of task `i`
+/// (criticality, FT, timing); pass `&[]` to default them all.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownTask`] when `attributes` is non-empty but
+/// its length differs from the task count.
+pub fn sw_graph_from_measurements(
+    campaign: &InfluenceCampaign,
+    attributes: &[AttributeSet],
+    min_influence: f64,
+) -> Result<SwGraph, SimError> {
+    let spec = campaign.spec();
+    let n = spec.task_count();
+    if !attributes.is_empty() && attributes.len() != n {
+        return Err(SimError::UnknownTask {
+            index: attributes.len(),
+        });
+    }
+    let matrix = campaign.influence_matrix();
+    let mut b = SwGraphBuilder::new();
+    let nodes: Vec<_> = spec
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            b.add_process(
+                t.name.clone(),
+                attributes.get(i).copied().unwrap_or_default(),
+            )
+        })
+        .collect();
+    for (i, &from) in nodes.iter().enumerate() {
+        for (j, &to) in nodes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let measured = matrix.get(i, j).unwrap_or(0.0).clamp(0.0, 1.0);
+            if measured >= min_influence && measured > 0.0 {
+                b.add_influence(from, to, measured)
+                    .expect("measured influence is in (0, 1]");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::avionics;
+    use fcm_alloc::heuristics::h1;
+    use fcm_graph::NodeIdx;
+    use fcm_sim::model::SchedulingPolicy;
+
+    fn campaign() -> (InfluenceCampaign, avionics::ControlLoop) {
+        let (spec, roles) = avionics::control_loop_system(SchedulingPolicy::PreemptiveEdf).unwrap();
+        (InfluenceCampaign::new(spec, 400, 300, 4242), roles)
+    }
+
+    #[test]
+    fn measured_graph_has_one_node_per_task() {
+        let (c, _) = campaign();
+        let g = sw_graph_from_measurements(&c, &[], 0.05).unwrap();
+        assert_eq!(g.node_count(), c.spec().task_count());
+        let names: Vec<&str> = g.nodes().map(|(_, n)| n.name.as_str()).collect();
+        assert!(names.contains(&"sensors"));
+        assert!(names.contains(&"autopilot"));
+    }
+
+    #[test]
+    fn measured_edges_follow_the_data_flow() {
+        let (c, roles) = campaign();
+        let g = sw_graph_from_measurements(&c, &[], 0.05).unwrap();
+        let s = NodeIdx(roles.sensors);
+        let a = NodeIdx(roles.autopilot);
+        let d = NodeIdx(roles.display);
+        // Forward influence measured; no backward edge survives.
+        assert!(g.has_edge(s, a), "sensors → autopilot");
+        assert!(g.has_edge(a, d), "autopilot → display");
+        assert!(!g.has_edge(a, s));
+        assert!(!g.has_edge(d, s));
+    }
+
+    #[test]
+    fn threshold_filters_weak_noise() {
+        let (c, _) = campaign();
+        let loose = sw_graph_from_measurements(&c, &[], 0.01).unwrap();
+        let strict = sw_graph_from_measurements(&c, &[], 0.9).unwrap();
+        assert!(strict.edge_count() <= loose.edge_count());
+        // An impossible threshold removes everything.
+        let none = sw_graph_from_measurements(&c, &[], 1.1).unwrap();
+        assert_eq!(none.edge_count(), 0);
+    }
+
+    #[test]
+    fn attribute_vector_length_is_validated() {
+        let (c, _) = campaign();
+        let wrong = vec![AttributeSet::default(); 2];
+        assert!(sw_graph_from_measurements(&c, &wrong, 0.1).is_err());
+        let right = vec![AttributeSet::default().with_criticality(5); 4];
+        let g = sw_graph_from_measurements(&c, &right, 0.1).unwrap();
+        assert!(g.nodes().all(|(_, n)| n.attributes.criticality.0 == 5));
+    }
+
+    #[test]
+    fn measured_workflow_co_locates_the_strong_interaction() {
+        // End to end: measure → model → integrate. H1 on the measured
+        // graph must group the sensors with the autopilot (their measured
+        // influence dwarfs everything else).
+        let (c, roles) = campaign();
+        let g = sw_graph_from_measurements(&c, &[], 0.05).unwrap();
+        let clustering = h1(&g, 3).unwrap();
+        let cluster_of = |t: usize| {
+            clustering
+                .clusters()
+                .iter()
+                .position(|grp| grp.contains(&NodeIdx(t)))
+                .expect("task is clustered")
+        };
+        assert_eq!(cluster_of(roles.sensors), cluster_of(roles.autopilot));
+    }
+}

@@ -1,0 +1,359 @@
+//! The paper's §6 worked example: Table 1 and the Fig. 3 influence graph.
+//!
+//! # Reconstruction notes
+//!
+//! The available OCR of the paper loses most numerals. The values below
+//! are reconstructed so that **every statement surviving in the prose
+//! holds**:
+//!
+//! * p1 has the highest criticality and `FT = 3` ("has to be replicated
+//!   three times to be run in a TMR mode"); p2 and p3 are "of
+//!   intermediate criticality, with FT = 2"; p4…p8 "require no
+//!   duplication";
+//! * after replication the graph has **12** nodes;
+//! * the multiset of influence weights in Fig. 3 is
+//!   `{0.1×2, 0.2×4, 0.3×2, 0.5, 0.6, 0.7×2}` (these survive the OCR);
+//! * p1–p2 has the highest mutual influence (1.2), so H1 combines them
+//!   first, as the prose states;
+//! * combining {p1, p2, p3} puts influences 0.7 (p3→p4) and 0.2 (p1→p4)
+//!   onto the common neighbour p4, producing the Eq. 4 value
+//!   `1 − (1−0.7)(1−0.2) = 0.76` that survives in Fig. 5;
+//! * the timing triples make {p5, p7, p8} pairwise co-schedulable but
+//!   jointly infeasible on one processor — the paper's "if p5 and p7 are
+//!   scheduled on the same processor, then p8 cannot be scheduled on that
+//!   processor due to conflicting timing requirements";
+//! * the groupings appearing in Figs. 6–8 ({p1a,p2a}, {p1b,p2b,p3b},
+//!   {p1c,p4,p5}, {p6,p7,p8}) are all schedulable.
+
+use fcm_alloc::replication::{expand_replicas, Expansion};
+use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
+use fcm_alloc::HwGraph;
+use fcm_core::{AttributeSet, FaultTolerance};
+use fcm_sched::Time;
+
+/// One row of the (reconstructed) Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Process name (`"p1"` … `"p8"`).
+    pub name: &'static str,
+    /// Criticality C.
+    pub criticality: u32,
+    /// Fault tolerance FT (replication degree).
+    pub ft: u8,
+    /// Earliest start time.
+    pub est: Time,
+    /// Task completion deadline.
+    pub tcd: Time,
+    /// Computation time.
+    pub ct: Time,
+}
+
+/// The reconstructed Table 1: attributes of the eight example processes.
+pub const TABLE_1: [Table1Row; 8] = [
+    Table1Row {
+        name: "p1",
+        criticality: 10,
+        ft: 3,
+        est: 0,
+        tcd: 10,
+        ct: 4,
+    },
+    Table1Row {
+        name: "p2",
+        criticality: 8,
+        ft: 2,
+        est: 0,
+        tcd: 12,
+        ct: 4,
+    },
+    Table1Row {
+        name: "p3",
+        criticality: 8,
+        ft: 2,
+        est: 2,
+        tcd: 12,
+        ct: 4,
+    },
+    Table1Row {
+        name: "p4",
+        criticality: 5,
+        ft: 1,
+        est: 0,
+        tcd: 10,
+        ct: 3,
+    },
+    Table1Row {
+        name: "p5",
+        criticality: 4,
+        ft: 1,
+        est: 10,
+        tcd: 20,
+        ct: 5,
+    },
+    Table1Row {
+        name: "p6",
+        criticality: 3,
+        ft: 1,
+        est: 4,
+        tcd: 16,
+        ct: 4,
+    },
+    Table1Row {
+        name: "p7",
+        criticality: 2,
+        ft: 1,
+        est: 10,
+        tcd: 18,
+        ct: 4,
+    },
+    Table1Row {
+        name: "p8",
+        criticality: 1,
+        ft: 1,
+        est: 12,
+        tcd: 20,
+        ct: 4,
+    },
+];
+
+/// The reconstructed Fig. 3 influence edges `(from, to, influence)`,
+/// indices into [`TABLE_1`]. The weight multiset matches the OCR.
+pub const FIG_3_EDGES: [(usize, usize, f64); 12] = [
+    (0, 1, 0.5), // p1 -> p2
+    (1, 0, 0.7), // p2 -> p1 (mutual 1.2: H1's first combination)
+    (1, 2, 0.3), // p2 -> p3
+    (2, 1, 0.6), // p3 -> p2
+    (2, 3, 0.7), // p3 -> p4  } fan-in on p4: Eq. 4 gives the
+    (0, 3, 0.2), // p1 -> p4  } 0.76 of Fig. 5
+    (3, 4, 0.1), // p4 -> p5
+    (4, 5, 0.2), // p5 -> p6
+    (4, 6, 0.2), // p5 -> p7
+    (5, 6, 0.1), // p6 -> p7
+    (6, 7, 0.3), // p7 -> p8
+    (7, 0, 0.2), // p8 -> p1
+];
+
+/// Attribute set of one Table 1 row.
+pub fn attributes(row: &Table1Row) -> AttributeSet {
+    AttributeSet::default()
+        .with_criticality(row.criticality)
+        .with_fault_tolerance(FaultTolerance(row.ft))
+        .with_timing(row.est, row.tcd, row.ct)
+}
+
+/// The initial 8-node SW graph of Fig. 3 (before replica expansion).
+pub fn fig3_graph() -> SwGraph {
+    let mut b = SwGraphBuilder::new();
+    let nodes: Vec<_> = TABLE_1
+        .iter()
+        .map(|row| b.add_process(row.name, attributes(row)))
+        .collect();
+    for &(from, to, infl) in &FIG_3_EDGES {
+        b.add_influence(nodes[from], nodes[to], infl)
+            .expect("reconstructed influences are valid");
+    }
+    b.build()
+}
+
+/// The replica-expanded 12-node graph of Fig. 4.
+pub fn fig4_expansion() -> Expansion {
+    expand_replicas(&fig3_graph())
+}
+
+/// The example's HW platform: "a strongly connected network with 6 HW
+/// nodes".
+pub fn hw_platform() -> HwGraph {
+    HwGraph::complete(6)
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render_table1() -> String {
+    let mut s = String::from("Process   C  FT  EST  TCD  CT\n");
+    for row in &TABLE_1 {
+        s.push_str(&format!(
+            "{:<7} {:>3} {:>3} {:>4} {:>4} {:>3}\n",
+            row.name, row.criticality, row.ft, row.est, row.tcd, row.ct
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::heuristics;
+    use fcm_graph::NodeIdx;
+    use fcm_sched::{edf, Job, JobSet};
+
+    #[test]
+    fn table_has_the_prose_structure() {
+        assert_eq!(TABLE_1[0].ft, 3);
+        assert_eq!(TABLE_1[1].ft, 2);
+        assert_eq!(TABLE_1[2].ft, 2);
+        assert!(TABLE_1[3..].iter().all(|r| r.ft == 1));
+        // p1 strictly most critical; p2, p3 intermediate and equal.
+        assert!(TABLE_1[0].criticality > TABLE_1[1].criticality);
+        assert_eq!(TABLE_1[1].criticality, TABLE_1[2].criticality);
+        // Criticality is non-increasing down the table.
+        for w in TABLE_1.windows(2) {
+            assert!(w[0].criticality >= w[1].criticality);
+        }
+    }
+
+    #[test]
+    fn every_row_is_schedulable_alone() {
+        for row in &TABLE_1 {
+            assert!(
+                attributes(row).timing.unwrap().is_well_formed(),
+                "{}",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn influence_multiset_matches_ocr() {
+        let mut weights: Vec<f64> = FIG_3_EDGES.iter().map(|&(_, _, w)| w).collect();
+        weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = [0.1, 0.1, 0.2, 0.2, 0.2, 0.2, 0.3, 0.3, 0.5, 0.6, 0.7, 0.7];
+        assert_eq!(weights.len(), expect.len());
+        for (w, e) in weights.iter().zip(&expect) {
+            assert!((w - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p1_p2_have_the_highest_mutual_influence() {
+        let g = fig3_graph();
+        let m12 = g.mutual_weight(NodeIdx(0), NodeIdx(1));
+        assert!((m12 - 1.2).abs() < 1e-12);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                if (i, j) != (0, 1) {
+                    assert!(g.mutual_weight(NodeIdx(i), NodeIdx(j)) < m12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_has_twelve_nodes() {
+        let ex = fig4_expansion();
+        assert_eq!(ex.graph.node_count(), 12);
+        let names: Vec<&str> = ex.graph.nodes().map(|(_, n)| n.name.as_str()).collect();
+        assert!(names.contains(&"p1a"));
+        assert!(names.contains(&"p1c"));
+        assert!(names.contains(&"p2b"));
+        assert!(names.contains(&"p3b"));
+        assert!(names.contains(&"p8"));
+    }
+
+    #[test]
+    fn p5_p7_p8_conflict_exactly_as_the_prose_says() {
+        let jobs = |rows: &[usize]| {
+            JobSet::new(
+                rows.iter()
+                    .map(|&i| {
+                        let r = &TABLE_1[i];
+                        Job::new(i as u64, r.est, r.tcd, r.ct)
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        // Pairwise fine.
+        assert!(edf::feasible(&jobs(&[4, 6])));
+        assert!(edf::feasible(&jobs(&[4, 7])));
+        assert!(edf::feasible(&jobs(&[6, 7])));
+        // Jointly impossible.
+        assert!(!edf::feasible(&jobs(&[4, 6, 7])));
+    }
+
+    #[test]
+    fn figure_groupings_are_schedulable() {
+        let check = |rows: &[usize]| {
+            let set = JobSet::new(
+                rows.iter()
+                    .map(|&i| {
+                        let r = &TABLE_1[i];
+                        Job::new(i as u64, r.est, r.tcd, r.ct)
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            edf::feasible(&set)
+        };
+        assert!(check(&[0, 1])); // {p1a, p2a}
+        assert!(check(&[0, 1, 2])); // {p1b, p2b, p3b}
+        assert!(check(&[0, 3, 4])); // {p1c, p4, p5}
+        assert!(check(&[5, 6, 7])); // {p6, p7, p8}
+    }
+
+    #[test]
+    fn eq4_value_of_fig5_appears_when_p123_combine() {
+        let g = fig3_graph();
+        let clustering = fcm_alloc::Clustering::new(
+            &g,
+            vec![
+                vec![NodeIdx(0), NodeIdx(1), NodeIdx(2)],
+                vec![NodeIdx(3)],
+                vec![NodeIdx(4)],
+                vec![NodeIdx(5)],
+                vec![NodeIdx(6)],
+                vec![NodeIdx(7)],
+            ],
+        )
+        .unwrap();
+        let cond = clustering.condensed(&g);
+        let w: f64 = *cond
+            .graph
+            .edge_weight_between(
+                cond.group_of(NodeIdx(0)).unwrap(),
+                cond.group_of(NodeIdx(3)).unwrap(),
+            )
+            .unwrap();
+        assert!((w - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h1_first_combines_p1_and_p2_on_the_unexpanded_graph() {
+        let g = fig3_graph();
+        let c = heuristics::h1(&g, 7).unwrap();
+        assert!(c
+            .clusters()
+            .iter()
+            .any(|grp| grp == &vec![NodeIdx(0), NodeIdx(1)]));
+    }
+
+    #[test]
+    fn expanded_graph_reduces_to_six_clusters() {
+        let ex = fig4_expansion();
+        let c = heuristics::h1(&ex.graph, 6).unwrap();
+        assert_eq!(c.len(), 6);
+        // Replicas separated across clusters.
+        for cluster in c.clusters() {
+            for (k, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[k + 1..] {
+                    let na = ex.graph.node(a).unwrap();
+                    let nb = ex.graph.node(b).unwrap();
+                    assert!(!na.is_replica_of(nb), "{} with {}", na.name, nb.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn platform_is_a_six_node_complete_network() {
+        let hw = hw_platform();
+        assert_eq!(hw.len(), 6);
+        assert!(hw.is_connected());
+    }
+
+    #[test]
+    fn table_renders_in_paper_layout() {
+        let s = render_table1();
+        assert_eq!(s.lines().count(), 9);
+        assert!(s.starts_with("Process"));
+        assert!(s.contains("p1       10   3    0   10   4"));
+    }
+}

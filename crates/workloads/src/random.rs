@@ -1,0 +1,230 @@
+//! Seeded random influence graphs (the E1 / E2 experiment inputs).
+//!
+//! The paper's example notes its influences "have been randomly generated
+//! … for a real application, the values of influence would be determined
+//! using Equations 1 and 2" — this module is the generalisation of that
+//! generator, with controllable size, edge density and attribute
+//! distributions, deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
+use fcm_core::{AttributeSet, FaultTolerance};
+use fcm_sched::Time;
+
+/// Parameters of the random workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWorkload {
+    /// Number of processes (before replica expansion).
+    pub processes: usize,
+    /// Probability of an influence edge between any ordered pair.
+    pub density: f64,
+    /// Influence values are drawn uniformly from this range.
+    pub influence_range: (f64, f64),
+    /// Criticality drawn uniformly from `1..=max_criticality`.
+    pub max_criticality: u32,
+    /// Fraction of processes given `FT = 2`; half as many get `FT = 3`.
+    pub replicated_fraction: f64,
+    /// Whether to attach random ⟨EST, TCD, CT⟩ triples.
+    pub with_timing: bool,
+    /// Scheduling horizon used for the random timing windows.
+    pub horizon: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomWorkload {
+    fn default() -> Self {
+        RandomWorkload {
+            processes: 16,
+            density: 0.25,
+            influence_range: (0.05, 0.7),
+            max_criticality: 10,
+            replicated_fraction: 0.2,
+            with_timing: true,
+            horizon: 100,
+            seed: 7,
+        }
+    }
+}
+
+impl RandomWorkload {
+    /// Generates the SW graph.
+    ///
+    /// Timing windows are generous (slack ≥ work) so single processes are
+    /// always feasible alone; conflicts only appear when clustering packs
+    /// too much work into overlapping windows — exactly the behaviour the
+    /// heuristics must navigate.
+    pub fn generate(&self) -> SwGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = SwGraphBuilder::new();
+        let mut nodes = Vec::with_capacity(self.processes);
+        for i in 0..self.processes {
+            let criticality = rng.gen_range(1..=self.max_criticality.max(1));
+            let ft = {
+                let roll: f64 = rng.gen();
+                if roll < self.replicated_fraction / 3.0 {
+                    FaultTolerance::TMR
+                } else if roll < self.replicated_fraction {
+                    FaultTolerance::DUPLEX
+                } else {
+                    FaultTolerance::SIMPLEX
+                }
+            };
+            let mut attrs = AttributeSet::default()
+                .with_criticality(criticality)
+                .with_fault_tolerance(ft)
+                .with_throughput(rng.gen_range(0.1..2.0));
+            if self.with_timing {
+                let ct = rng.gen_range(1..=self.horizon / 10 + 1);
+                let est = rng.gen_range(0..self.horizon / 2);
+                let slack = rng.gen_range(ct..=self.horizon / 2 + ct);
+                attrs = attrs.with_timing(est, est + ct + slack, ct);
+            }
+            nodes.push(b.add_process(format!("p{i}"), attrs));
+        }
+        let (lo, hi) = self.influence_range;
+        for &from in &nodes {
+            for &to in &nodes {
+                if from != to && rng.gen::<f64>() < self.density {
+                    let infl = rng.gen_range(lo.max(1e-6)..hi.min(1.0));
+                    b.add_influence(from, to, infl)
+                        .expect("generated influence is in range");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Generates a random influence matrix with the same distribution but
+    /// no attributes (for the E2 separation-convergence experiment).
+    pub fn generate_matrix(&self) -> fcm_graph::Matrix {
+        fcm_graph::Matrix::from_graph(&self.generate().map(|_, _| (), |_, e| e.weight.influence()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::sw::SwEdge;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = RandomWorkload::default();
+        let a = w.generate();
+        let b = w.generate();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<f64> = a.edges().map(|(_, e)| e.weight.influence()).collect();
+        let eb: Vec<f64> = b.edges().map(|(_, e)| e.weight.influence()).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomWorkload::default().generate();
+        let b = RandomWorkload {
+            seed: 8,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        let ea: Vec<f64> = a.edges().map(|(_, e)| e.weight.influence()).collect();
+        let eb: Vec<f64> = b.edges().map(|(_, e)| e.weight.influence()).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn density_zero_yields_no_edges() {
+        let g = RandomWorkload {
+            density: 0.0,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 16);
+    }
+
+    #[test]
+    fn density_one_yields_a_complete_digraph() {
+        let g = RandomWorkload {
+            processes: 6,
+            density: 1.0,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        assert_eq!(g.edge_count(), 6 * 5);
+    }
+
+    #[test]
+    fn influences_respect_the_requested_range() {
+        let g = RandomWorkload {
+            influence_range: (0.3, 0.4),
+            density: 0.5,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        for (_, e) in g.edges() {
+            match e.weight {
+                SwEdge::Influence(v) => assert!((0.3..0.4).contains(&v)),
+                SwEdge::ReplicaLink => panic!("generator emits no replica links"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_is_feasible_alone() {
+        let g = RandomWorkload {
+            processes: 40,
+            seed: 99,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        for (_, n) in g.nodes() {
+            if let Some(t) = n.attributes.timing {
+                assert!(t.is_well_formed(), "{}: {t}", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_fraction_controls_ft() {
+        let g = RandomWorkload {
+            processes: 200,
+            replicated_fraction: 0.5,
+            seed: 3,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        let replicated = g
+            .nodes()
+            .filter(|(_, n)| n.attributes.fault_tolerance.is_replicated())
+            .count();
+        assert!(replicated > 60 && replicated < 140, "{replicated}");
+        let none = RandomWorkload {
+            processes: 50,
+            replicated_fraction: 0.0,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        assert!(none
+            .nodes()
+            .all(|(_, n)| !n.attributes.fault_tolerance.is_replicated()));
+    }
+
+    #[test]
+    fn matrix_generation_matches_graph_weights() {
+        let w = RandomWorkload {
+            processes: 5,
+            density: 0.8,
+            ..RandomWorkload::default()
+        };
+        let g = w.generate();
+        let m = w.generate_matrix();
+        assert_eq!(m.rows(), 5);
+        for (_, e) in g.edges() {
+            let entry = m.get(e.from.index(), e.to.index()).unwrap();
+            assert!((entry - e.weight.influence()).abs() < 1e-12);
+        }
+    }
+}

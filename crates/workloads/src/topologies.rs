@@ -1,0 +1,175 @@
+//! Structured influence-topology generators.
+//!
+//! The E10 experiment asks *which heuristic wins on which interaction
+//! structure* — a question the paper's single random example cannot
+//! answer. These generators produce the canonical shapes real systems
+//! exhibit: pipelines (sensor → filter → actuator chains), hubs (a
+//! blackboard or bus process), clustered subsystems bridged by thin
+//! interfaces, and layered architectures.
+
+use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
+use fcm_core::AttributeSet;
+use fcm_graph::NodeIdx;
+
+fn attrs(i: usize) -> AttributeSet {
+    AttributeSet::default().with_criticality(1 + (i % 10) as u32)
+}
+
+/// A pipeline `p0 → p1 → … → p(n−1)` with forward influence `w` and a
+/// weak feedback edge `w/4` every fourth stage.
+pub fn chain(n: usize, w: f64) -> SwGraph {
+    let mut b = SwGraphBuilder::new();
+    let nodes: Vec<NodeIdx> = (0..n)
+        .map(|i| b.add_process(format!("p{i}"), attrs(i)))
+        .collect();
+    for win in nodes.windows(2) {
+        b.add_influence(win[0], win[1], w)
+            .expect("static weight valid");
+    }
+    for i in (4..n).step_by(4) {
+        b.add_influence(nodes[i], nodes[i - 4], (w / 4.0).max(1e-3))
+            .expect("static weight valid");
+    }
+    b.build()
+}
+
+/// A hub-and-spokes structure: node 0 is the hub (a bus or blackboard
+/// process); every spoke exchanges influence `w` with it both ways.
+pub fn star(n: usize, w: f64) -> SwGraph {
+    let mut b = SwGraphBuilder::new();
+    let hub = b.add_process("hub", attrs(0).with_criticality(10));
+    for i in 1..n {
+        let spoke = b.add_process(format!("s{i}"), attrs(i));
+        b.add_influence(hub, spoke, w).expect("static weight valid");
+        b.add_influence(spoke, hub, w / 2.0)
+            .expect("static weight valid");
+    }
+    b.build()
+}
+
+/// `k` cliques of `m` nodes each, dense inside (`inner`), bridged in a
+/// ring by one thin edge (`bridge`) per adjacent pair — the shape H2's
+/// min-cut is built for.
+pub fn ring_of_cliques(k: usize, m: usize, inner: f64, bridge: f64) -> SwGraph {
+    let mut b = SwGraphBuilder::new();
+    let mut cliques: Vec<Vec<NodeIdx>> = Vec::with_capacity(k);
+    for c in 0..k {
+        let members: Vec<NodeIdx> = (0..m)
+            .map(|i| b.add_process(format!("c{c}_{i}"), attrs(c * m + i)))
+            .collect();
+        for (i, &a) in members.iter().enumerate() {
+            for &z in &members[i + 1..] {
+                b.add_influence(a, z, inner).expect("static weight valid");
+                b.add_influence(z, a, inner).expect("static weight valid");
+            }
+        }
+        cliques.push(members);
+    }
+    for c in 0..k {
+        let next = (c + 1) % k;
+        if next != c {
+            b.add_influence(cliques[c][m - 1], cliques[next][0], bridge)
+                .expect("static weight valid");
+        }
+    }
+    b.build()
+}
+
+/// A layered architecture: `layers × width` nodes, each node influencing
+/// every node of the next layer with `w` (think sensor layer → fusion
+/// layer → control layer → actuation layer).
+pub fn layered(layers: usize, width: usize, w: f64) -> SwGraph {
+    let mut b = SwGraphBuilder::new();
+    let mut grid: Vec<Vec<NodeIdx>> = Vec::with_capacity(layers);
+    for l in 0..layers {
+        grid.push(
+            (0..width)
+                .map(|i| b.add_process(format!("l{l}_{i}"), attrs(l * width + i)))
+                .collect(),
+        );
+    }
+    for l in 1..layers {
+        for &from in &grid[l - 1] {
+            for &to in &grid[l] {
+                b.add_influence(from, to, w).expect("static weight valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcm_alloc::heuristics::h1;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(9, 0.5);
+        assert_eq!(g.node_count(), 9);
+        // 8 forward + feedback at 4 and 8.
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(
+            g.edge_weight_between(NodeIdx(0), NodeIdx(1))
+                .unwrap()
+                .influence(),
+            0.5
+        );
+        assert!(g.has_edge(NodeIdx(4), NodeIdx(0)));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6, 0.4);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.out_degree(NodeIdx(0)), 5);
+        assert_eq!(g.in_degree(NodeIdx(0)), 5);
+        assert_eq!(g.node(NodeIdx(0)).unwrap().attributes.criticality.0, 10);
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(3, 4, 0.6, 0.05);
+        assert_eq!(g.node_count(), 12);
+        // Per clique: C(4,2)×2 = 12 edges; 3 cliques + 3 bridges.
+        assert_eq!(g.edge_count(), 3 * 12 + 3);
+        // The natural 3-clustering severs only the bridges.
+        let c = h1(&g, 3).unwrap();
+        assert!(
+            (c.cross_influence(&g) - 0.15).abs() < 1e-9,
+            "{}",
+            c.cross_influence(&g)
+        );
+    }
+
+    #[test]
+    fn single_clique_has_no_bridge() {
+        let g = ring_of_cliques(1, 3, 0.5, 0.1);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn layered_shape() {
+        let g = layered(3, 2, 0.3);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 2 * 2 * 2);
+        // Sources have no in-edges, sinks no out-edges.
+        assert_eq!(g.in_degree(NodeIdx(0)), 0);
+        assert_eq!(g.out_degree(NodeIdx(5)), 0);
+    }
+
+    #[test]
+    fn all_topologies_cluster_feasibly() {
+        for g in [
+            chain(12, 0.5),
+            star(12, 0.4),
+            ring_of_cliques(3, 4, 0.6, 0.05),
+            layered(3, 4, 0.3),
+        ] {
+            let c = h1(&g, 4).unwrap();
+            assert_eq!(c.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Software evolution under the framework: modification, bounded
+//! recertification (R5), and requirement-driven re-integration (R4).
+//!
+//! The paper's introduction lists "supporting SW evolution and
+//! recertification" among the framework's goals. This example plays a
+//! maintenance scenario on the avionics hierarchy:
+//!
+//! 1. the fully-certified baseline;
+//! 2. a procedure-level bug fix — the certification ledger invalidates
+//!    exactly the R5 retest set;
+//! 3. a requirement change forcing two tasks of different processes to
+//!    communicate — rule R4 merges the parent processes;
+//! 4. recertification of the outstanding work.
+//!
+//! Run with `cargo run --example evolution`.
+
+use ddsi::core::certification::CertificationLedger;
+use ddsi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a three-level avionics hierarchy.
+    let mut h = FcmHierarchy::new();
+    let nav = h.add_root(
+        "nav",
+        HierarchyLevel::Process,
+        AttributeSet::default().with_criticality(7),
+    )?;
+    let guidance = h.add_root(
+        "guidance",
+        HierarchyLevel::Process,
+        AttributeSet::default().with_criticality(9),
+    )?;
+    let kalman = h.add_child(nav, "kalman", AttributeSet::default().with_criticality(7))?;
+    let waypoints = h.add_child(
+        nav,
+        "waypoints",
+        AttributeSet::default().with_criticality(4),
+    )?;
+    let law = h.add_child(
+        guidance,
+        "control_law",
+        AttributeSet::default().with_criticality(9),
+    )?;
+    let predict = h.add_child(kalman, "predict", AttributeSet::default())?;
+    let update = h.add_child(kalman, "update", AttributeSet::default())?;
+    let _gains = h.add_child(law, "gains", AttributeSet::default())?;
+
+    println!("baseline: {} FCMs across two processes", h.len());
+    let mut ledger = CertificationLedger::certify_all(&h);
+    assert!(ledger.is_fully_certified(&h));
+    println!("initial certification complete\n");
+
+    // --- 1. A bug fix in the predict procedure.
+    let invalidated = ledger.record_modification(&h, predict)?;
+    println!(
+        "bug fix in `predict`: {invalidated} certificates invalidated \
+         (the procedure, its parent task, and the predict-update interface)"
+    );
+    println!(
+        "outstanding modules: {:?}",
+        ledger
+            .outstanding_modules(&h)
+            .iter()
+            .map(|&id| h.fcm(id).map(|f| f.name().to_string()).unwrap_or_default())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "untouched: `waypoints`, `control_law`, `gains` keep their certificates \
+         ({} of {} modules still certified)\n",
+        h.len() - ledger.outstanding_modules(&h).len(),
+        h.len()
+    );
+    let issued = ledger.recertify_outstanding(&h);
+    println!(
+        "recertified with {issued} new certificates (naive recertification: {})\n",
+        h.naive_retest_set(predict)?.len()
+    );
+
+    // --- 2. A requirement change: kalman must now feed the control law
+    // directly. Rule R4: their parents must integrate.
+    println!("requirement change: `kalman` and `control_law` must communicate");
+    let merged_task = h.integrate_across(kalman, law, "kalman_law")?;
+    let merged_process = h
+        .fcm(merged_task)?
+        .parent()
+        .expect("merged task has a parent");
+    println!(
+        "R4 merged the processes into `{}` (criticality {})",
+        h.fcm(merged_process)?.name(),
+        h.fcm(merged_process)?.attributes().criticality
+    );
+    println!(
+        "`waypoints` migrated with its process: parent is now `{}`",
+        h.fcm(h.fcm(waypoints)?.parent().expect("waypoints has a parent"))?
+            .name()
+    );
+    h.verify()?;
+
+    // --- 3. Fresh certification state for the restructured system.
+    let mut ledger = CertificationLedger::new();
+    println!(
+        "\nafter restructuring: {} modules and {} interfaces to certify",
+        ledger.outstanding_modules(&h).len(),
+        ledger.outstanding_interfaces(&h).len()
+    );
+    ledger.recertify_outstanding(&h);
+    assert!(ledger.is_fully_certified(&h));
+    println!("system recertified");
+    let _ = update;
+    Ok(())
+}

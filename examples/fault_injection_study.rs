@@ -1,0 +1,80 @@
+//! Measuring influence with the fault-injection simulator.
+//!
+//! The paper requires the influence parameters (Eq. 1's p₁, p₂, p₃) to be
+//! *measured* — transmission from the medium, manifestation "by injecting
+//! faults into the target FCM" — and names that measurement apparatus as
+//! future work. This example is that apparatus in action:
+//!
+//! 1. estimates p₂ and p₃ for the avionics control loop;
+//! 2. compares the measured influence with the analytic Eq. 1/Eq. 2 value;
+//! 3. replays the paper's §4.2.3 claim that preemptive scheduling reduces
+//!    the transmission of timing faults.
+//!
+//! Run with `cargo run --example fault_injection_study` (release mode
+//! recommended: `--release`).
+
+use ddsi::prelude::*;
+use ddsi::sim::fault::FaultKind;
+use ddsi::sim::model::SchedulingPolicy;
+use ddsi::workloads::avionics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (spec, roles) = avionics::control_loop_system(SchedulingPolicy::PreemptiveEdf)?;
+    let campaign = InfluenceCampaign::new(spec.clone(), 400, 4000, 99);
+
+    println!("== component probabilities (paper Eq. 1) ==");
+    let p2 = campaign.measure_transmission(roles.sensors, roles.sensor_shm)?;
+    println!(
+        "p2 (sensor_image transmission): measured {:.3} ± {:.3}  (model 0.8)",
+        p2.estimate, p2.ci_halfwidth
+    );
+    let p3 = campaign.measure_manifestation(roles.sensors, roles.autopilot)?;
+    println!(
+        "p3 (autopilot vulnerability):  measured {:.3} ± {:.3}  (model 0.7)",
+        p3.estimate, p3.ci_halfwidth
+    );
+
+    println!("\n== measured vs analytic influence (Eq. 2) ==");
+    let measured = campaign.measure_influence(roles.sensors, roles.autopilot)?;
+    let analytic = Influence::from_factors(&[FaultFactor::new(
+        FactorKind::SharedMemory,
+        1.0, // occurrence forced by injection
+        0.8,
+        0.7,
+    )?]);
+    println!(
+        "infl(sensors → autopilot): measured {:.3} ± {:.3}, analytic {:.3}",
+        measured.estimate,
+        measured.ci_halfwidth,
+        analytic.value()
+    );
+    let chained = campaign.measure_influence(roles.sensors, roles.display)?;
+    println!(
+        "infl(sensors → display):   measured {:.3} (two-hop chain, attenuated)",
+        chained.estimate
+    );
+
+    println!("\n== full measured influence matrix ==");
+    let quick = InfluenceCampaign::new(spec, 400, 400, 7);
+    print!("{}", quick.influence_matrix());
+
+    println!("== isolation ablation: timing-fault transmission (paper §4.2.3) ==");
+    for policy in [
+        SchedulingPolicy::NonPreemptiveFifo,
+        SchedulingPolicy::PreemptiveEdf,
+    ] {
+        let (spec, roles) = avionics::control_loop_system(policy)?;
+        let campaign = InfluenceCampaign::new(spec, 400, 400, 31);
+        let infl = campaign.measure_influence_with(
+            roles.maintenance,
+            roles.autopilot,
+            FaultKind::TimingOverrun { factor: 8 },
+        )?;
+        println!(
+            "  {:?}: infl(maintenance overrun → autopilot) = {:.3}",
+            policy, infl.estimate
+        );
+    }
+    println!("(preemption drives the timing-fault influence toward zero)");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Integrating a synthetic avionics suite — the paper's motivating
+//! scenario ("display, sensor, collision avoidance, and navigation SW
+//! onto a shared platform").
+//!
+//! The example expands the suite's fault-tolerance requirements into
+//! replicas, integrates it onto a six-cabinet platform with every
+//! strategy the paper describes, and compares fault containment,
+//! criticality separation, and end-to-end mission reliability.
+//!
+//! Run with `cargo run --example flight_control`.
+
+use ddsi::prelude::*;
+use ddsi::workloads::avionics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (suite, nodes) = avionics::suite();
+    println!(
+        "avionics suite: {} functions, {} influences",
+        suite.node_count(),
+        suite.edge_count()
+    );
+    println!(
+        "autopilot: {}  (TMR, most critical)",
+        suite.node(nodes.autopilot).expect("node exists").attributes
+    );
+
+    let (expanded, _) = avionics::expanded_suite();
+    let g = &expanded.graph;
+    let hw = avionics::platform();
+    println!(
+        "\nafter replica expansion: {} SW nodes onto {} cabinets",
+        g.node_count(),
+        hw.len()
+    );
+
+    let weights = ImportanceWeights::default();
+    let model = ReliabilityModel {
+        p_hw: 0.02,
+        p_sw: 0.05,
+        cross_node_attenuation: 0.2,
+        critical_at: 7,
+        trials: 40_000,
+        seed: 2026,
+    };
+
+    let mut cmp = Comparison::new();
+    cmp.run_strategy("H1 + A", g, &hw, &model, || {
+        let c = h1(g, hw.len())?;
+        let m = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("H1' pair-all", g, &hw, &model, || {
+        let c = h1_pair_all(g, hw.len())?;
+        let m = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("H2 min-cut", g, &hw, &model, || {
+        let c = h2(g, hw.len(), BisectPolicy::LargestPart)?;
+        let m = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("H3 spheres", g, &hw, &model, || {
+        let c = h3(g, hw.len(), &weights)?;
+        let m = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("Approach B", g, &hw, &model, || {
+        approach_b(g, &hw, &weights)
+    });
+
+    println!("\n{cmp}");
+    if let Some(best) = cmp.best_containment() {
+        println!("best fault containment: {}", best.name);
+    }
+    if let Some(best) = cmp.most_reliable() {
+        println!(
+            "most reliable: {} (mission failure {:.4})",
+            best.name, best.reliability.mission_failure
+        );
+    }
+
+    // Show where the resource-bound functions landed under H1 + A.
+    let c = h1(g, hw.len())?;
+    let m = approach_a(g, &c, &hw, &weights)?;
+    println!("\nplacement under H1 + A:");
+    for (cluster, node) in m.iter() {
+        println!(
+            "  {}: {{{}}}",
+            hw.node(node).expect("mapped node exists").name,
+            c.cluster_name(g, cluster)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Reproduces the worked example of the paper's Section 6 step by step:
+//! Table 1, the Fig. 3 influence graph, the Fig. 4 replica expansion, the
+//! Fig. 5 cluster-influence computation, the Fig. 6 influence-driven
+//! reduction (Approach A), the Fig. 7 criticality pairing (Approach B),
+//! and the Fig. 8 timing refinement.
+//!
+//! Run with `cargo run --example paper_walkthrough`.
+
+use ddsi::prelude::*;
+use ddsi::workloads::paper;
+
+fn print_clusters(title: &str, g: &SwGraph, c: &Clustering) {
+    println!("\n{title}");
+    for i in 0..c.len() {
+        let attrs = c.combined_attributes(g, i);
+        println!("  node {} = {{{}}}  [{attrs}]", i, c.cluster_name(g, i));
+    }
+    println!(
+        "  residual cross-node influence: {:.4}",
+        c.cross_influence(g)
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Table 1: attributes of the example processes ==");
+    print!("{}", paper::render_table1());
+
+    println!("\n== Fig. 3: initial SW influence graph ==");
+    let g = paper::fig3_graph();
+    print!("{}", g.to_edge_list());
+
+    println!("== Fig. 4: replica expansion (p1 TMR, p2/p3 duplex) ==");
+    let ex = paper::fig4_expansion();
+    println!(
+        "{} nodes after expansion: {}",
+        ex.graph.node_count(),
+        ex.graph
+            .nodes()
+            .map(|(_, n)| n.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!("\n== Fig. 5: Eq. 4 cluster influence ==");
+    let c123 = Clustering::new(
+        &g,
+        vec![
+            vec![NodeIdx(0), NodeIdx(1), NodeIdx(2)],
+            vec![NodeIdx(3)],
+            vec![NodeIdx(4)],
+            vec![NodeIdx(5)],
+            vec![NodeIdx(6)],
+            vec![NodeIdx(7)],
+        ],
+    )?;
+    let cond = c123.condensed(&g);
+    let w: f64 = *cond
+        .graph
+        .edge_weight_between(
+            cond.group_of(NodeIdx(0)).expect("p1 is clustered"),
+            cond.group_of(NodeIdx(3)).expect("p4 is clustered"),
+        )
+        .expect("influence edge onto p4 exists");
+    println!("infl({{p1,p2,p3}} → p4) = 1 − (1−0.7)(1−0.2) = {w:.2}");
+
+    println!("\n== Fig. 6: H1 reduction of the 12-node graph to 6 HW nodes ==");
+    let hw = paper::hw_platform();
+    let h1_clusters = h1(&ex.graph, hw.len())?;
+    print_clusters(
+        "clusters (Approach A / heuristic H1):",
+        &ex.graph,
+        &h1_clusters,
+    );
+    let mapping = approach_a(&ex.graph, &h1_clusters, &hw, &ImportanceWeights::default())?;
+    for (cluster, node) in mapping.iter() {
+        println!(
+            "  {} hosts {{{}}}",
+            hw.node(node).expect("mapped node exists").name,
+            h1_clusters.cluster_name(&ex.graph, cluster)
+        );
+    }
+
+    println!("\n== Fig. 7: criticality-driven integration (Approach B) ==");
+    let crit = criticality_pairing(&ex.graph, hw.len())?;
+    print_clusters(
+        "clusters (most-with-least criticality pairing):",
+        &ex.graph,
+        &crit,
+    );
+
+    println!("\n== Fig. 8: timing-ordered refinement to 5 nodes ==");
+    let timed = timing_refinement(&ex.graph, 5)?;
+    print_clusters("clusters (first-fit in EST order):", &ex.graph, &timed);
+
+    println!("\n== Comparing the three integrations ==");
+    let model = ReliabilityModel {
+        trials: 20_000,
+        ..ReliabilityModel::default()
+    };
+    let weights = ImportanceWeights::default();
+    let mut cmp = Comparison::new();
+    cmp.run_strategy("H1+A", &ex.graph, &hw, &model, || {
+        let c = h1(&ex.graph, hw.len())?;
+        let m = approach_a(&ex.graph, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("criticality B", &ex.graph, &hw, &model, || {
+        let c = criticality_pairing(&ex.graph, hw.len())?;
+        let m = approach_a(&ex.graph, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    cmp.run_strategy("timing", &ex.graph, &hw, &model, || {
+        let c = timing_refinement(&ex.graph, 5)?;
+        let m = approach_a(&ex.graph, &c, &hw, &weights)?;
+        Ok((c, m))
+    });
+    print!("{cmp}");
+    Ok(())
+}

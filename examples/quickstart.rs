@@ -1,0 +1,93 @@
+//! Quickstart: the full DDSI pipeline on a four-process system.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ddsi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the software as process-level FCMs with attributes.
+    let mut builder = SwGraphBuilder::new();
+    let control = builder.add_process(
+        "control",
+        AttributeSet::default()
+            .with_criticality(9)
+            .with_fault_tolerance(FaultTolerance::DUPLEX)
+            .with_timing(0, 20, 5),
+    );
+    let sensing = builder.add_process(
+        "sensing",
+        AttributeSet::default()
+            .with_criticality(7)
+            .with_timing(0, 15, 4),
+    );
+    let logging = builder.add_process(
+        "logging",
+        AttributeSet::default()
+            .with_criticality(2)
+            .with_timing(10, 80, 6),
+    );
+    let ui = builder.add_process(
+        "ui",
+        AttributeSet::default()
+            .with_criticality(3)
+            .with_timing(5, 60, 5),
+    );
+
+    // 2. Quantify influence (Eq. 1 + Eq. 2) from fault factors.
+    let sensing_to_control = Influence::from_factors(&[
+        FaultFactor::new(FactorKind::SharedMemory, 0.4, 0.8, 0.9)?,
+        FaultFactor::new(FactorKind::Timing, 0.2, 0.5, 0.6)?,
+    ]);
+    println!("influence(sensing → control) = {sensing_to_control}");
+    builder.add_influence(sensing, control, sensing_to_control.value())?;
+    builder.add_influence(control, ui, 0.3)?;
+    builder.add_influence(ui, logging, 0.2)?;
+    builder.add_influence(sensing, logging, 0.1)?;
+    let sw = builder.build();
+
+    // 3. Replicate per fault-tolerance requirements (duplex control).
+    let expanded = expand_replicas(&sw);
+    println!(
+        "expanded {} processes into {} replica nodes",
+        sw.node_count(),
+        expanded.graph.node_count()
+    );
+
+    // 4. Separation including transitive paths (Eq. 3).
+    let analysis = SeparationAnalysis::from_graph(&sw)?;
+    println!(
+        "separation(sensing, logging) = {:.4}",
+        analysis.separation(sensing, logging, 4)
+    );
+
+    // 5. Cluster with H1 and map with Approach A onto three processors.
+    let hw = HwGraph::complete(3);
+    let clustering = h1(&expanded.graph, 3)?;
+    let mapping = approach_a(
+        &expanded.graph,
+        &clustering,
+        &hw,
+        &ImportanceWeights::default(),
+    )?;
+    for (cluster, hw_node) in mapping.iter() {
+        println!(
+            "cluster {} -> {}",
+            clustering.cluster_name(&expanded.graph, cluster),
+            hw.node(hw_node).expect("mapped node exists").name
+        );
+    }
+
+    // 6. Judge the result.
+    let quality = MappingQuality::evaluate(&expanded.graph, &clustering, &mapping, &hw, 5);
+    println!("quality: {quality}");
+    let reliability = ReliabilityModel {
+        trials: 20_000,
+        ..ReliabilityModel::default()
+    }
+    .evaluate(&expanded.graph, &clustering, &mapping);
+    println!(
+        "mission failure probability ≈ {:.4} ({} trials)",
+        reliability.mission_failure, reliability.trials
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! End-to-end constraint scenario: §4.3's attribute-driven placement
+//! rules (pinning, anti-affinity, resources, capacity) interacting on one
+//! realistic workload.
+
+use ddsi::prelude::*;
+
+/// A ground-station suite: a TMR tracker, two telemetry decoders that an
+/// export-control rule forbids from sharing a processor, a GUI pinned to
+/// the operator console, and a bulk archiver with heavy throughput.
+fn suite() -> (SwGraph, [NodeIdx; 6]) {
+    let mut b = SwGraphBuilder::new();
+    let tracker = b.add_process(
+        "tracker",
+        AttributeSet::default()
+            .with_criticality(9)
+            .with_fault_tolerance(FaultTolerance::TMR)
+            .with_throughput(0.5),
+    );
+    let dec_a = b.add_process(
+        "decoder_a",
+        AttributeSet::default().with_criticality(6).with_security(3),
+    );
+    let dec_b = b.add_process(
+        "decoder_b",
+        AttributeSet::default().with_criticality(6).with_security(3),
+    );
+    let gui = b.add_process("gui", AttributeSet::default().with_criticality(3));
+    let archiver = b.add_process(
+        "archiver",
+        AttributeSet::default()
+            .with_criticality(2)
+            .with_throughput(3.0),
+    );
+    let health = b.add_process("health", AttributeSet::default().with_criticality(4));
+    b.add_influence(tracker, dec_a, 0.4).unwrap();
+    b.add_influence(tracker, dec_b, 0.4).unwrap();
+    b.add_influence(dec_a, gui, 0.3).unwrap();
+    b.add_influence(dec_b, gui, 0.3).unwrap();
+    b.add_influence(dec_a, archiver, 0.2).unwrap();
+    b.add_influence(health, tracker, 0.1).unwrap();
+    b.forbid_colocation(&[dec_a, dec_b]).unwrap();
+    b.pin_to_hw(gui, "console").unwrap();
+    let g = b.build();
+    (g, [tracker, dec_a, dec_b, gui, archiver, health])
+}
+
+fn platform() -> HwGraph {
+    let nodes = vec![
+        HwNode::new("console").with_capacity(2.0),
+        HwNode::new("rack0").with_capacity(4.0),
+        HwNode::new("rack1").with_capacity(4.0),
+        HwNode::new("rack2").with_capacity(4.0),
+        HwNode::new("rack3").with_capacity(4.0),
+        HwNode::new("rack4").with_capacity(2.0),
+    ];
+    let mut links = Vec::new();
+    for a in 0..6 {
+        for b in (a + 1)..6 {
+            links.push((a, b, 1.0));
+        }
+    }
+    HwGraph::new(nodes, &links)
+}
+
+#[test]
+fn all_constraints_hold_simultaneously_in_the_final_mapping() {
+    let (g, _) = suite();
+    let expanded = expand_replicas(&g);
+    let g = &expanded.graph;
+    let hw = platform();
+    let clustering = h1(g, hw.len()).expect("feasible clustering");
+    let mapping =
+        approach_a(g, &clustering, &hw, &ImportanceWeights::default()).expect("feasible mapping");
+    mapping.validate(g, &clustering, &hw).expect("valid");
+
+    let host_of = |name: &str| {
+        let (ci, _) = clustering
+            .clusters()
+            .iter()
+            .enumerate()
+            .find_map(|(ci, grp)| {
+                grp.iter()
+                    .find(|&&n| g.node(n).unwrap().name == name)
+                    .map(|&n| (ci, n))
+            })
+            .unwrap_or_else(|| panic!("{name} not clustered"));
+        hw.node(mapping.hw_of(ci).unwrap()).unwrap().name.clone()
+    };
+
+    // Pin: the GUI sits on the console.
+    assert_eq!(host_of("gui"), "console");
+    // Anti-affinity: the decoders live on different processors.
+    assert_ne!(host_of("decoder_a"), host_of("decoder_b"));
+    // Replica anti-affinity: the three tracker replicas are spread.
+    let hosts: std::collections::BTreeSet<String> = ["trackera", "trackerb", "trackerc"]
+        .iter()
+        .map(|n| host_of(n))
+        .collect();
+    assert_eq!(hosts.len(), 3);
+    // Capacity: the archiver (3.0) avoided the 2.0-capacity nodes.
+    let archiver_host = host_of("archiver");
+    assert_ne!(archiver_host, "console");
+    assert_ne!(archiver_host, "rack4");
+}
+
+#[test]
+fn criticality_pairing_also_satisfies_the_hard_constraints() {
+    let (g, _) = suite();
+    let expanded = expand_replicas(&g);
+    let g = &expanded.graph;
+    let clustering = criticality_pairing(g, 6).expect("feasible pairing");
+    // The decoders never share a cluster despite having identical
+    // criticality (prime most-with-least pairing targets).
+    for grp in clustering.clusters() {
+        let names: Vec<&str> = grp
+            .iter()
+            .map(|&n| g.node(n).unwrap().name.as_str())
+            .collect();
+        assert!(
+            !(names.contains(&"decoder_a") && names.contains(&"decoder_b")),
+            "{names:?}"
+        );
+    }
+}
+
+#[test]
+fn an_underequipped_platform_is_rejected_with_a_reason() {
+    let (g, _) = suite();
+    let expanded = expand_replicas(&g);
+    let g = &expanded.graph;
+    // No node named "console": the pin cannot be satisfied.
+    let bare = HwGraph::complete(6);
+    let clustering = h1(g, 6).expect("clustering is platform-independent");
+    let err = approach_a(g, &clustering, &bare, &ImportanceWeights::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("no feasible sw-to-hw mapping"), "{msg}");
+}

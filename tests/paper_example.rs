@@ -1,0 +1,151 @@
+//! Integration tests over the paper's §6 worked example: the full
+//! pipeline from Table 1 to a validated six-node mapping.
+
+use ddsi::prelude::*;
+use ddsi::workloads::paper;
+
+#[test]
+fn full_pipeline_table1_to_mapping() {
+    let ex = paper::fig4_expansion();
+    let hw = paper::hw_platform();
+    let clustering = h1(&ex.graph, hw.len()).expect("six-node clustering exists");
+    assert_eq!(clustering.len(), 6);
+    let mapping = approach_a(&ex.graph, &clustering, &hw, &ImportanceWeights::default())
+        .expect("mapping exists");
+    mapping
+        .validate(&ex.graph, &clustering, &hw)
+        .expect("mapping is valid");
+}
+
+#[test]
+fn replicas_end_up_on_distinct_hw_nodes() {
+    let ex = paper::fig4_expansion();
+    let hw = paper::hw_platform();
+    for strategy in ["h1", "h1_pair_all", "h2", "h3", "crit"] {
+        let clustering = match strategy {
+            "h1" => h1(&ex.graph, 6).unwrap(),
+            "h1_pair_all" => h1_pair_all(&ex.graph, 6).unwrap(),
+            "h2" => h2(&ex.graph, 6, BisectPolicy::LargestPart).unwrap(),
+            "h3" => h3(&ex.graph, 6, &ImportanceWeights::default()).unwrap(),
+            _ => criticality_pairing(&ex.graph, 6).unwrap(),
+        };
+        let mapping =
+            approach_a(&ex.graph, &clustering, &hw, &ImportanceWeights::default()).unwrap();
+        // Collect the HW node of every replica of p1.
+        let mut hosts = Vec::new();
+        for (ci, cluster) in clustering.clusters().iter().enumerate() {
+            for &n in cluster {
+                let name = &ex.graph.node(n).unwrap().name;
+                if name.starts_with("p1") && name.len() == 3 {
+                    hosts.push(mapping.hw_of(ci).unwrap());
+                }
+            }
+        }
+        hosts.sort();
+        let before = hosts.len();
+        hosts.dedup();
+        assert_eq!(before, 3, "{strategy}: p1 has three replicas");
+        assert_eq!(hosts.len(), 3, "{strategy}: all on distinct HW nodes");
+    }
+}
+
+#[test]
+fn five_node_platform_is_infeasible_for_tmr_plus_duplexes() {
+    // p1 needs 3 nodes, p2 and p3 two each, all disjoint pairs can share:
+    // 3 nodes suffice for anti-affinity, but 2 do not.
+    let ex = paper::fig4_expansion();
+    assert!(h1(&ex.graph, 2).is_err());
+    assert!(h1(&ex.graph, 3).is_ok());
+}
+
+#[test]
+fn h1_reduction_monotonically_decreases_cluster_count() {
+    let ex = paper::fig4_expansion();
+    let mut last_cross = -1.0f64;
+    for k in (6..=12).rev() {
+        let c = h1(&ex.graph, k).unwrap();
+        assert_eq!(c.len(), k);
+        let cross = c.cross_influence(&ex.graph);
+        if last_cross >= 0.0 {
+            // H1's merges are nested, so coarser clusterings absorb more
+            // influence internally and less crosses node boundaries.
+            assert!(cross <= last_cross + 1e-9, "k={k}: {cross} vs {last_cross}");
+        }
+        last_cross = cross;
+    }
+}
+
+#[test]
+fn criticality_pairing_spreads_criticality() {
+    let ex = paper::fig4_expansion();
+    let crit = criticality_pairing(&ex.graph, 6).unwrap();
+    let by_infl = h1(&ex.graph, 6).unwrap();
+    let max_crit = |c: &Clustering| {
+        c.clusters()
+            .iter()
+            .map(|grp| {
+                grp.iter()
+                    .map(|&n| ex.graph.node(n).unwrap().attributes.criticality.0)
+                    .sum::<u32>()
+            })
+            .max()
+            .unwrap()
+    };
+    // Most-with-least pairing never exceeds the influence-driven packing
+    // in criticality concentration.
+    assert!(max_crit(&crit) <= max_crit(&by_infl));
+}
+
+#[test]
+fn separation_analysis_of_fig3_is_well_behaved() {
+    let g = paper::fig3_graph();
+    let analysis = SeparationAnalysis::from_graph(&g).expect("valid influence weights");
+    for i in 0..8 {
+        for j in 0..8 {
+            if i == j {
+                continue;
+            }
+            let s = analysis.separation(NodeIdx(i), NodeIdx(j), 4);
+            assert!((0.0..=1.0).contains(&s), "sep({i},{j}) = {s}");
+        }
+    }
+    // p2 -> p1 direct (0.7) dominates: lowest separation in the graph.
+    let s21 = analysis.separation(NodeIdx(1), NodeIdx(0), 4);
+    for i in 0..8 {
+        for j in 0..8 {
+            if i != j {
+                assert!(analysis.separation(NodeIdx(i), NodeIdx(j), 4) >= s21 - 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn timing_refinement_respects_the_p5_p7_p8_conflict() {
+    let ex = paper::fig4_expansion();
+    for k in 4..=8 {
+        let Ok(c) = timing_refinement(&ex.graph, k) else {
+            continue;
+        };
+        for cluster in c.clusters() {
+            let names: Vec<&str> = cluster
+                .iter()
+                .map(|&n| ex.graph.node(n).unwrap().name.as_str())
+                .collect();
+            let all_three = ["p5", "p7", "p8"].iter().all(|p| names.contains(p));
+            assert!(!all_three, "k={k}: {names:?}");
+        }
+    }
+}
+
+#[test]
+fn mapping_quality_of_the_example_is_reportable() {
+    let ex = paper::fig4_expansion();
+    let hw = paper::hw_platform();
+    let c = h1(&ex.graph, 6).unwrap();
+    let m = approach_a(&ex.graph, &c, &hw, &ImportanceWeights::default()).unwrap();
+    let q = MappingQuality::evaluate(&ex.graph, &c, &m, &hw, 8);
+    assert_eq!(q.clusters, 6);
+    assert!(q.cross_influence > 0.0);
+    assert!(q.min_cross_node_separation < 1.0);
+}

@@ -1,0 +1,167 @@
+//! End-to-end reliability claims: the integration decisions the paper
+//! argues for must actually improve mission reliability in the
+//! Monte-Carlo model (the E4 experiment's acceptance tests).
+
+use ddsi::prelude::*;
+use ddsi::workloads::avionics;
+
+fn model(trials: u64) -> ReliabilityModel {
+    ReliabilityModel {
+        p_hw: 0.05,
+        p_sw: 0.05,
+        cross_node_attenuation: 0.2,
+        critical_at: 7,
+        trials,
+        seed: 77,
+    }
+}
+
+#[test]
+fn replication_beats_simplex_for_the_critical_function() {
+    // The expanded suite (TMR autopilot) vs the raw suite (single copy),
+    // both integrated with H1 + Approach A.
+    let weights = ImportanceWeights::default();
+    let m = model(30_000);
+
+    let (raw, _) = avionics::suite();
+    let mut hw4 = HwGraph::complete(4);
+    hw4.node_mut(NodeIdx(0))
+        .expect("hw0 exists")
+        .resources
+        .insert("display".into());
+    hw4.node_mut(NodeIdx(1))
+        .expect("hw1 exists")
+        .resources
+        .insert("radio".into());
+    let c_raw = h1(&raw, 4).unwrap();
+    let map_raw = approach_a(&raw, &c_raw, &hw4, &weights).unwrap();
+    let est_raw = m.evaluate(&raw, &c_raw, &map_raw);
+
+    let (expanded, _) = avionics::expanded_suite();
+    let hw6 = avionics::platform();
+    let c_rep = h1(&expanded.graph, 6).unwrap();
+    let map_rep = approach_a(&expanded.graph, &c_rep, &hw6, &weights).unwrap();
+    let est_rep = m.evaluate(&expanded.graph, &c_rep, &map_rep);
+
+    assert!(
+        est_rep.mission_failure < est_raw.mission_failure,
+        "replicated {} vs simplex {}",
+        est_rep.mission_failure,
+        est_raw.mission_failure
+    );
+}
+
+#[test]
+fn approach_b_minimises_critical_colocation() {
+    let (expanded, _) = avionics::expanded_suite();
+    let g = &expanded.graph;
+    let hw = avionics::platform();
+    let weights = ImportanceWeights::default();
+
+    let c_infl = h1(g, 6).unwrap();
+    let m_infl = approach_a(g, &c_infl, &hw, &weights).unwrap();
+    let q_infl = MappingQuality::evaluate(g, &c_infl, &m_infl, &hw, 7);
+
+    let (c_crit, m_crit) = approach_b(g, &hw, &weights).unwrap();
+    let q_crit = MappingQuality::evaluate(g, &c_crit, &m_crit, &hw, 7);
+
+    // Criticality pairing spreads the critical functions.
+    assert!(
+        q_crit.critical_colocations <= q_infl.critical_colocations,
+        "B: {} vs H1: {}",
+        q_crit.critical_colocations,
+        q_infl.critical_colocations
+    );
+    assert!(q_crit.max_criticality_per_node <= q_infl.max_criticality_per_node);
+}
+
+#[test]
+fn containing_influence_on_node_boundaries_pays_off() {
+    // Compare H1 (influence containment) against a deliberately bad
+    // clustering (anti-H1: split the strongest pairs) on the same
+    // workload, same platform.
+    let (expanded, _) = avionics::expanded_suite();
+    let g = &expanded.graph;
+    let hw = avionics::platform();
+    let weights = ImportanceWeights::default();
+    let m = model(30_000);
+
+    let c_good = h1(g, 6).unwrap();
+    let map_good = approach_a(g, &c_good, &hw, &weights).unwrap();
+    let q_good = MappingQuality::evaluate(g, &c_good, &map_good, &hw, 7);
+
+    // Adversarial clustering: reverse H1's grouping preference by pairing
+    // the *least* mutually influencing feasible nodes via criticality
+    // pairing (which ignores influence entirely).
+    let c_bad = criticality_pairing(g, 6).unwrap();
+    let map_bad = approach_a(g, &c_bad, &hw, &weights).unwrap();
+    let q_bad = MappingQuality::evaluate(g, &c_bad, &map_bad, &hw, 7);
+
+    // H1's whole point: less influence crosses node boundaries.
+    assert!(
+        q_good.cross_influence <= q_bad.cross_influence + 1e-9,
+        "H1 {} vs pairing {}",
+        q_good.cross_influence,
+        q_bad.cross_influence
+    );
+    // Both are valid integrations, so reliability is defined for both.
+    let r_good = m.evaluate(g, &c_good, &map_good);
+    let r_bad = m.evaluate(g, &c_bad, &map_bad);
+    assert!(r_good.trials == 30_000 && r_bad.trials == 30_000);
+}
+
+#[test]
+fn stronger_fcr_boundaries_reduce_mission_failure() {
+    let (expanded, _) = avionics::expanded_suite();
+    let g = &expanded.graph;
+    let hw = avionics::platform();
+    let weights = ImportanceWeights::default();
+    let c = h1(g, 6).unwrap();
+    let mp = approach_a(g, &c, &hw, &weights).unwrap();
+
+    let leaky = ReliabilityModel {
+        cross_node_attenuation: 1.0,
+        ..model(30_000)
+    }
+    .evaluate(g, &c, &mp);
+    let tight = ReliabilityModel {
+        cross_node_attenuation: 0.05,
+        ..model(30_000)
+    }
+    .evaluate(g, &c, &mp);
+    assert!(
+        tight.mission_failure < leaky.mission_failure,
+        "tight {} vs leaky {}",
+        tight.mission_failure,
+        leaky.mission_failure
+    );
+    assert!(tight.mean_failed_processes < leaky.mean_failed_processes);
+}
+
+#[test]
+fn comparison_harness_runs_all_strategies_on_the_suite() {
+    let (expanded, _) = avionics::expanded_suite();
+    let g = &expanded.graph;
+    let hw = avionics::platform();
+    let weights = ImportanceWeights::default();
+    let m = model(2_000);
+    let mut cmp = Comparison::new();
+    cmp.run_strategy("H1", g, &hw, &m, || {
+        let c = h1(g, 6)?;
+        let mp = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, mp))
+    });
+    cmp.run_strategy("H2", g, &hw, &m, || {
+        let c = h2(g, 6, BisectPolicy::LargestPart)?;
+        let mp = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, mp))
+    });
+    cmp.run_strategy("H3", g, &hw, &m, || {
+        let c = h3(g, 6, &weights)?;
+        let mp = approach_a(g, &c, &hw, &weights)?;
+        Ok((c, mp))
+    });
+    cmp.run_strategy("B", g, &hw, &m, || approach_b(g, &hw, &weights));
+    assert_eq!(cmp.outcomes().len() + cmp.failures().len(), 4);
+    assert!(cmp.outcomes().len() >= 3, "failures: {:?}", cmp.failures());
+}

@@ -1,0 +1,210 @@
+//! Integration tests of the composition rules R1–R5 across a realistic
+//! three-level hierarchy (the avionics suite decomposed into processes,
+//! tasks, and procedures).
+
+use ddsi::prelude::*;
+
+/// Builds a three-level avionics hierarchy:
+/// two processes, each with tasks and procedures.
+fn avionics_hierarchy() -> (FcmHierarchy, Ids) {
+    let mut h = FcmHierarchy::new();
+    let nav = h
+        .add_root(
+            "nav",
+            HierarchyLevel::Process,
+            AttributeSet::default()
+                .with_criticality(7)
+                .with_timing(0, 40, 6),
+        )
+        .unwrap();
+    let guidance = h
+        .add_root(
+            "guidance",
+            HierarchyLevel::Process,
+            AttributeSet::default()
+                .with_criticality(9)
+                .with_timing(0, 20, 5),
+        )
+        .unwrap();
+    let kalman = h
+        .add_child(nav, "kalman", AttributeSet::default().with_criticality(7))
+        .unwrap();
+    let wpt = h
+        .add_child(
+            nav,
+            "waypoints",
+            AttributeSet::default().with_criticality(4),
+        )
+        .unwrap();
+    let law = h
+        .add_child(
+            guidance,
+            "control_law",
+            AttributeSet::default().with_criticality(9),
+        )
+        .unwrap();
+    let predict = h
+        .add_child(
+            kalman,
+            "predict",
+            AttributeSet::default().with_criticality(6),
+        )
+        .unwrap();
+    let update = h
+        .add_child(
+            kalman,
+            "update",
+            AttributeSet::default().with_criticality(7),
+        )
+        .unwrap();
+    let gains = h
+        .add_child(law, "gains", AttributeSet::default().with_criticality(9))
+        .unwrap();
+    (
+        h,
+        Ids {
+            nav,
+            guidance,
+            kalman,
+            wpt,
+            law,
+            predict,
+            update,
+            gains,
+        },
+    )
+}
+
+struct Ids {
+    nav: FcmId,
+    guidance: FcmId,
+    kalman: FcmId,
+    wpt: FcmId,
+    law: FcmId,
+    predict: FcmId,
+    update: FcmId,
+    gains: FcmId,
+}
+
+use ddsi::core::FcmId;
+
+#[test]
+fn the_hierarchy_verifies() {
+    let (h, _) = avionics_hierarchy();
+    h.verify().unwrap();
+    assert_eq!(h.len(), 8);
+    assert_eq!(h.roots().count(), 2);
+    assert_eq!(h.at_level(HierarchyLevel::Procedure).count(), 3);
+}
+
+#[test]
+fn r2_sharing_the_kalman_predictor_is_impossible_but_duplication_works() {
+    let (mut h, ids) = avionics_hierarchy();
+    // The control law wants the predict procedure too. Sharing violates
+    // R2; duplication is the sanctioned alternative.
+    let copy = h.duplicate_into(ids.predict, ids.law).unwrap();
+    assert_ne!(copy, ids.predict);
+    assert_eq!(h.fcm(copy).unwrap().parent(), Some(ids.law));
+    assert_eq!(h.fcm(ids.predict).unwrap().parent(), Some(ids.kalman));
+    h.verify().unwrap();
+}
+
+#[test]
+fn r4_cross_process_task_integration_merges_the_processes() {
+    let (mut h, ids) = avionics_hierarchy();
+    // Integrating the kalman task (under nav) with the control law task
+    // (under guidance) forces nav and guidance to merge.
+    let merged_task = h
+        .integrate_across(ids.kalman, ids.law, "kalman+law")
+        .unwrap();
+    let merged_process = h.fcm(merged_task).unwrap().parent().unwrap();
+    assert!(h.fcm(ids.nav).is_err());
+    assert!(h.fcm(ids.guidance).is_err());
+    // The waypoint task moved under the merged process as well.
+    assert_eq!(h.fcm(ids.wpt).unwrap().parent(), Some(merged_process));
+    // Attribute combination is most-stringent: criticality 9 wins, merged
+    // timing window is the intersection with summed work.
+    let attrs = h.fcm(merged_process).unwrap().attributes();
+    assert_eq!(attrs.criticality, Criticality(9));
+    assert_eq!(attrs.timing.unwrap(), TimingConstraint::new(0, 20, 11));
+    h.verify().unwrap();
+}
+
+#[test]
+fn r5_retest_scales_with_fanout_not_tree_size() {
+    let (h, ids) = avionics_hierarchy();
+    let rt = h.retest_set(ids.predict).unwrap();
+    assert_eq!(rt.parent, Some(ids.kalman));
+    assert_eq!(rt.sibling_interfaces, vec![ids.update]);
+    assert_eq!(rt.size(), 3);
+    // Naive recertification of the nav tree touches 5 FCMs.
+    assert_eq!(h.naive_retest_set(ids.predict).unwrap().len(), 5);
+    // Sibling procedure in another task is untouched by R5.
+    assert!(!rt.sibling_interfaces.contains(&ids.gains));
+}
+
+#[test]
+fn merged_procedures_keep_isolation_semantics() {
+    let (mut h, ids) = avionics_hierarchy();
+    let merged = h
+        .merge_siblings(ids.predict, ids.update, "predict_update")
+        .unwrap();
+    assert_eq!(h.fcm(merged).unwrap().level(), HierarchyLevel::Procedure);
+    assert_eq!(h.fcm(merged).unwrap().parent(), Some(ids.kalman));
+    // R5 after the merge: retesting the merged FCM touches the kalman
+    // task only.
+    let rt = h.retest_set(merged).unwrap();
+    assert_eq!(rt.parent, Some(ids.kalman));
+    assert!(rt.sibling_interfaces.is_empty());
+    h.verify().unwrap();
+}
+
+#[test]
+fn fault_classes_route_to_the_right_level() {
+    use ddsi::core::FaultClass;
+    // A memory footprint is a process-level concern; erroneous parameters
+    // are procedure-level; timing overruns are task-level.
+    assert_eq!(FaultClass::MemoryFootprint.level(), HierarchyLevel::Process);
+    assert_eq!(
+        FaultClass::ErroneousParameter.level(),
+        HierarchyLevel::Procedure
+    );
+    assert_eq!(FaultClass::TimingOverrun.level(), HierarchyLevel::Task);
+    // And each level handles its own classes exclusively.
+    for level in HierarchyLevel::ALL {
+        for &fc in level.fault_classes() {
+            for other in HierarchyLevel::ALL {
+                assert_eq!(other.handles(fc), other == level);
+            }
+        }
+    }
+}
+
+#[test]
+fn isolation_reduces_influence_through_eq1() {
+    // A global-variable factor with and without information hiding.
+    let raw = FaultFactor::new(FactorKind::GlobalVariable, 0.3, 0.8, 0.6).unwrap();
+    let hidden = raw.with_isolation(IsolationTechnique::InformationHiding);
+    let infl_raw = Influence::from_factors(&[raw]);
+    let infl_hidden = Influence::from_factors(&[hidden]);
+    assert!(infl_hidden.value() < infl_raw.value());
+    // 0.3 · (0.8·0.2) · 0.6 = 0.0288
+    assert!((infl_hidden.value() - 0.0288).abs() < 1e-12);
+}
+
+#[test]
+fn replica_marks_survive_composition_attempts() {
+    let (mut h, ids) = avionics_hierarchy();
+    let law2 = h
+        .add_child(
+            ids.guidance,
+            "control_law_b",
+            AttributeSet::default().with_criticality(9),
+        )
+        .unwrap();
+    h.mark_replicas(&[ids.law, law2]).unwrap();
+    assert!(matches!(
+        h.merge_siblings(ids.law, law2, "laws"),
+        Err(FcmError::ReplicaConflict { .. })
+    ));
+}

@@ -1,0 +1,157 @@
+//! Measured-vs-analytic influence: the simulator's Monte-Carlo estimates
+//! must agree with Eq. 1 / Eq. 2 on scenarios where the analytic value is
+//! known in closed form (the E3 experiment's acceptance tests).
+
+use ddsi::core::{FactorKind, FaultFactor, Influence, IsolationTechnique};
+use ddsi::sim::model::{SchedulingPolicy, SystemSpec, SystemSpecBuilder};
+use ddsi::sim::InfluenceCampaign;
+
+/// One writer, one reader, single interaction within the horizon.
+fn single_hop(p2: f64, p3: f64, isolate: bool) -> SystemSpec {
+    let mut b = SystemSpecBuilder::new(1);
+    let m = b.add_medium("gv", FactorKind::GlobalVariable, p2).unwrap();
+    if isolate {
+        b.isolate_medium(m, IsolationTechnique::InformationHiding)
+            .unwrap();
+    }
+    b.task("writer", 0)
+        .one_shot(0, 10, 1)
+        .writes(m)
+        .build()
+        .unwrap();
+    b.task("reader", 0)
+        .one_shot(5, 10, 1)
+        .reads(m)
+        .vulnerability(p3)
+        .build()
+        .unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn single_hop_matches_eq1_across_a_parameter_sweep() {
+    for &(p2, p3) in &[(0.2, 0.9), (0.5, 0.5), (0.9, 0.3), (1.0, 1.0)] {
+        let campaign = InfluenceCampaign::new(single_hop(p2, p3, false), 20, 3000, 1);
+        let measured = campaign.measure_influence(0, 1).unwrap();
+        let analytic = p2 * p3;
+        assert!(
+            (measured.estimate - analytic).abs() < 0.04,
+            "p2={p2} p3={p3}: measured {} vs analytic {analytic}",
+            measured.estimate
+        );
+    }
+}
+
+#[test]
+fn isolation_shrinks_measured_influence_by_the_model_multiplier() {
+    let base = InfluenceCampaign::new(single_hop(0.8, 1.0, false), 20, 4000, 3);
+    let isolated = InfluenceCampaign::new(single_hop(0.8, 1.0, true), 20, 4000, 3);
+    let raw = base.measure_influence(0, 1).unwrap().estimate;
+    let hidden = isolated.measure_influence(0, 1).unwrap().estimate;
+    // Information hiding multiplies transmission by 0.2: 0.8 → 0.16.
+    assert!((raw - 0.8).abs() < 0.04, "raw {raw}");
+    assert!((hidden - 0.16).abs() < 0.03, "hidden {hidden}");
+}
+
+#[test]
+fn parallel_paths_match_eq2() {
+    // Writer feeds the reader through three independent media.
+    let ps = [0.3, 0.5, 0.2];
+    let mut b = SystemSpecBuilder::new(1);
+    let media: Vec<_> = ps
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            b.add_medium(format!("m{i}"), FactorKind::SharedMemory, p)
+                .unwrap()
+        })
+        .collect();
+    let mut writer = b.task("writer", 0).one_shot(0, 10, 1);
+    for &m in &media {
+        writer = writer.writes(m);
+    }
+    writer.build().unwrap();
+    let mut reader = b.task("reader", 0).one_shot(5, 10, 1);
+    for &m in &media {
+        reader = reader.reads(m);
+    }
+    reader.build().unwrap();
+    let campaign = InfluenceCampaign::new(b.build().unwrap(), 20, 4000, 17);
+    let measured = campaign.measure_influence(0, 1).unwrap();
+    let analytic = Influence::from_factors(
+        &ps.iter()
+            .map(|&p| FaultFactor::new(FactorKind::SharedMemory, 1.0, p, 1.0).unwrap())
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        (measured.estimate - analytic.value()).abs() < 0.04,
+        "measured {} analytic {}",
+        measured.estimate,
+        analytic.value()
+    );
+}
+
+#[test]
+fn two_hop_chain_composes_multiplicatively() {
+    // a → m1 → b → m2 → c, all single interactions, p3 = 1: the influence
+    // a→c is p2(m1) · p2(m2).
+    let mut b = SystemSpecBuilder::new(1);
+    let m1 = b.add_medium("m1", FactorKind::MessagePassing, 0.7).unwrap();
+    let m2 = b.add_medium("m2", FactorKind::MessagePassing, 0.4).unwrap();
+    b.task("a", 0)
+        .one_shot(0, 30, 1)
+        .writes(m1)
+        .build()
+        .unwrap();
+    b.task("b", 0)
+        .one_shot(5, 30, 1)
+        .reads(m1)
+        .writes(m2)
+        .build()
+        .unwrap();
+    b.task("c", 0)
+        .one_shot(10, 30, 1)
+        .reads(m2)
+        .build()
+        .unwrap();
+    let campaign = InfluenceCampaign::new(b.build().unwrap(), 40, 4000, 23);
+    let measured = campaign.measure_influence(0, 2).unwrap();
+    assert!(
+        (measured.estimate - 0.28).abs() < 0.04,
+        "measured {}",
+        measured.estimate
+    );
+}
+
+#[test]
+fn directionality_matches_the_papers_asymmetry_claim() {
+    // Influence is directional: the reader never influences the writer.
+    let campaign = InfluenceCampaign::new(single_hop(0.9, 0.9, false), 20, 500, 29);
+    let forward = campaign.measure_influence(0, 1).unwrap().estimate;
+    let backward = campaign.measure_influence(1, 0).unwrap().estimate;
+    assert!(forward > 0.5);
+    assert_eq!(backward, 0.0);
+}
+
+#[test]
+fn preemption_suppresses_timing_fault_transmission() {
+    use ddsi::sim::fault::FaultKind;
+    // Two tasks share a CPU; the hog overruns. Under FIFO the victim
+    // misses; under EDF it does not — the paper's §4.2.3 claim.
+    let build = |policy| {
+        let mut b = SystemSpecBuilder::new(1);
+        b.policy(policy);
+        b.task("hog", 0).periodic(50, 0, 5).build().unwrap();
+        b.task("victim", 0).periodic(20, 2, 3).build().unwrap();
+        b.build().unwrap()
+    };
+    let overrun = FaultKind::TimingOverrun { factor: 4 };
+    let fifo = InfluenceCampaign::new(build(SchedulingPolicy::NonPreemptiveFifo), 400, 50, 31)
+        .measure_influence_with(0, 1, overrun)
+        .unwrap();
+    let edf = InfluenceCampaign::new(build(SchedulingPolicy::PreemptiveEdf), 400, 50, 31)
+        .measure_influence_with(0, 1, overrun)
+        .unwrap();
+    assert!(fifo.estimate > 0.9, "fifo {}", fifo.estimate);
+    assert!(edf.estimate < 0.1, "edf {}", edf.estimate);
+}
