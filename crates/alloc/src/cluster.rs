@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use fcm_core::{AttributeSet, CompositionKind, ImportanceWeights};
 use fcm_graph::{condense, CombineRule, Condensation, NodeIdx};
 use fcm_sched::{edf, Job, JobId, JobSet};
@@ -20,7 +18,7 @@ use crate::sw::{SwEdge, SwGraph};
 
 /// A partition of the SW graph's nodes into clusters, validated against
 /// the paper's combination constraints.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Clustering {
     groups: Vec<Vec<NodeIdx>>,
 }

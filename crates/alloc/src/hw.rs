@@ -8,13 +8,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fcm_graph::{DiGraph, NodeIdx};
 
 /// A hardware node (processor) with its attached resource tags and
 /// throughput capacity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwNode {
     /// Display name, e.g. `"hw0"`.
     pub name: String,
@@ -69,7 +67,7 @@ impl fmt::Display for HwNode {
 /// The HW interconnection graph; edge weights are per-hop communication
 /// costs (used when "communication costs between SW modules … need to be
 /// considered" and the mapping's *dilation* matters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwGraph {
     graph: DiGraph<HwNode, f64>,
     /// All-pairs hop-cost matrix (shortest path over link costs).

@@ -18,8 +18,6 @@
 //! * the §6.2 closing example orders nodes purely by **timing** and
 //!   first-fits them into processors — [`timing_refinement`].
 
-use serde::{Deserialize, Serialize};
-
 use fcm_core::ImportanceWeights;
 use fcm_graph::NodeIdx;
 
@@ -29,7 +27,7 @@ use crate::hw::HwGraph;
 use crate::sw::SwGraph;
 
 /// An injective assignment of clusters to HW nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     /// `assignment[cluster] = hw node`.
     assignment: Vec<NodeIdx>,

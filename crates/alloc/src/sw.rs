@@ -8,8 +8,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fcm_core::{AttributeSet, ImportanceWeights};
 use fcm_graph::{DiGraph, NodeIdx};
 
@@ -17,7 +15,7 @@ use crate::error::AllocError;
 
 /// A node of the SW graph: one process-level FCM (possibly a replica, and
 /// after clustering, possibly a set of merged processes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwNode {
     /// Display name, e.g. `"p1"` or `"p1a"` for a replica.
     pub name: String,
@@ -87,7 +85,7 @@ impl fmt::Display for SwNode {
 }
 
 /// An edge of the SW graph.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SwEdge {
     /// Directed influence in `(0, 1]`.
     Influence(f64),

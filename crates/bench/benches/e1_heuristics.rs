@@ -1,16 +1,16 @@
 //! E1 timing: clustering heuristics H1 / H1′ / H2 / H3 across graph sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fcm_alloc::heuristics::{h1, h1_pair_all, h2, h3};
 use fcm_core::ImportanceWeights;
 use fcm_graph::algo::BisectPolicy;
+use fcm_substrate::bench::Suite;
 use fcm_workloads::random::RandomWorkload;
 
-fn bench_heuristics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_heuristics");
-    group.sample_size(10);
+fn main() {
+    let mut suite = Suite::new("e1_heuristics");
+    suite.sample_size(10);
     for &n in &[16usize, 32, 64] {
         let g = RandomWorkload {
             processes: n,
@@ -22,21 +22,18 @@ fn bench_heuristics(c: &mut Criterion) {
         .generate();
         let target = n / 3;
         let weights = ImportanceWeights::default();
-        group.bench_with_input(BenchmarkId::new("H1", n), &g, |b, g| {
-            b.iter(|| h1(black_box(g), target).expect("feasible"))
+        suite.bench(&format!("H1/{n}"), || {
+            h1(black_box(&g), target).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("H1_pair_all", n), &g, |b, g| {
-            b.iter(|| h1_pair_all(black_box(g), target).expect("feasible"))
+        suite.bench(&format!("H1_pair_all/{n}"), || {
+            h1_pair_all(black_box(&g), target).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("H2", n), &g, |b, g| {
-            b.iter(|| h2(black_box(g), target, BisectPolicy::LargestPart).expect("feasible"))
+        suite.bench(&format!("H2/{n}"), || {
+            h2(black_box(&g), target, BisectPolicy::LargestPart).expect("feasible")
         });
-        group.bench_with_input(BenchmarkId::new("H3", n), &g, |b, g| {
-            b.iter(|| h3(black_box(g), target, &weights).expect("feasible"))
+        suite.bench(&format!("H3/{n}"), || {
+            h3(black_box(&g), target, &weights).expect("feasible")
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_heuristics);
-criterion_main!(benches);

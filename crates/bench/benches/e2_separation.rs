@@ -1,14 +1,14 @@
 //! E2 timing: the Eq. 3 separation walk series vs truncation order and
 //! matrix size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fcm_core::separation::SeparationAnalysis;
+use fcm_substrate::bench::Suite;
 use fcm_workloads::random::RandomWorkload;
 
-fn bench_separation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_separation");
+fn main() {
+    let mut suite = Suite::new("e2_separation");
     for &n in &[8usize, 16, 32, 64] {
         let m = RandomWorkload {
             processes: n,
@@ -19,8 +19,8 @@ fn bench_separation(c: &mut Criterion) {
         }
         .generate_matrix();
         let analysis = SeparationAnalysis::new(m).expect("valid entries");
-        group.bench_with_input(BenchmarkId::new("pairwise_order4", n), &analysis, |b, a| {
-            b.iter(|| a.pairwise(black_box(4)))
+        suite.bench(&format!("pairwise_order4/{n}"), || {
+            analysis.pairwise(black_box(4))
         });
     }
     let m = RandomWorkload {
@@ -33,14 +33,9 @@ fn bench_separation(c: &mut Criterion) {
     .generate_matrix();
     let analysis = SeparationAnalysis::new(m).expect("valid entries");
     for order in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("order_sweep_n24", order),
-            &order,
-            |b, &order| b.iter(|| analysis.pairwise(black_box(order))),
-        );
+        suite.bench(&format!("order_sweep_n24/{order}"), || {
+            analysis.pairwise(black_box(order))
+        });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_separation);
-criterion_main!(benches);

@@ -1,41 +1,33 @@
 //! E3 timing: the discrete-event engine and injection campaigns.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use fcm_sim::model::SchedulingPolicy;
 use fcm_sim::{engine, InfluenceCampaign, Injection};
+use fcm_substrate::bench::Suite;
 use fcm_workloads::avionics;
 
-fn bench_injection(c: &mut Criterion) {
+fn main() {
     let (spec, roles) = avionics::control_loop_system(SchedulingPolicy::PreemptiveEdf)
         .expect("static system builds");
 
-    c.bench_function("engine_single_trial_400_ticks", |b| {
-        let inj = [Injection::value(0, roles.sensors)];
-        b.iter(|| engine::run(black_box(&spec), black_box(&inj), 7, 400))
+    let mut suite = Suite::new("e3_injection");
+    let inj = [Injection::value(0, roles.sensors)];
+    suite.bench("engine_single_trial_400_ticks", || {
+        engine::run(black_box(&spec), black_box(&inj), 7, 400)
     });
 
-    let mut group = c.benchmark_group("e3_campaign");
-    group.sample_size(10);
-    group.bench_function("influence_500_trials", |b| {
-        let campaign = InfluenceCampaign::new(spec.clone(), 400, 500, 7);
-        b.iter(|| {
-            campaign
-                .measure_influence(black_box(roles.sensors), black_box(roles.autopilot))
-                .expect("valid tasks")
-        })
+    suite.sample_size(10);
+    let campaign = InfluenceCampaign::new(spec.clone(), 400, 500, 7);
+    suite.bench("e3_campaign/influence_500_trials", || {
+        campaign
+            .measure_influence(black_box(roles.sensors), black_box(roles.autopilot))
+            .expect("valid tasks")
     });
-    group.bench_function("transmission_500_trials", |b| {
-        let campaign = InfluenceCampaign::new(spec.clone(), 400, 500, 7);
-        b.iter(|| {
-            campaign
-                .measure_transmission(black_box(roles.sensors), black_box(roles.sensor_shm))
-                .expect("valid indices")
-        })
+    suite.bench("e3_campaign/transmission_500_trials", || {
+        campaign
+            .measure_transmission(black_box(roles.sensors), black_box(roles.sensor_shm))
+            .expect("valid indices")
     });
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_injection);
-criterion_main!(benches);

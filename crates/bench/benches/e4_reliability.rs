@@ -1,34 +1,31 @@
 //! E4 timing: Monte-Carlo mission reliability of a mapped system.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use fcm_alloc::heuristics::h1;
 use fcm_alloc::mapping::approach_a;
 use fcm_core::ImportanceWeights;
 use fcm_eval::ReliabilityModel;
+use fcm_substrate::bench::Suite;
 use fcm_workloads::avionics;
 
-fn bench_reliability(c: &mut Criterion) {
+fn main() {
     let (ex, _) = avionics::expanded_suite();
     let hw = avionics::platform();
     let clustering = h1(&ex.graph, hw.len()).expect("feasible");
     let mapping =
         approach_a(&ex.graph, &clustering, &hw, &ImportanceWeights::default()).expect("mapping");
 
-    let mut group = c.benchmark_group("e4_reliability");
-    group.sample_size(10);
+    let mut suite = Suite::new("e4_reliability");
+    suite.sample_size(10);
     for trials in [1_000u64, 10_000] {
-        group.bench_function(format!("missions_{trials}"), |b| {
-            let model = ReliabilityModel {
-                trials,
-                ..ReliabilityModel::default()
-            };
-            b.iter(|| model.evaluate(black_box(&ex.graph), &clustering, &mapping))
+        let model = ReliabilityModel {
+            trials,
+            ..ReliabilityModel::default()
+        };
+        suite.bench(&format!("missions_{trials}"), || {
+            model.evaluate(black_box(&ex.graph), &clustering, &mapping)
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_reliability);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! E5 timing: schedulability analysis — EDF simulation vs non-preemptive
 //! branch-and-bound, and the periodic response-time analysis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fcm_sched::periodic::{PeriodicTask, TaskSet};
 use fcm_sched::{edf, nonpreemptive, Job, JobSet};
+use fcm_substrate::bench::Suite;
 
 fn job_set(n: usize) -> JobSet {
     // Staggered feasible jobs.
@@ -18,16 +18,16 @@ fn job_set(n: usize) -> JobSet {
     JobSet::new(jobs).expect("constructed jobs are well-formed")
 }
 
-fn bench_sched(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_sched");
+fn main() {
+    let mut suite = Suite::new("e5_sched");
     for &n in &[8usize, 16, 32] {
         let set = job_set(n);
-        group.bench_with_input(BenchmarkId::new("edf_feasible", n), &set, |b, s| {
-            b.iter(|| edf::feasible(black_box(s)))
+        suite.bench(&format!("edf_feasible/{n}"), || {
+            edf::feasible(black_box(&set))
         });
         if n <= 16 {
-            group.bench_with_input(BenchmarkId::new("nonpreemptive_exact", n), &set, |b, s| {
-                b.iter(|| nonpreemptive::feasible(black_box(s)).expect("within budget"))
+            suite.bench(&format!("nonpreemptive_exact/{n}"), || {
+                nonpreemptive::feasible(black_box(&set)).expect("within budget")
             });
         }
     }
@@ -37,11 +37,8 @@ fn bench_sched(c: &mut Criterion) {
             .collect(),
     )
     .expect("valid tasks");
-    group.bench_function("rm_response_time_12_tasks", |b| {
-        b.iter(|| black_box(&tasks).rm_response_times())
+    suite.bench("rm_response_time_12_tasks", || {
+        black_box(&tasks).rm_response_times()
     });
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_sched);
-criterion_main!(benches);

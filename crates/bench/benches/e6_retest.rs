@@ -1,9 +1,9 @@
 //! E6 timing: R5 retest-set computation vs naive full recertification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fcm_core::{AttributeSet, FcmHierarchy, FcmId, HierarchyLevel};
+use fcm_substrate::bench::Suite;
 
 fn build_hierarchy(fanout: usize) -> (FcmHierarchy, FcmId) {
     let mut h = FcmHierarchy::new();
@@ -25,19 +25,16 @@ fn build_hierarchy(fanout: usize) -> (FcmHierarchy, FcmId) {
     (h, a_procedure.expect("fanout > 0"))
 }
 
-fn bench_retest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_retest");
+fn main() {
+    let mut suite = Suite::new("e6_retest");
     for &fanout in &[4usize, 8, 16] {
         let (h, p) = build_hierarchy(fanout);
-        group.bench_with_input(BenchmarkId::new("r5_retest_set", fanout), &h, |b, h| {
-            b.iter(|| h.retest_set(black_box(p)).expect("known fcm"))
+        suite.bench(&format!("r5_retest_set/{fanout}"), || {
+            h.retest_set(black_box(p)).expect("known fcm")
         });
-        group.bench_with_input(BenchmarkId::new("naive_recertify", fanout), &h, |b, h| {
-            b.iter(|| h.naive_retest_set(black_box(p)).expect("known fcm"))
+        suite.bench(&format!("naive_recertify/{fanout}"), || {
+            h.naive_retest_set(black_box(p)).expect("known fcm")
         });
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_retest);
-criterion_main!(benches);

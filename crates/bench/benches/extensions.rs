@@ -1,7 +1,6 @@
 //! Timing benches for the extension machinery: s–t cuts, the generic
 //! hierarchy, certification bookkeeping, and system materialisation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fcm_alloc::heuristics::{h1, h2_source_target};
@@ -12,13 +11,15 @@ use fcm_core::{AttributeSet, FcmHierarchy, HierarchyLevel, ImportanceWeights};
 use fcm_graph::algo::st_min_cut;
 use fcm_graph::NodeIdx;
 use fcm_sim::model::SchedulingPolicy;
+use fcm_substrate::bench::Suite;
 use fcm_workloads::materialize::{system_from_mapping, system_from_mapping_voted};
 use fcm_workloads::random::RandomWorkload;
 use fcm_workloads::{avionics, topologies};
 
-fn bench_extensions(c: &mut Criterion) {
+fn main() {
+    let mut suite = Suite::new("extensions");
+
     // s–t min cut across sizes.
-    let mut group = c.benchmark_group("st_min_cut");
     for &n in &[16usize, 32, 64] {
         let g = RandomWorkload {
             processes: n,
@@ -28,43 +29,42 @@ fn bench_extensions(c: &mut Criterion) {
             ..RandomWorkload::default()
         }
         .generate();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| st_min_cut(black_box(g), NodeIdx(0), NodeIdx(n - 1)).expect("valid"))
+        suite.bench(&format!("st_min_cut/{n}"), || {
+            st_min_cut(black_box(&g), NodeIdx(0), NodeIdx(n - 1)).expect("valid")
         });
     }
-    group.finish();
 
-    c.bench_function("h2_source_target_ring_of_cliques", |b| {
+    {
         let g = topologies::ring_of_cliques(6, 4, 0.6, 0.05);
         let weights = ImportanceWeights::default();
-        b.iter(|| h2_source_target(black_box(&g), 6, &weights).expect("feasible"))
-    });
+        suite.bench("h2_source_target_ring_of_cliques", || {
+            h2_source_target(black_box(&g), 6, &weights).expect("feasible")
+        });
+    }
 
-    c.bench_function("generic_hierarchy_build_4_levels", |b| {
-        b.iter(|| {
-            let mut h = GenericFcmHierarchy::new(LevelLadder::with_objects());
-            let p = h
-                .add_root("p", "process", AttributeSet::default())
-                .expect("root");
-            for ti in 0..4 {
-                let t = h
-                    .add_child(p, format!("t{ti}"), AttributeSet::default())
-                    .expect("task");
-                for oi in 0..4 {
-                    let o = h
-                        .add_child(t, format!("o{oi}"), AttributeSet::default())
-                        .expect("object");
-                    for fi in 0..2 {
-                        h.add_child(o, format!("f{fi}"), AttributeSet::default())
-                            .expect("procedure");
-                    }
+    suite.bench("generic_hierarchy_build_4_levels", || {
+        let mut h = GenericFcmHierarchy::new(LevelLadder::with_objects());
+        let p = h
+            .add_root("p", "process", AttributeSet::default())
+            .expect("root");
+        for ti in 0..4 {
+            let t = h
+                .add_child(p, format!("t{ti}"), AttributeSet::default())
+                .expect("task");
+            for oi in 0..4 {
+                let o = h
+                    .add_child(t, format!("o{oi}"), AttributeSet::default())
+                    .expect("object");
+                for fi in 0..2 {
+                    h.add_child(o, format!("f{fi}"), AttributeSet::default())
+                        .expect("procedure");
                 }
             }
-            h
-        })
+        }
+        h
     });
 
-    c.bench_function("certification_modify_and_recertify", |b| {
+    {
         let mut h = FcmHierarchy::new();
         let p = h
             .add_root("p", HierarchyLevel::Process, AttributeSet::default())
@@ -83,48 +83,40 @@ fn bench_extensions(c: &mut Criterion) {
         }
         let leaf = leaf.expect("non-empty");
         let baseline = CertificationLedger::certify_all(&h);
-        b.iter(|| {
+        suite.bench("certification_modify_and_recertify", || {
             let mut ledger = baseline.clone();
             ledger
                 .record_modification(black_box(&h), leaf)
                 .expect("known fcm");
             ledger.recertify_outstanding(&h)
-        })
-    });
+        });
+    }
 
-    let mut group = c.benchmark_group("materialize");
-    group.sample_size(20);
+    suite.sample_size(20);
     let (ex, _) = avionics::expanded_suite();
     let hw = avionics::platform();
     let clustering = h1(&ex.graph, hw.len()).expect("feasible");
     let mapping =
         approach_a(&ex.graph, &clustering, &hw, &ImportanceWeights::default()).expect("mapping");
-    group.bench_function("avionics_unvoted", |b| {
-        b.iter(|| {
-            system_from_mapping(
-                black_box(&ex.graph),
-                &clustering,
-                &mapping,
-                SchedulingPolicy::PreemptiveEdf,
-                0.2,
-            )
-            .expect("materialises")
-        })
+    suite.bench("materialize/avionics_unvoted", || {
+        system_from_mapping(
+            black_box(&ex.graph),
+            &clustering,
+            &mapping,
+            SchedulingPolicy::PreemptiveEdf,
+            0.2,
+        )
+        .expect("materialises")
     });
-    group.bench_function("avionics_voted", |b| {
-        b.iter(|| {
-            system_from_mapping_voted(
-                black_box(&ex.graph),
-                &clustering,
-                &mapping,
-                SchedulingPolicy::PreemptiveEdf,
-                0.2,
-            )
-            .expect("materialises")
-        })
+    suite.bench("materialize/avionics_voted", || {
+        system_from_mapping_voted(
+            black_box(&ex.graph),
+            &clustering,
+            &mapping,
+            SchedulingPolicy::PreemptiveEdf,
+            0.2,
+        )
+        .expect("materialises")
     });
-    group.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_extensions);
-criterion_main!(benches);

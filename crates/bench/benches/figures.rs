@@ -3,52 +3,56 @@
 //! These time the computational kernels that regenerate each figure; the
 //! figures themselves are produced by `cargo run -p fcm-bench --bin repro`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use fcm_alloc::heuristics::h1;
 use fcm_alloc::mapping::{approach_a, criticality_pairing, timing_refinement};
 use fcm_core::{cluster_influence, ImportanceWeights, Influence};
+use fcm_substrate::bench::Suite;
 use fcm_workloads::paper;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let ex = paper::fig4_expansion();
     let hw = paper::hw_platform();
     let weights = ImportanceWeights::default();
 
-    c.bench_function("fig4_replica_expansion", |b| {
-        let g = paper::fig3_graph();
-        b.iter(|| fcm_alloc::replication::expand_replicas(black_box(&g)))
-    });
+    let mut suite = Suite::new("figures");
 
-    c.bench_function("fig5_eq4_cluster_influence", |b| {
+    {
+        let g = paper::fig3_graph();
+        suite.bench("fig4_replica_expansion", || {
+            fcm_alloc::replication::expand_replicas(black_box(&g))
+        });
+    }
+
+    {
         let members = [
             Influence::new(0.7).expect("valid"),
             Influence::new(0.2).expect("valid"),
         ];
-        b.iter(|| cluster_influence(black_box(&members)))
+        suite.bench("fig5_eq4_cluster_influence", || {
+            cluster_influence(black_box(&members))
+        });
+    }
+
+    suite.bench("fig6_h1_reduction", || {
+        h1(black_box(&ex.graph), 6).expect("feasible")
     });
 
-    c.bench_function("fig6_h1_reduction", |b| {
-        b.iter(|| h1(black_box(&ex.graph), 6).expect("feasible"))
-    });
-
-    c.bench_function("fig6_approach_a_mapping", |b| {
+    {
         let clustering = h1(&ex.graph, 6).expect("feasible");
-        b.iter(|| {
+        suite.bench("fig6_approach_a_mapping", || {
             approach_a(black_box(&ex.graph), black_box(&clustering), &hw, &weights)
                 .expect("mapping")
-        })
+        });
+    }
+
+    suite.bench("fig7_criticality_pairing", || {
+        criticality_pairing(black_box(&ex.graph), 6).expect("feasible")
     });
 
-    c.bench_function("fig7_criticality_pairing", |b| {
-        b.iter(|| criticality_pairing(black_box(&ex.graph), 6).expect("feasible"))
+    suite.bench("fig8_timing_refinement", || {
+        timing_refinement(black_box(&ex.graph), 5).expect("feasible")
     });
-
-    c.bench_function("fig8_timing_refinement", |b| {
-        b.iter(|| timing_refinement(black_box(&ex.graph), 5).expect("feasible"))
-    });
+    suite.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

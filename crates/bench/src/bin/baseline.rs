@@ -1,0 +1,70 @@
+//! Emits the perf baseline artefact `BENCH_substrate.json`: E1
+//! clustering-heuristic and E2 separation-series timings measured with
+//! the in-tree micro-bench harness.
+//!
+//! ```text
+//! cargo run --release -p fcm-bench --bin baseline
+//! FCM_BENCH_QUICK=1 cargo run --release -p fcm-bench --bin baseline
+//! ```
+//!
+//! The artefact lands in the current directory (or `$FCM_BENCH_DIR`);
+//! committing it from the repo root starts the benchmark trajectory each
+//! future perf PR appends to.
+
+use std::hint::black_box;
+
+use fcm_alloc::heuristics::{h1, h1_pair_all, h2, h3};
+use fcm_core::separation::SeparationAnalysis;
+use fcm_core::ImportanceWeights;
+use fcm_graph::algo::BisectPolicy;
+use fcm_substrate::bench::Suite;
+use fcm_workloads::random::RandomWorkload;
+
+fn main() {
+    let mut suite = Suite::new("substrate");
+    suite.sample_size(20);
+
+    // E1: the four clustering heuristics across graph sizes.
+    for &n in &[16usize, 32, 64] {
+        let g = RandomWorkload {
+            processes: n,
+            density: 0.25,
+            replicated_fraction: 0.0,
+            seed: 42,
+            ..RandomWorkload::default()
+        }
+        .generate();
+        let target = n / 3;
+        let weights = ImportanceWeights::default();
+        suite.bench(&format!("e1/H1/{n}"), || {
+            h1(black_box(&g), target).expect("feasible")
+        });
+        suite.bench(&format!("e1/H1_pair_all/{n}"), || {
+            h1_pair_all(black_box(&g), target).expect("feasible")
+        });
+        suite.bench(&format!("e1/H2/{n}"), || {
+            h2(black_box(&g), target, BisectPolicy::LargestPart).expect("feasible")
+        });
+        suite.bench(&format!("e1/H3/{n}"), || {
+            h3(black_box(&g), target, &weights).expect("feasible")
+        });
+    }
+
+    // E2: the Eq. 3 separation walk series vs matrix size.
+    for &n in &[8usize, 16, 32, 64] {
+        let m = RandomWorkload {
+            processes: n,
+            density: 0.2,
+            influence_range: (0.02, 0.3),
+            seed: 9,
+            ..RandomWorkload::default()
+        }
+        .generate_matrix();
+        let analysis = SeparationAnalysis::new(m).expect("valid entries");
+        suite.bench(&format!("e2/pairwise_order4/{n}"), || {
+            analysis.pairwise(black_box(4))
+        });
+    }
+
+    suite.finish();
+}

@@ -6,7 +6,11 @@
 //! cargo run --release -p fcm-bench --bin repro -- t1 f6   # a selection
 //! cargo run --release -p fcm-bench --bin repro -- --quick # reduced scale
 //! cargo run --release -p fcm-bench --bin repro -- f3 --dot # Graphviz output
+//! cargo run --release -p fcm-bench --bin repro -- --seed 7 # reseed streams
 //! ```
+//!
+//! Every run is deterministic: the default base seed is fixed, so two
+//! invocations with the same arguments produce byte-identical output.
 
 use fcm_bench::experiments::{self, Scale};
 
@@ -14,7 +18,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let dot = args.iter().any(|a| a == "--dot");
-    let scale = if quick { Scale::QUICK } else { Scale::FULL };
+    let seed = parse_seed(&args);
+    let scale = if quick { Scale::QUICK } else { Scale::FULL }.with_seed(seed);
     if args.iter().any(|a| a == "--list") {
         for (id, what) in [
             ("t1", "Table 1: example process attributes"),
@@ -42,11 +47,19 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut selected: Vec<&str> = Vec::new();
+    let mut skip_value = false;
+    for a in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--seed" {
+            skip_value = true;
+        } else if !a.starts_with("--") {
+            selected.push(a.as_str());
+        }
+    }
     let want =
         |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
 
@@ -148,4 +161,30 @@ fn main() {
 
 fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Parses `--seed <n>` (also `--seed=<n>`); defaults to 0, the fixed
+/// seed every published table is generated with.
+fn parse_seed(args: &[String]) -> u64 {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("--seed requires a value");
+                std::process::exit(2);
+            });
+            return parse_or_die(v);
+        }
+        if let Some(v) = a.strip_prefix("--seed=") {
+            return parse_or_die(v);
+        }
+    }
+    0
+}
+
+fn parse_or_die(v: &str) -> u64 {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid --seed value: {v}");
+        std::process::exit(2);
+    })
 }

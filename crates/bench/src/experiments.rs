@@ -19,8 +19,7 @@ use fcm_sim::fault::FaultKind;
 use fcm_sim::model::{SchedulingPolicy, SystemSpecBuilder};
 use fcm_sim::InfluenceCampaign;
 use fcm_workloads::{avionics, paper, random::RandomWorkload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fcm_substrate::rng::Rng;
 
 use crate::report::Table;
 
@@ -33,6 +32,9 @@ pub struct Scale {
     pub seeds: u64,
     /// Monte-Carlo missions per reliability estimate.
     pub reliability_trials: u64,
+    /// Base seed offsetting every internal PRNG stream. Two runs with
+    /// the same base seed produce byte-identical tables.
+    pub base_seed: u64,
 }
 
 impl Scale {
@@ -41,13 +43,22 @@ impl Scale {
         trials: 3000,
         seeds: 8,
         reliability_trials: 30_000,
+        base_seed: 0,
     };
     /// Reduced scale for tests and timing benches.
     pub const QUICK: Scale = Scale {
         trials: 300,
         seeds: 2,
         reliability_trials: 2_000,
+        base_seed: 0,
     };
+
+    /// The same scale with a different base seed.
+    #[must_use]
+    pub const fn with_seed(mut self, base_seed: u64) -> Scale {
+        self.base_seed = base_seed;
+        self
+    }
 }
 
 // ---------------------------------------------------------------- T1, F3–F8
@@ -260,7 +271,7 @@ pub fn e1(scale: Scale) -> Table {
                 processes: n,
                 density: 0.25,
                 replicated_fraction: 0.15,
-                seed: seed.wrapping_mul(7919).wrapping_add(n as u64),
+                seed: scale.base_seed.wrapping_add(seed.wrapping_mul(7919)).wrapping_add(n as u64),
                 ..RandomWorkload::default()
             }
             .generate();
@@ -387,7 +398,12 @@ pub fn e3(scale: Scale) -> Table {
                 .build()
                 .expect("valid task");
             let campaign =
-                InfluenceCampaign::new(b.build().expect("valid system"), 20, scale.trials, 11);
+                InfluenceCampaign::new(
+                b.build().expect("valid system"),
+                20,
+                scale.trials,
+                scale.base_seed.wrapping_add(11),
+            );
             let measured = campaign
                 .measure_influence(0, 1)
                 .expect("valid tasks")
@@ -433,7 +449,7 @@ pub fn e4(scale: Scale) -> Table {
             cross_node_attenuation: 0.2,
             critical_at: 7,
             trials: scale.reliability_trials,
-            seed: 404,
+            seed: scale.base_seed.wrapping_add(404),
         };
         let mut cmp = Comparison::new();
         cmp.run_strategy("H1+A", g, &hw, &model, || {
@@ -484,7 +500,7 @@ pub fn e5(scale: Scale) -> Table {
         let mut edf_ok = 0u32;
         let mut np_ok = 0u32;
         for seed in 0..seeds {
-            let set = random_job_set(8, u, seed);
+            let set = random_job_set(8, u, scale.base_seed.wrapping_add(seed));
             if edf::feasible(&set) {
                 edf_ok += 1;
             }
@@ -566,7 +582,12 @@ pub fn e7(scale: Scale) -> Table {
             .reads(m)
             .build()
             .expect("task");
-        let campaign = InfluenceCampaign::new(b.build().expect("system"), 20, scale.trials, 5);
+        let campaign = InfluenceCampaign::new(
+            b.build().expect("system"),
+            20,
+            scale.trials,
+            scale.base_seed.wrapping_add(5),
+        );
         let infl = campaign.measure_influence(0, 1).expect("tasks").estimate;
         t.push([
             "value (shm)".to_string(),
@@ -591,7 +612,12 @@ pub fn e7(scale: Scale) -> Table {
             .recovery(recovery)
             .build()
             .expect("task");
-        let campaign = InfluenceCampaign::new(b.build().expect("system"), 20, scale.trials, 5);
+        let campaign = InfluenceCampaign::new(
+            b.build().expect("system"),
+            20,
+            scale.trials,
+            scale.base_seed.wrapping_add(5),
+        );
         let infl = campaign.measure_influence(0, 1).expect("tasks").estimate;
         t.push([
             "value (shm)".to_string(),
@@ -605,7 +631,7 @@ pub fn e7(scale: Scale) -> Table {
         ("preemptive scheduling", SchedulingPolicy::PreemptiveEdf),
     ] {
         let (spec, roles) = avionics::control_loop_system(policy).expect("static system");
-        let campaign = InfluenceCampaign::new(spec, 400, scale.trials.min(500), 5);
+        let campaign = InfluenceCampaign::new(spec, 400, scale.trials.min(500), scale.base_seed.wrapping_add(5));
         let infl = campaign
             .measure_influence_with(
                 roles.maintenance,
@@ -641,7 +667,7 @@ pub fn e8(scale: Scale) -> Table {
         cross_node_attenuation: 0.2,
         critical_at: 7,
         trials: scale.reliability_trials,
-        seed: 505,
+        seed: scale.base_seed.wrapping_add(505),
     };
     let curve = integration_sweep(
         g,
@@ -698,7 +724,7 @@ pub fn e9(scale: Scale) -> String {
         cross_node_attenuation: 0.2,
         critical_at: 7,
         trials: scale.reliability_trials,
-        seed: 606,
+        seed: scale.base_seed.wrapping_add(606),
     };
     let options = vec![
         PlatformOption::new("4-node bare", fcm_alloc::HwGraph::complete(4), 4.0),
@@ -798,7 +824,12 @@ pub fn e11(scale: Scale) -> Table {
             .expect("materialisation succeeds");
             let src_task = mat.task(source);
             let critical_tasks: Vec<usize> = critical.iter().map(|&n| mat.task_of[n]).collect();
-            let campaign = InfluenceCampaign::new(mat.spec, 600, scale.trials, 808);
+            let campaign = InfluenceCampaign::new(
+                mat.spec,
+                600,
+                scale.trials,
+                scale.base_seed.wrapping_add(808),
+            );
             // Exposure: P(any critical task faulty | cabin fault).
             let mut any = 0u64;
             let trials = scale.trials.min(800);
@@ -806,7 +837,7 @@ pub fn e11(scale: Scale) -> Table {
                 let trace = fcm_sim::engine::run(
                     campaign.spec(),
                     &[fcm_sim::Injection::value(0, src_task)],
-                    808 + trial,
+                    scale.base_seed.wrapping_add(808 + trial),
                     600,
                 );
                 if critical_tasks.iter().any(|&ct| trace.value_faulty(ct)) {
@@ -860,7 +891,12 @@ pub fn e13(scale: Scale) -> Table {
             let trials = scale.trials.min(600);
             let mut hits = 0u64;
             for trial in 0..trials {
-                let trace = fcm_sim::engine::run(&mat.spec, &injections, 900 + trial, 200);
+                let trace = fcm_sim::engine::run(
+                    &mat.spec,
+                    &injections,
+                    scale.base_seed.wrapping_add(900 + trial),
+                    200,
+                );
                 if trace.value_faulty(mat.task(display)) {
                     hits += 1;
                 }
@@ -883,7 +919,7 @@ pub fn e12(scale: Scale) -> String {
     use fcm_workloads::measured::sw_graph_from_measurements;
     let (spec, roles) =
         avionics::control_loop_system(SchedulingPolicy::PreemptiveEdf).expect("static system");
-    let campaign = InfluenceCampaign::new(spec, 400, scale.trials, 4242);
+    let campaign = InfluenceCampaign::new(spec, 400, scale.trials, scale.base_seed.wrapping_add(4242));
     let g = sw_graph_from_measurements(&campaign, &[], 0.05).expect("attribute vector empty");
     let mut out = String::from(
         "measured influence edges (threshold 0.05):
@@ -963,7 +999,7 @@ fn min_clusters(g: &fcm_alloc::SwGraph) -> usize {
 /// A random job set of `n` jobs with total utilisation ≈ `u` over a
 /// 100-tick window.
 fn random_job_set(n: usize, u: f64, seed: u64) -> JobSet {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
     let horizon = 100u64;
     let total_work = (u * horizon as f64) as u64;
     let mut jobs = Vec::with_capacity(n);

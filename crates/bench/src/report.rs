@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use fcm_substrate::{Json, ToJson};
+
 /// A column-aligned text table.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Table {
@@ -38,6 +40,17 @@ impl Table {
     /// The rows (for assertions in tests).
     pub fn rows(&self) -> &[Vec<String>] {
         &self.rows
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .set("header", self.header.clone())
+            .set(
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
+            )
     }
 }
 
@@ -90,5 +103,21 @@ mod tests {
         let mut t = Table::new(["a", "b", "c"]);
         t.push(["x"]);
         assert_eq!(t.rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn json_artifact_round_trips() {
+        let mut t = Table::new(["n", "strategy"]);
+        t.push(["8", "H1"]);
+        t.push(["16", "H2 \"quoted\""]);
+        let j = t.to_json();
+        let back = Json::parse(&j.to_string_pretty()).expect("parses");
+        assert_eq!(back, j);
+        let rows = back.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[1].as_array().unwrap()[1].as_str(),
+            Some("H2 \"quoted\"")
+        );
     }
 }

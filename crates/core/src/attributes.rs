@@ -11,14 +11,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fcm_sched::{Job, JobId, Time};
 
 /// Application criticality (higher = more critical). The paper's Table 1
 /// uses small integers (e.g. 10 for the flight-critical process).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Criticality(pub u32);
 
@@ -33,7 +31,7 @@ impl fmt::Display for Criticality {
 /// `FT = 1` means a simplex (no replication); `FT = 2` a duplex;
 /// `FT = 3` triple modular redundancy (the paper's process p1 "has to be
 /// replicated three times to be run in a TMR mode (FT = 3)").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FaultTolerance(pub u8);
 
 impl FaultTolerance {
@@ -69,7 +67,7 @@ impl fmt::Display for FaultTolerance {
 
 /// The paper's per-process timing triple: earliest start time (EST), task
 /// completion deadline (TCD), and computation time (CT).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingConstraint {
     /// Earliest start time.
     pub est: Time,
@@ -143,7 +141,7 @@ impl fmt::Display for TimingConstraint {
 
 /// Sustained throughput requirement (units per tick); combined by
 /// summation, per the paper.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Throughput(pub f64);
 
 impl fmt::Display for Throughput {
@@ -155,7 +153,7 @@ impl fmt::Display for Throughput {
 /// Information-security classification level (higher = more restricted);
 /// combined by maximum (data flows up to the most restricted member).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SecurityLevel(pub u8);
 
@@ -166,7 +164,7 @@ impl fmt::Display for SecurityLevel {
 }
 
 /// The full attribute vector carried by every FCM.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AttributeSet {
     /// Task criticality.
     pub criticality: Criticality,
@@ -271,7 +269,7 @@ impl fmt::Display for AttributeSet {
 
 /// The "predefined static relative weights" (§5.1) used to fold an
 /// attribute vector into a scalar importance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ImportanceWeights {
     /// Weight on criticality.
     pub criticality: f64,

@@ -12,8 +12,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::FcmError;
 use crate::hierarchy::{FcmHierarchy, FcmId};
 
@@ -43,7 +41,7 @@ use crate::hierarchy::{FcmHierarchy, FcmId};
 /// assert_eq!(ledger.outstanding_modules(&h).len(), 2);
 /// # Ok::<(), fcm_core::FcmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CertificationLedger {
     certified_modules: BTreeSet<FcmId>,
     certified_interfaces: BTreeSet<(FcmId, FcmId)>,

@@ -26,12 +26,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::influence::Influence;
 
 /// How two or more FCMs are composed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompositionKind {
     /// Boundaries disappear; the constituents become one module.
     Merge,

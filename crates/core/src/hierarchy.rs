@@ -21,15 +21,13 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::attributes::AttributeSet;
 use crate::composition::CompositionKind;
 use crate::error::FcmError;
 use crate::level::HierarchyLevel;
 
 /// Identifier of an FCM within one [`FcmHierarchy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FcmId(pub u64);
 
 impl FcmId {
@@ -45,7 +43,7 @@ impl fmt::Display for FcmId {
 }
 
 /// A fault containment module in the hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fcm {
     id: FcmId,
     name: String,
@@ -96,7 +94,7 @@ impl Fcm {
 }
 
 /// The R5 retest obligation after a modification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetestSet {
     /// The modified FCM itself (always retested).
     pub modified: FcmId,
@@ -134,7 +132,7 @@ impl RetestSet {
 /// assert_eq!(h.fcm(merged)?.parent(), Some(task));
 /// # Ok::<(), fcm_core::FcmError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FcmHierarchy {
     arena: Vec<Fcm>,
     next_replica_group: u32,

@@ -23,14 +23,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::FcmError;
 use crate::isolation::IsolationTechnique;
 use crate::level::HierarchyLevel;
 
 /// A probability in `[0, 1]`, validated at construction.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Probability(f64);
 
 impl Probability {
@@ -96,7 +94,7 @@ impl From<Probability> for f64 {
 
 /// The mechanism by which a fault factor transmits between FCMs
 /// (§4.2.2–§4.2.3 list the dominant factors per level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FactorKind {
     /// Parameter passing between procedures (procedure-level factor f₁).
@@ -160,7 +158,7 @@ impl fmt::Display for FactorKind {
 ///   which "depends on both communication medium and data volume";
 /// * `manifestation` (pᵢ₃) — probability the faulty input causes a fault
 ///   in the target, "determined by injecting faults into the target FCM".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultFactor {
     /// Transmission mechanism.
     pub kind: FactorKind,
@@ -230,7 +228,7 @@ impl fmt::Display for FaultFactor {
 }
 
 /// The influence of one FCM on another (Eq. 2), in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Influence(Probability);
 
 impl Influence {

@@ -8,14 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::influence::FactorKind;
 use crate::level::HierarchyLevel;
 
 /// A fault-isolation technique, applied when an FCM is created so that
 /// "the other FCMs it might interact with … are clearly isolated from it".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum IsolationTechnique {
     /// Object-oriented information hiding (procedure level, §3.3).

@@ -13,15 +13,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::attributes::AttributeSet;
 use crate::composition::CompositionKind;
 use crate::error::FcmError;
 use crate::hierarchy::{FcmId, RetestSet};
 
 /// A named level in a [`LevelLadder`]; rank 0 is the leaf.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rank(pub usize);
 
 impl fmt::Display for Rank {
@@ -41,7 +39,7 @@ impl fmt::Display for Rank {
 /// assert_eq!(ladder.len(), 4);
 /// assert_eq!(ladder.name(ladder.rank_of("object").unwrap()), "object");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LevelLadder {
     names: Vec<String>,
 }
@@ -148,7 +146,7 @@ impl fmt::Display for LevelLadder {
 }
 
 /// An FCM in a generic hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenericFcm {
     id: FcmId,
     name: String,
@@ -209,7 +207,7 @@ impl GenericFcm {
 /// assert_eq!(h.ladder().name(h.fcm(proc1)?.rank()), "procedure");
 /// # Ok::<(), fcm_core::FcmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenericFcmHierarchy {
     ladder: LevelLadder,
     arena: Vec<GenericFcm>,

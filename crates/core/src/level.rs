@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A level of the FCM hierarchy (paper Fig. 1).
 ///
 /// The choice of exactly three levels is the paper's: *"The choice of
 /// three levels (and the elements used) is deliberate, illustrating the
 /// conceptual approach while minimizing model complexity."* Levels order
 /// from the leaf up: `Procedure < Task < Process`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HierarchyLevel {
     /// Lowest level: a named, callable module without its own thread of
     /// control; communicates via parameters and global variables.
@@ -93,7 +91,7 @@ impl fmt::Display for HierarchyLevel {
 /// A class of fault, assigned to the hierarchy level that must contain it
 /// (paper: "isolation of fault types into fixed levels of a
 /// design/implementation hierarchy").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum FaultClass {
     // Procedure level.

@@ -12,8 +12,6 @@
 //! "higher-order terms are likely to be small enough to be neglected".
 //! Experiment E2 measures how quickly the truncation converges.
 
-use serde::{Deserialize, Serialize};
-
 use fcm_graph::{DiGraph, Matrix, NodeIdx};
 
 use crate::error::FcmError;
@@ -39,7 +37,7 @@ pub const DEFAULT_ORDER: usize = 4;
 /// assert!((s - 0.8).abs() < 1e-12);
 /// # Ok::<(), fcm_core::FcmError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeparationAnalysis {
     influence: Matrix,
 }

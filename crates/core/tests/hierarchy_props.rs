@@ -2,7 +2,9 @@
 //! hierarchy invariants (rules R1/R2 structurally, R3/R4 behaviourally).
 
 use fcm_core::{AttributeSet, FcmHierarchy, FcmId, HierarchyLevel};
-use proptest::prelude::*;
+use fcm_substrate::prop;
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq};
 
 /// A random sequence of composition operations.
 #[derive(Debug, Clone)]
@@ -14,17 +16,20 @@ enum Op {
     IntegrateAcross(usize, usize),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            1 => Just(Op::AddRoot),
-            4 => (0usize..64).prop_map(Op::AddChild),
-            2 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::MergeSiblings(a, b)),
-            1 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Duplicate(a, b)),
-            1 => (0usize..64, 0usize..64).prop_map(|(a, b)| Op::IntegrateAcross(a, b)),
-        ],
-        1..60,
-    )
+/// Weighted random op mix (4:2:1:1:1 child/merge/root/dup/integrate),
+/// sequence length scaled by the shrinkable size budget up to 59.
+fn arb_ops(rng: &mut Rng, size: usize) -> Vec<Op> {
+    let hi = 59usize.min(1 + size * 59 / 100).max(1);
+    let len = rng.gen_range(1..=hi);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..9) {
+            0 => Op::AddRoot,
+            1..=4 => Op::AddChild(rng.gen_range(0usize..64)),
+            5 | 6 => Op::MergeSiblings(rng.gen_range(0usize..64), rng.gen_range(0usize..64)),
+            7 => Op::Duplicate(rng.gen_range(0usize..64), rng.gen_range(0usize..64)),
+            _ => Op::IntegrateAcross(rng.gen_range(0usize..64), rng.gen_range(0usize..64)),
+        })
+        .collect()
 }
 
 /// Applies ops best-effort (invalid ones simply error and are skipped),
@@ -72,55 +77,83 @@ fn run_ops(ops: &[Op]) -> FcmHierarchy {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn any_composition_sequence_preserves_the_invariants() {
+    prop::check_cases(
+        "any_composition_sequence_preserves_the_invariants",
+        128,
+        arb_ops,
+        |ops| {
+            let h = run_ops(ops);
+            h.verify().expect("invariants must hold after any op sequence");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn any_composition_sequence_preserves_the_invariants(ops in arb_ops()) {
-        let h = run_ops(&ops);
-        h.verify().expect("invariants must hold after any op sequence");
-    }
-
-    #[test]
-    fn retest_sets_stay_within_the_live_hierarchy(ops in arb_ops()) {
-        let h = run_ops(&ops);
-        for fcm in h.iter() {
-            let rt = h.retest_set(fcm.id()).expect("live fcm");
-            if let Some(p) = rt.parent {
-                prop_assert!(h.fcm(p).is_ok());
-                // R5: the parent really is the modified FCM's parent.
-                prop_assert_eq!(h.fcm(fcm.id()).unwrap().parent(), Some(p));
+#[test]
+fn retest_sets_stay_within_the_live_hierarchy() {
+    prop::check_cases(
+        "retest_sets_stay_within_the_live_hierarchy",
+        128,
+        arb_ops,
+        |ops| {
+            let h = run_ops(ops);
+            for fcm in h.iter() {
+                let rt = h.retest_set(fcm.id()).expect("live fcm");
+                if let Some(p) = rt.parent {
+                    prop_assert!(h.fcm(p).is_ok());
+                    // R5: the parent really is the modified FCM's parent.
+                    prop_assert_eq!(h.fcm(fcm.id()).unwrap().parent(), Some(p));
+                }
+                for s in &rt.sibling_interfaces {
+                    prop_assert!(h.fcm(*s).is_ok());
+                    prop_assert!(h.are_siblings(fcm.id(), *s).unwrap());
+                }
+                // The R5 set never exceeds the naive whole-tree set.
+                let naive = h.naive_retest_set(fcm.id()).expect("live fcm");
+                prop_assert!(rt.size() <= naive.len() + 1);
             }
-            for s in &rt.sibling_interfaces {
-                prop_assert!(h.fcm(*s).is_ok());
-                prop_assert!(h.are_siblings(fcm.id(), *s).unwrap());
-            }
-            // The R5 set never exceeds the naive whole-tree set.
-            let naive = h.naive_retest_set(fcm.id()).expect("live fcm");
-            prop_assert!(rt.size() <= naive.len() + 1);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn levels_always_step_down_one_rank(ops in arb_ops()) {
-        let h = run_ops(&ops);
-        for fcm in h.iter() {
-            for &c in fcm.children() {
-                let child = h.fcm(c).expect("child is live");
-                prop_assert_eq!(Some(child.level()), fcm.level().child());
+#[test]
+fn levels_always_step_down_one_rank() {
+    prop::check_cases(
+        "levels_always_step_down_one_rank",
+        128,
+        arb_ops,
+        |ops| {
+            let h = run_ops(ops);
+            for fcm in h.iter() {
+                for &c in fcm.children() {
+                    let child = h.fcm(c).expect("child is live");
+                    prop_assert_eq!(Some(child.level()), fcm.level().child());
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn descendants_are_acyclic_and_unique(ops in arb_ops()) {
-        let h = run_ops(&ops);
-        for root in h.roots() {
-            let mut d = h.descendants(root.id()).expect("live root");
-            let before = d.len();
-            d.sort();
-            d.dedup();
-            prop_assert_eq!(d.len(), before, "duplicate in descendants = shared child");
-        }
-    }
+#[test]
+fn descendants_are_acyclic_and_unique() {
+    prop::check_cases(
+        "descendants_are_acyclic_and_unique",
+        128,
+        arb_ops,
+        |ops| {
+            let h = run_ops(ops);
+            for root in h.roots() {
+                let mut d = h.descendants(root.id()).expect("live root");
+                let before = d.len();
+                d.sort();
+                d.dedup();
+                prop_assert_eq!(d.len(), before, "duplicate in descendants = shared child");
+            }
+            Ok(())
+        },
+    );
 }

@@ -8,14 +8,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use fcm_alloc::{Clustering, HwGraph, Mapping, SwGraph};
 use fcm_core::separation::{SeparationAnalysis, DEFAULT_ORDER};
 use fcm_graph::NodeIdx;
 
 /// The metric bundle for one integration outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MappingQuality {
     /// Influence crossing cluster (= HW node) boundaries; the objective
     /// the paper's heuristics minimise.
@@ -40,6 +38,19 @@ pub struct MappingQuality {
     pub max_security_spread: u8,
     /// Number of clusters (= processors used).
     pub clusters: usize,
+}
+
+impl fcm_substrate::ToJson for MappingQuality {
+    fn to_json(&self) -> fcm_substrate::Json {
+        fcm_substrate::Json::object()
+            .set("cross_influence", self.cross_influence)
+            .set("dilation", self.dilation)
+            .set("critical_colocations", self.critical_colocations)
+            .set("max_criticality_per_node", self.max_criticality_per_node)
+            .set("min_cross_node_separation", self.min_cross_node_separation)
+            .set("max_security_spread", self.max_security_spread)
+            .set("clusters", self.clusters)
+    }
 }
 
 impl MappingQuality {

@@ -16,17 +16,14 @@
 //! 4. a *module* fails when all its replicas fail; the **mission** fails
 //!    when any critical module (criticality ≥ threshold) fails.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fcm_substrate::rng::Rng;
 
 use fcm_alloc::sw::SwEdge;
 use fcm_alloc::{Clustering, Mapping, SwGraph};
 use fcm_graph::NodeIdx;
 
 /// Model parameters for the reliability simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityModel {
     /// Per-mission HW node failure probability.
     pub p_hw: f64,
@@ -57,7 +54,7 @@ impl Default for ReliabilityModel {
 }
 
 /// The outcome of a reliability run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityEstimate {
     /// Estimated mission failure probability.
     pub mission_failure: f64,
@@ -65,6 +62,15 @@ pub struct ReliabilityEstimate {
     pub mean_failed_processes: f64,
     /// Trials run.
     pub trials: u64,
+}
+
+impl fcm_substrate::ToJson for ReliabilityEstimate {
+    fn to_json(&self) -> fcm_substrate::Json {
+        fcm_substrate::Json::object()
+            .set("mission_failure", self.mission_failure)
+            .set("mean_failed_processes", self.mean_failed_processes)
+            .set("trials", self.trials)
+    }
 }
 
 impl ReliabilityModel {
@@ -124,41 +130,23 @@ impl ReliabilityModel {
             })
             .collect();
 
-        let threads = std::thread::available_parallelism().map_or(1, |t| t.get().min(8));
-        let chunk = self.trials.div_ceil(threads as u64).max(1);
-        let totals = Mutex::new((0u64, 0u64)); // (mission failures, failed process count)
-
-        crossbeam::thread::scope(|s| {
-            for w in 0..threads as u64 {
-                let totals = &totals;
-                let host = &host;
-                let modules = &modules;
-                let edges = &edges;
-                s.spawn(move |_| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(self.trials);
-                    let mut local_fail = 0u64;
-                    let mut local_procs = 0u64;
-                    for trial in lo..hi {
-                        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(trial));
-                        let failed = self.one_mission(&mut rng, n, host, edges);
-                        local_procs += failed.iter().filter(|&&f| f).count() as u64;
-                        let mission_failed = modules.iter().any(|(members, crit)| {
-                            *crit >= self.critical_at && members.iter().all(|&m| failed[m])
-                        });
-                        if mission_failed {
-                            local_fail += 1;
-                        }
-                    }
-                    let mut t = totals.lock();
-                    t.0 += local_fail;
-                    t.1 += local_procs;
+        // Trial `i` is seeded `seed + i`, so the totals are independent of
+        // how the work-stealing pool divides trials among threads.
+        let trials: Vec<u64> = (0..self.trials).collect();
+        let (failures, failed_procs) = fcm_substrate::par_reduce(
+            &trials,
+            |&trial| {
+                let mut rng = Rng::seed_from_u64(self.seed.wrapping_add(trial));
+                let failed = self.one_mission(&mut rng, n, &host, &edges);
+                let procs = failed.iter().filter(|&&f| f).count() as u64;
+                let mission_failed = modules.iter().any(|(members, crit)| {
+                    *crit >= self.critical_at && members.iter().all(|&m| failed[m])
                 });
-            }
-        })
-        .expect("reliability worker panicked");
-
-        let (failures, failed_procs) = totals.into_inner();
+                (u64::from(mission_failed), procs)
+            },
+            (0u64, 0u64),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
         ReliabilityEstimate {
             mission_failure: failures as f64 / self.trials.max(1) as f64,
             mean_failed_processes: failed_procs as f64 / self.trials.max(1) as f64,
@@ -169,7 +157,7 @@ impl ReliabilityModel {
     /// One mission: returns the per-process failure vector.
     fn one_mission(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng,
         n: usize,
         host: &[usize],
         edges: &[(usize, usize, f64)],

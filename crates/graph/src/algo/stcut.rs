@@ -182,9 +182,8 @@ mod tests {
     #[test]
     fn st_cut_is_never_below_the_global_min_cut() {
         use crate::algo::min_cut;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(11);
+        use fcm_substrate::rng::Rng;
+        let mut rng = Rng::seed_from_u64(11);
         for _ in 0..10 {
             let mut g: DiGraph<(), f64> = DiGraph::new();
             let nodes: Vec<_> = (0..7).map(|_| g.add_node(())).collect();

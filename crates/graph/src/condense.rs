@@ -6,13 +6,11 @@
 //! Eq. 4, `infl(C→t) = 1 − Π_{i∈C}(1 − infl(i→t))`. [`condense`] performs
 //! that contraction with a pluggable [`CombineRule`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::GraphError;
 use crate::{DiGraph, NodeIdx};
 
 /// How parallel influences from/to a condensed group are combined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CombineRule {
     /// Probabilistic or-combination `1 − Π(1 − pᵢ)` — the paper's Eq. 4,
     /// correct when the member influences are independent probabilities.

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::GraphError;
 
 /// Stable index of a node inside a [`DiGraph`].
@@ -13,7 +11,7 @@ use crate::error::GraphError;
 /// *reduction* is done by [condensation](mod@crate::condense) into a new graph,
 /// mirroring the paper's workflow where the original FCM graph is kept for
 /// traceability).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeIdx(pub usize);
 
 impl NodeIdx {
@@ -36,7 +34,7 @@ impl From<usize> for NodeIdx {
 }
 
 /// Stable index of an edge inside a [`DiGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgeIdx(pub usize);
 
 impl EdgeIdx {
@@ -53,7 +51,7 @@ impl fmt::Display for EdgeIdx {
 }
 
 /// A directed edge with its endpoints and payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Edge<E> {
     /// Source node.
     pub from: NodeIdx,
@@ -86,7 +84,7 @@ pub struct Edge<E> {
 /// assert_eq!(g.edge_count(), 2);
 /// assert_eq!(*g.edge_weight_between(p2, p1).unwrap(), 0.7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiGraph<N, E> {
     nodes: Vec<N>,
     edges: Vec<Edge<E>>,

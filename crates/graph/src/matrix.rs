@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::GraphError;
 use crate::{DiGraph, NodeIdx};
 
@@ -26,11 +24,24 @@ use crate::{DiGraph, NodeIdx};
 /// let sq = &m * &m;
 /// assert_eq!(sq[(0, 0)], 0.125);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl fcm_substrate::ToJson for Matrix {
+    fn to_json(&self) -> fcm_substrate::Json {
+        use fcm_substrate::Json;
+        let data: Vec<Json> = (0..self.rows)
+            .map(|i| Json::from(self.data[i * self.cols..(i + 1) * self.cols].to_vec()))
+            .collect();
+        Json::object()
+            .set("rows", self.rows)
+            .set("cols", self.cols)
+            .set("data", Json::Arr(data))
+    }
 }
 
 impl Matrix {

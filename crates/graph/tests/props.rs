@@ -2,14 +2,13 @@
 
 use fcm_graph::algo::{self, BisectPolicy};
 use fcm_graph::{condense, CombineRule, DiGraph, Matrix, NodeIdx};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fcm_substrate::prop;
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq};
 
-/// A random weighted digraph from a seed: n nodes, each ordered pair an
-/// edge with probability `density`, weights in (0, 1].
-fn random_graph(n: usize, density: f64, seed: u64) -> DiGraph<usize, f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+/// A random weighted digraph: n nodes, each ordered pair an edge with
+/// probability `density`, weights in (0, 1].
+fn random_graph(rng: &mut Rng, n: usize, density: f64) -> DiGraph<usize, f64> {
     let mut g = DiGraph::new();
     let nodes: Vec<NodeIdx> = (0..n).map(|i| g.add_node(i)).collect();
     for &a in &nodes {
@@ -20,6 +19,11 @@ fn random_graph(n: usize, density: f64, seed: u64) -> DiGraph<usize, f64> {
         }
     }
     g
+}
+
+/// Node count scaled by the shrinkable size budget: 2..=2+span.
+fn sized_n(rng: &mut Rng, size: usize, span: usize) -> usize {
+    2 + rng.gen_range(0..=span * size.clamp(1, 100) / 100)
 }
 
 /// The symmetrised weight crossing a given bipartition.
@@ -34,147 +38,201 @@ fn cut_weight(g: &DiGraph<usize, f64>, side_a: &[NodeIdx]) -> f64 {
         .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mincut_never_exceeds_any_single_node_isolation(
-        n in 2usize..12,
-        density in 0.1f64..0.9,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, density, seed);
-        let cut = algo::min_cut(&g).unwrap();
-        // The cut found must be no worse than isolating any single node.
-        for v in g.node_indices() {
-            let isolation = cut_weight(&g, &[v]);
-            prop_assert!(cut.weight <= isolation + 1e-9,
-                "cut {} vs isolating {}: {}", cut.weight, v, isolation);
-        }
-        // And it must equal the actual crossing weight of its partition.
-        let actual = cut_weight(&g, &cut.side_a);
-        prop_assert!((cut.weight - actual).abs() < 1e-9);
-    }
-
-    #[test]
-    fn recursive_min_cut_partitions_exactly(
-        n in 2usize..12,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.4, seed);
-        for k in 1..=n {
-            let parts = algo::recursive_min_cut(&g, k, BisectPolicy::LargestPart).unwrap();
-            prop_assert_eq!(parts.len(), k);
-            let mut all: Vec<NodeIdx> = parts.into_iter().flatten().collect();
-            all.sort();
-            all.dedup();
-            prop_assert_eq!(all.len(), n);
-        }
-    }
-
-    #[test]
-    fn condense_conserves_sum_weight_under_sum_rule(
-        n in 2usize..10,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.5, seed);
-        // Split nodes into two halves.
-        let groups: Vec<Vec<NodeIdx>> = vec![
-            (0..n / 2).map(NodeIdx).collect(),
-            (n / 2..n).map(NodeIdx).collect(),
-        ];
-        let groups: Vec<Vec<NodeIdx>> =
-            groups.into_iter().filter(|grp| !grp.is_empty()).collect();
-        let c = condense(&g, &groups, CombineRule::Sum).unwrap();
-        let condensed_total: f64 = c.graph.edges().map(|(_, e)| e.weight).sum();
-        let crossing: f64 = g
-            .edges()
-            .filter(|(_, e)| {
-                c.group_of(e.from) != c.group_of(e.to)
-            })
-            .map(|(_, e)| e.weight)
-            .sum();
-        prop_assert!((condensed_total - crossing).abs() < 1e-9);
-    }
-
-    #[test]
-    fn condense_probabilistic_never_exceeds_sum(
-        n in 2usize..10,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.5, seed);
-        let groups: Vec<Vec<NodeIdx>> = vec![
-            (0..n / 2).map(NodeIdx).collect(),
-            (n / 2..n).map(NodeIdx).collect(),
-        ];
-        let groups: Vec<Vec<NodeIdx>> =
-            groups.into_iter().filter(|grp| !grp.is_empty()).collect();
-        let prob = condense(&g, &groups, CombineRule::Probabilistic).unwrap();
-        let sum = condense(&g, &groups, CombineRule::Sum).unwrap();
-        for (_, e) in prob.graph.edges() {
-            let s = sum
-                .graph
-                .edge_weight_between(e.from, e.to)
-                .copied()
-                .unwrap_or(0.0);
-            prop_assert!(e.weight <= s + 1e-9);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&e.weight));
-        }
-    }
-
-    #[test]
-    fn walk_series_is_monotone_in_order_for_nonnegative_matrices(
-        n in 1usize..8,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.4, seed);
-        let m = Matrix::from_graph(&g);
-        let s2 = m.walk_series(2, 0.0);
-        let s4 = m.walk_series(4, 0.0);
-        for i in 0..n {
-            for j in 0..n {
-                prop_assert!(s4.get(i, j).unwrap() >= s2.get(i, j).unwrap() - 1e-12);
+#[test]
+fn mincut_never_exceeds_any_single_node_isolation() {
+    prop::check_cases(
+        "mincut_never_exceeds_any_single_node_isolation",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 9);
+            let density = rng.gen_range(0.1f64..0.9);
+            random_graph(rng, n, density)
+        },
+        |g| {
+            let cut = algo::min_cut(g).unwrap();
+            // The cut found must be no worse than isolating any single node.
+            for v in g.node_indices() {
+                let isolation = cut_weight(g, &[v]);
+                prop_assert!(
+                    cut.weight <= isolation + 1e-9,
+                    "cut {} vs isolating {}: {}",
+                    cut.weight,
+                    v,
+                    isolation
+                );
             }
-        }
-    }
+            // And it must equal the actual crossing weight of its partition.
+            let actual = cut_weight(g, &cut.side_a);
+            prop_assert!((cut.weight - actual).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sccs_partition_and_respect_reachability(
-        n in 1usize..10,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.3, seed);
-        let sccs = algo::strongly_connected_components(&g);
-        let total: usize = sccs.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, n);
-        // Within a component, mutual reachability holds.
-        for comp in &sccs {
-            for &a in comp {
-                for &b in comp {
-                    prop_assert!(algo::is_reachable(&g, a, b));
+#[test]
+fn recursive_min_cut_partitions_exactly() {
+    prop::check_cases(
+        "recursive_min_cut_partitions_exactly",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 9);
+            random_graph(rng, n, 0.4)
+        },
+        |g| {
+            let n = g.node_count();
+            for k in 1..=n {
+                let parts = algo::recursive_min_cut(g, k, BisectPolicy::LargestPart).unwrap();
+                prop_assert_eq!(parts.len(), k);
+                let mut all: Vec<NodeIdx> = parts.into_iter().flatten().collect();
+                all.sort();
+                all.dedup();
+                prop_assert_eq!(all.len(), n);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn condense_conserves_sum_weight_under_sum_rule() {
+    prop::check_cases(
+        "condense_conserves_sum_weight_under_sum_rule",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 7);
+            random_graph(rng, n, 0.5)
+        },
+        |g| {
+            let n = g.node_count();
+            // Split nodes into two halves.
+            let groups: Vec<Vec<NodeIdx>> = vec![
+                (0..n / 2).map(NodeIdx).collect(),
+                (n / 2..n).map(NodeIdx).collect(),
+            ];
+            let groups: Vec<Vec<NodeIdx>> =
+                groups.into_iter().filter(|grp| !grp.is_empty()).collect();
+            let c = condense(g, &groups, CombineRule::Sum).unwrap();
+            let condensed_total: f64 = c.graph.edges().map(|(_, e)| e.weight).sum();
+            let crossing: f64 = g
+                .edges()
+                .filter(|(_, e)| c.group_of(e.from) != c.group_of(e.to))
+                .map(|(_, e)| e.weight)
+                .sum();
+            prop_assert!((condensed_total - crossing).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn condense_probabilistic_never_exceeds_sum() {
+    prop::check_cases(
+        "condense_probabilistic_never_exceeds_sum",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 7);
+            random_graph(rng, n, 0.5)
+        },
+        |g| {
+            let n = g.node_count();
+            let groups: Vec<Vec<NodeIdx>> = vec![
+                (0..n / 2).map(NodeIdx).collect(),
+                (n / 2..n).map(NodeIdx).collect(),
+            ];
+            let groups: Vec<Vec<NodeIdx>> =
+                groups.into_iter().filter(|grp| !grp.is_empty()).collect();
+            let prob = condense(g, &groups, CombineRule::Probabilistic).unwrap();
+            let sum = condense(g, &groups, CombineRule::Sum).unwrap();
+            for (_, e) in prob.graph.edges() {
+                let s = sum
+                    .graph
+                    .edge_weight_between(e.from, e.to)
+                    .copied()
+                    .unwrap_or(0.0);
+                prop_assert!(e.weight <= s + 1e-9);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&e.weight));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn walk_series_is_monotone_in_order_for_nonnegative_matrices() {
+    prop::check_cases(
+        "walk_series_is_monotone_in_order_for_nonnegative_matrices",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 5) - 1;
+            random_graph(rng, n, 0.4)
+        },
+        |g| {
+            let n = g.node_count();
+            let m = Matrix::from_graph(g);
+            let s2 = m.walk_series(2, 0.0);
+            let s4 = m.walk_series(4, 0.0);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!(s4.get(i, j).unwrap() >= s2.get(i, j).unwrap() - 1e-12);
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn topological_order_exists_iff_acyclic(
-        n in 1usize..10,
-        seed in any::<u64>(),
-    ) {
-        let g = random_graph(n, 0.3, seed);
-        let topo = algo::topological_order(&g);
-        let sccs = algo::strongly_connected_components(&g);
-        let acyclic = sccs.iter().all(|c| c.len() == 1)
-            && g.node_indices().all(|v| {
-                // No 2-cycles hidden as parallel edges both ways.
-                g.successors(v).all(|w| !algo::is_reachable(&g, w, v) || w == v)
-            });
-        if topo.is_some() {
-            // All SCCs singleton is necessary for acyclicity.
-            prop_assert!(sccs.iter().all(|c| c.len() == 1));
-        } else {
-            prop_assert!(!acyclic);
-        }
-    }
+#[test]
+fn sccs_partition_and_respect_reachability() {
+    prop::check_cases(
+        "sccs_partition_and_respect_reachability",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 7) - 1;
+            random_graph(rng, n, 0.3)
+        },
+        |g| {
+            let n = g.node_count();
+            let sccs = algo::strongly_connected_components(g);
+            let total: usize = sccs.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+            // Within a component, mutual reachability holds.
+            for comp in &sccs {
+                for &a in comp {
+                    for &b in comp {
+                        prop_assert!(algo::is_reachable(g, a, b));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn topological_order_exists_iff_acyclic() {
+    prop::check_cases(
+        "topological_order_exists_iff_acyclic",
+        64,
+        |rng, size| {
+            let n = sized_n(rng, size, 7) - 1;
+            random_graph(rng, n, 0.3)
+        },
+        |g| {
+            let topo = algo::topological_order(g);
+            let sccs = algo::strongly_connected_components(g);
+            let acyclic = sccs.iter().all(|c| c.len() == 1)
+                && g.node_indices().all(|v| {
+                    // No 2-cycles hidden as parallel edges both ways.
+                    g.successors(v)
+                        .all(|w| !algo::is_reachable(g, w, v) || w == v)
+                });
+            if topo.is_some() {
+                // All SCCs singleton is necessary for acyclicity.
+                prop_assert!(sccs.iter().all(|c| c.len() == 1));
+            } else {
+                prop_assert!(!acyclic);
+            }
+            Ok(())
+        },
+    );
 }

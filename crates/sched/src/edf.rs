@@ -6,12 +6,10 @@
 //! scheduling as the isolation technique that limits transmission of timing
 //! faults; the simulator crate reuses [`schedule`] for that experiment.
 
-use serde::{Deserialize, Serialize};
-
 use crate::job::{Job, JobId, JobSet, Time};
 
 /// One contiguous run of a job on the processor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Slice {
     /// The job that ran.
     pub job: JobId,
@@ -22,7 +20,7 @@ pub struct Slice {
 }
 
 /// The outcome of an EDF simulation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     /// Executed slices in chronological order.
     pub slices: Vec<Slice>,
@@ -31,6 +29,35 @@ pub struct Schedule {
     /// Jobs that missed their deadline, with the time the miss was
     /// detected (their deadline).
     pub misses: Vec<(JobId, Time)>,
+}
+
+impl fcm_substrate::ToJson for Slice {
+    fn to_json(&self) -> fcm_substrate::Json {
+        fcm_substrate::Json::object()
+            .set("job", self.job)
+            .set("start", self.start)
+            .set("end", self.end)
+    }
+}
+
+impl fcm_substrate::ToJson for Schedule {
+    fn to_json(&self) -> fcm_substrate::Json {
+        use fcm_substrate::{Json, ToJson};
+        Json::object()
+            .set(
+                "slices",
+                Json::Arr(self.slices.iter().map(ToJson::to_json).collect()),
+            )
+            .set(
+                "completions",
+                Json::Arr(
+                    self.completions
+                        .iter()
+                        .map(|&(job, at)| Json::object().set("job", job).set("at", at))
+                        .collect(),
+                ),
+            )
+    }
 }
 
 impl Schedule {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SchedError;
 
 /// Discrete time in ticks. The paper's example uses small integer times;
@@ -19,7 +17,7 @@ pub type JobId = u64;
 ///
 /// This mirrors the paper's per-process timing attributes: earliest start
 /// time (EST), task completion deadline (TCD) and computation time (CT).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Job {
     /// Caller-chosen identifier.
     pub id: JobId,
@@ -81,7 +79,7 @@ impl fmt::Display for Job {
 /// assert_eq!(set.total_work(), 5);
 /// # Ok::<(), fcm_sched::SchedError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct JobSet {
     jobs: Vec<Job>,
 }

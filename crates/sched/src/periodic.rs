@@ -10,13 +10,11 @@
 //! * Rate-monotonic sufficient bound `U ≤ n(2^{1/n} − 1)`;
 //! * Exact fixed-priority response-time analysis.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::SchedError;
 use crate::job::Time;
 
 /// A periodic task with implicit deadline (deadline = period).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PeriodicTask {
     /// Activation period (also the relative deadline).
     pub period: Time,
@@ -37,7 +35,7 @@ impl PeriodicTask {
 }
 
 /// A validated set of periodic tasks.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TaskSet {
     tasks: Vec<PeriodicTask>,
 }

@@ -2,138 +2,216 @@
 
 use fcm_sched::periodic::{PeriodicTask, TaskSet};
 use fcm_sched::{edf, nonpreemptive, Job, JobSet};
-use proptest::prelude::*;
+use fcm_substrate::prop;
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq};
 
-/// A random well-formed job set: every job feasible in isolation.
-fn arb_job_set(max_jobs: usize) -> impl Strategy<Value = JobSet> {
-    proptest::collection::vec((0u64..40, 1u64..10, 0u64..40), 1..=max_jobs).prop_map(|specs| {
-        let jobs: Vec<Job> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (est, ct, slack))| Job::new(i as u64, est, est + ct + slack, ct))
-            .collect();
-        JobSet::new(jobs).expect("constructed jobs are well-formed")
-    })
+/// A random well-formed job set: every job feasible in isolation. The
+/// job count grows with the shrinkable size budget up to `max_jobs`.
+fn arb_job_set(rng: &mut Rng, size: usize, max_jobs: usize) -> JobSet {
+    let hi = max_jobs.min(1 + size * max_jobs / 100).max(1);
+    let count = rng.gen_range(1..=hi);
+    let jobs: Vec<Job> = (0..count)
+        .map(|i| {
+            let est = rng.gen_range(0u64..40);
+            let ct = rng.gen_range(1u64..10);
+            let slack = rng.gen_range(0u64..40);
+            Job::new(i as u64, est, est + ct + slack, ct)
+        })
+        .collect();
+    JobSet::new(jobs).expect("constructed jobs are well-formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn edf_slices_never_overlap_and_conserve_work(set in arb_job_set(8)) {
-        let s = edf::schedule(&set);
-        // Chronological, non-overlapping slices.
-        for w in s.slices.windows(2) {
-            prop_assert!(w[0].end <= w[1].start);
-        }
-        // All work executes exactly once.
-        prop_assert_eq!(s.busy_time(), set.total_work());
-        // Every job completes exactly once.
-        prop_assert_eq!(s.completions.len(), set.len());
-        // No job starts before its release.
-        for job in set.jobs() {
-            let first_run = s
-                .slices
-                .iter()
-                .find(|sl| sl.job == job.id)
-                .expect("every job runs");
-            prop_assert!(first_run.start >= job.est);
-        }
-    }
-
-    #[test]
-    fn nonpreemptive_feasible_implies_edf_feasible(set in arb_job_set(7)) {
-        if let Ok(true) = nonpreemptive::feasible(&set) {
-            prop_assert!(edf::feasible(&set), "{set}");
-        }
-    }
-
-    #[test]
-    fn edd_success_implies_search_success(set in arb_job_set(7)) {
-        let (_, edd_ok) = nonpreemptive::edd_schedule(&set);
-        if edd_ok {
-            prop_assert!(nonpreemptive::feasible(&set).unwrap(), "{set}");
-        }
-    }
-
-    #[test]
-    fn nonpreemptive_witness_is_a_valid_schedule(set in arb_job_set(6)) {
-        if let Ok(Some(sched)) = nonpreemptive::search(&set, 200_000) {
-            let mut now = 0;
-            prop_assert_eq!(sched.sequence.len(), set.len());
-            for &(id, start, end) in &sched.sequence {
-                let job = set.jobs().iter().find(|j| j.id == id).expect("job exists");
-                prop_assert!(start >= job.est);
-                prop_assert!(start >= now);
-                prop_assert_eq!(end, start + job.ct);
-                prop_assert!(end <= job.tcd, "{set}");
-                now = end;
+#[test]
+fn edf_slices_never_overlap_and_conserve_work() {
+    prop::check_cases(
+        "edf_slices_never_overlap_and_conserve_work",
+        128,
+        |rng, size| arb_job_set(rng, size, 8),
+        |set| {
+            let s = edf::schedule(set);
+            // Chronological, non-overlapping slices.
+            for w in s.slices.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
             }
-        }
-    }
-
-    #[test]
-    fn demand_bound_is_necessary_for_edf(set in arb_job_set(8)) {
-        if edf::schedule(&set).is_feasible() {
-            prop_assert!(set.demand_bound_ok(), "{set}");
-        }
-    }
-
-    #[test]
-    fn removing_a_job_preserves_edf_feasibility(set in arb_job_set(8)) {
-        if edf::feasible(&set) && set.len() > 1 {
-            let reduced = JobSet::new(set.jobs()[1..].to_vec()).expect("subset is well-formed");
-            prop_assert!(edf::feasible(&reduced), "{set}");
-        }
-    }
-
-    #[test]
-    fn loosening_every_deadline_preserves_feasibility(set in arb_job_set(8)) {
-        if edf::feasible(&set) {
-            let loosened = JobSet::new(
-                set.jobs()
+            // All work executes exactly once.
+            prop_assert_eq!(s.busy_time(), set.total_work());
+            // Every job completes exactly once.
+            prop_assert_eq!(s.completions.len(), set.len());
+            // No job starts before its release.
+            for job in set.jobs() {
+                let first_run = s
+                    .slices
                     .iter()
-                    .map(|j| Job::new(j.id, j.est, j.tcd + 7, j.ct))
-                    .collect(),
-            )
-            .expect("loosened jobs are well-formed");
-            prop_assert!(edf::feasible(&loosened));
-        }
-    }
-
-    #[test]
-    fn rm_response_times_bound_wcet_and_respect_priority(
-        periods in proptest::collection::vec(2u64..50, 1..6),
-    ) {
-        let tasks: Vec<PeriodicTask> = periods
-            .iter()
-            .map(|&p| PeriodicTask::new(p, 1 + p / 10))
-            .collect();
-        let set = TaskSet::new(tasks).expect("valid tasks");
-        if let Some(responses) = set.rm_response_times() {
-            let mut sorted = set.tasks().to_vec();
-            sorted.sort_by_key(|t| t.period);
-            for (t, &r) in sorted.iter().zip(&responses) {
-                prop_assert!(r >= t.wcet);
-                prop_assert!(r <= t.period);
+                    .find(|sl| sl.job == job.id)
+                    .expect("every job runs");
+                prop_assert!(first_run.start >= job.est);
             }
-            // The highest-priority task suffers no interference.
-            prop_assert_eq!(responses[0], sorted[0].wcet);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn edf_utilisation_test_matches_rta_on_harmonic_sets(base in 2u64..8) {
-        // Harmonic periods: RM achieves full utilisation, so whenever the
-        // EDF bound accepts, exact RTA must also accept.
-        let tasks = vec![
-            PeriodicTask::new(base, 1),
-            PeriodicTask::new(base * 2, base / 2),
-            PeriodicTask::new(base * 4, base),
-        ];
-        let set = TaskSet::new(tasks).expect("valid harmonics");
-        if set.edf_feasible() {
-            prop_assert!(set.rm_response_time_feasible(), "U = {}", set.utilisation());
-        }
-    }
+#[test]
+fn nonpreemptive_feasible_implies_edf_feasible() {
+    prop::check_cases(
+        "nonpreemptive_feasible_implies_edf_feasible",
+        128,
+        |rng, size| arb_job_set(rng, size, 7),
+        |set| {
+            if let Ok(true) = nonpreemptive::feasible(set) {
+                prop_assert!(edf::feasible(set), "{}", set);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn edd_success_implies_search_success() {
+    prop::check_cases(
+        "edd_success_implies_search_success",
+        128,
+        |rng, size| arb_job_set(rng, size, 7),
+        |set| {
+            let (_, edd_ok) = nonpreemptive::edd_schedule(set);
+            if edd_ok {
+                prop_assert!(nonpreemptive::feasible(set).unwrap(), "{}", set);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn nonpreemptive_witness_is_a_valid_schedule() {
+    prop::check_cases(
+        "nonpreemptive_witness_is_a_valid_schedule",
+        128,
+        |rng, size| arb_job_set(rng, size, 6),
+        |set| {
+            if let Ok(Some(sched)) = nonpreemptive::search(set, 200_000) {
+                let mut now = 0;
+                prop_assert_eq!(sched.sequence.len(), set.len());
+                for &(id, start, end) in &sched.sequence {
+                    let job = set.jobs().iter().find(|j| j.id == id).expect("job exists");
+                    prop_assert!(start >= job.est);
+                    prop_assert!(start >= now);
+                    prop_assert_eq!(end, start + job.ct);
+                    prop_assert!(end <= job.tcd, "{}", set);
+                    now = end;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn demand_bound_is_necessary_for_edf() {
+    prop::check_cases(
+        "demand_bound_is_necessary_for_edf",
+        128,
+        |rng, size| arb_job_set(rng, size, 8),
+        |set| {
+            if edf::schedule(set).is_feasible() {
+                prop_assert!(set.demand_bound_ok(), "{}", set);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn removing_a_job_preserves_edf_feasibility() {
+    prop::check_cases(
+        "removing_a_job_preserves_edf_feasibility",
+        128,
+        |rng, size| arb_job_set(rng, size, 8),
+        |set| {
+            if edf::feasible(set) && set.len() > 1 {
+                let reduced = JobSet::new(set.jobs()[1..].to_vec()).expect("subset is well-formed");
+                prop_assert!(edf::feasible(&reduced), "{}", set);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn loosening_every_deadline_preserves_feasibility() {
+    prop::check_cases(
+        "loosening_every_deadline_preserves_feasibility",
+        128,
+        |rng, size| arb_job_set(rng, size, 8),
+        |set| {
+            if edf::feasible(set) {
+                let loosened = JobSet::new(
+                    set.jobs()
+                        .iter()
+                        .map(|j| Job::new(j.id, j.est, j.tcd + 7, j.ct))
+                        .collect(),
+                )
+                .expect("loosened jobs are well-formed");
+                prop_assert!(edf::feasible(&loosened));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rm_response_times_bound_wcet_and_respect_priority() {
+    prop::check_cases(
+        "rm_response_times_bound_wcet_and_respect_priority",
+        128,
+        |rng, size| {
+            let hi = 5usize.min(1 + size / 20).max(1);
+            let count = rng.gen_range(1..=hi);
+            (0..count)
+                .map(|_| rng.gen_range(2u64..50))
+                .collect::<Vec<u64>>()
+        },
+        |periods| {
+            let tasks: Vec<PeriodicTask> = periods
+                .iter()
+                .map(|&p| PeriodicTask::new(p, 1 + p / 10))
+                .collect();
+            let set = TaskSet::new(tasks).expect("valid tasks");
+            if let Some(responses) = set.rm_response_times() {
+                let mut sorted = set.tasks().to_vec();
+                sorted.sort_by_key(|t| t.period);
+                for (t, &r) in sorted.iter().zip(&responses) {
+                    prop_assert!(r >= t.wcet);
+                    prop_assert!(r <= t.period);
+                }
+                // The highest-priority task suffers no interference.
+                prop_assert_eq!(responses[0], sorted[0].wcet);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn edf_utilisation_test_matches_rta_on_harmonic_sets() {
+    prop::check_cases(
+        "edf_utilisation_test_matches_rta_on_harmonic_sets",
+        128,
+        |rng, _size| rng.gen_range(2u64..8),
+        |&base| {
+            // Harmonic periods: RM achieves full utilisation, so whenever the
+            // EDF bound accepts, exact RTA must also accept.
+            let tasks = vec![
+                PeriodicTask::new(base, 1),
+                PeriodicTask::new(base * 2, base / 2),
+                PeriodicTask::new(base * 4, base),
+            ];
+            let set = TaskSet::new(tasks).expect("valid harmonics");
+            if set.edf_feasible() {
+                prop_assert!(set.rm_response_time_feasible(), "U = {}", set.utilisation());
+            }
+            Ok(())
+        },
+    );
 }

@@ -9,8 +9,6 @@
 //! should be obtained. Trials run in parallel across threads; results
 //! are deterministic in the base seed regardless of thread count.
 
-use parking_lot::Mutex;
-
 use fcm_graph::Matrix;
 use fcm_sched::Time;
 
@@ -191,26 +189,15 @@ impl InfluenceCampaign {
     pub fn influence_matrix(&self) -> Matrix {
         let n = self.spec.task_count();
         let mut out = Matrix::zeros(n, n);
-        let results: Mutex<Vec<(usize, usize, f64)>> = Mutex::new(Vec::new());
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
             .collect();
-        let threads = worker_count();
-        crossbeam::thread::scope(|s| {
-            for chunk in pairs.chunks(pairs.len().div_ceil(threads).max(1)) {
-                let results = &results;
-                s.spawn(move |_| {
-                    for &(i, j) in chunk {
-                        let m = self
-                            .measure_influence(i, j)
-                            .expect("indices from task range");
-                        results.lock().push((i, j, m.estimate));
-                    }
-                });
-            }
-        })
-        .expect("campaign worker panicked");
-        for (i, j, v) in results.into_inner() {
+        let results = fcm_substrate::par_map(&pairs, |&(i, j)| {
+            self.measure_influence(i, j)
+                .expect("indices from task range")
+                .estimate
+        });
+        for (&(i, j), v) in pairs.iter().zip(results) {
             out[(i, j)] = v;
         }
         out
@@ -253,35 +240,25 @@ impl InfluenceCampaign {
     }
 
     /// Runs all trials (in parallel) and counts those where `hit` holds.
+    ///
+    /// Trial `i` is seeded `base_seed + i`, so the count is independent
+    /// of how [`fcm_substrate::par_reduce`] divides trials among threads.
     fn count_parallel(&self, hit: impl Fn(&Trace) -> bool + Sync, injections: &[Injection]) -> u64 {
-        let threads = worker_count();
-        let total = Mutex::new(0u64);
-        let chunk = self.trials.div_ceil(threads as u64).max(1);
-        crossbeam::thread::scope(|s| {
-            for w in 0..threads as u64 {
-                let total = &total;
-                let hit = &hit;
-                s.spawn(move |_| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(self.trials);
-                    let mut local = 0u64;
-                    for trial in lo..hi {
-                        let trace = engine::run(
-                            &self.spec,
-                            injections,
-                            self.base_seed.wrapping_add(trial),
-                            self.horizon,
-                        );
-                        if hit(&trace) {
-                            local += 1;
-                        }
-                    }
-                    *total.lock() += local;
-                });
-            }
-        })
-        .expect("campaign worker panicked");
-        total.into_inner()
+        let trials: Vec<u64> = (0..self.trials).collect();
+        fcm_substrate::par_reduce(
+            &trials,
+            |&trial| {
+                let trace = engine::run(
+                    &self.spec,
+                    injections,
+                    self.base_seed.wrapping_add(trial),
+                    self.horizon,
+                );
+                u64::from(hit(&trace))
+            },
+            0,
+            |a, b| a + b,
+        )
     }
 
     fn check_task(&self, task: TaskId) -> Result<(), SimError> {
@@ -290,10 +267,6 @@ impl InfluenceCampaign {
         }
         Ok(())
     }
-}
-
-fn worker_count() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 #[cfg(test)]

@@ -16,9 +16,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fcm_substrate::Bytes;
+use fcm_substrate::rng::Rng;
 
 use fcm_sched::Time;
 
@@ -66,7 +65,7 @@ struct ProcessorState {
 /// deadline falls within the horizon are counted as deadline misses
 /// (starvation). The run is fully deterministic in `seed`.
 pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time) -> Trace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut trace = Trace::empty(spec.task_count(), spec.medium_count());
 
     // Mutable task state.
@@ -285,7 +284,7 @@ fn complete_job(
     trace: &mut Trace,
     corrupt: &mut [bool],
     crashed: &[bool],
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     let task = &spec.tasks[job.task];
     trace.completions[job.task] += 1;

@@ -5,14 +5,12 @@
 //! overrun (the task-level "one task's delay … may cause another to miss
 //! its deadline"), and crash (omission of all further outputs).
 
-use serde::{Deserialize, Serialize};
-
 use fcm_sched::Time;
 
 use crate::model::TaskId;
 
 /// The kind of fault to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// The task's outputs become corrupt from the injection time onward.
     ValueCorruption,
@@ -28,7 +26,7 @@ pub enum FaultKind {
 }
 
 /// One fault injection: `kind` strikes `target` at time `at`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Injection {
     /// Injection time.
     pub at: Time,

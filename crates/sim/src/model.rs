@@ -7,8 +7,6 @@
 //! paper's fault factors (global variables, shared memory, message
 //! channels).
 
-use serde::{Deserialize, Serialize};
-
 use fcm_core::{FactorKind, IsolationTechnique, Probability};
 use fcm_sched::Time;
 
@@ -27,7 +25,7 @@ pub type MediumId = usize;
 /// infinite loop) can cause all other tasks also to fail", whereas
 /// preemption "minimizes the probability of transmission of the timing
 /// fault".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedulingPolicy {
     /// Preemptive earliest-deadline-first.
     #[default]
@@ -37,7 +35,7 @@ pub enum SchedulingPolicy {
 }
 
 /// When a task activates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activation {
     /// A single job: released at `est`, absolute deadline `tcd`.
     OneShot {
@@ -57,7 +55,7 @@ pub enum Activation {
 }
 
 /// A communication medium: one concrete fault-transmission path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MediumSpec {
     /// Display name.
     pub name: String,
@@ -69,7 +67,7 @@ pub struct MediumSpec {
 }
 
 /// A task: a thread of control pinned to one processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Display name.
     pub name: String,
@@ -102,7 +100,7 @@ pub struct TaskSpec {
 }
 
 /// A complete simulated system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSpec {
     /// Number of processors.
     pub processors: usize,

@@ -1,14 +1,12 @@
 //! Per-trial observations.
 
-use serde::{Deserialize, Serialize};
-
-use bytes::Bytes;
 use fcm_sched::Time;
+use fcm_substrate::{Bytes, Json, ToJson};
 
 use crate::model::{MediumId, TaskId};
 
 /// A notable event recorded during a trial.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A job of `task` completed at `at`.
     Completion {
@@ -46,8 +44,57 @@ pub enum TraceEvent {
     },
 }
 
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        match *self {
+            TraceEvent::Completion { task, at } => Json::object()
+                .set("event", "completion")
+                .set("task", task)
+                .set("at", at),
+            TraceEvent::DeadlineMiss { task, deadline, at } => Json::object()
+                .set("event", "deadline_miss")
+                .set("task", task)
+                .set("deadline", deadline)
+                .set("at", at),
+            TraceEvent::MediumCorrupted { medium, writer, at } => Json::object()
+                .set("event", "medium_corrupted")
+                .set("medium", medium)
+                .set("writer", writer)
+                .set("at", at),
+            TraceEvent::FaultLatched { task, at } => Json::object()
+                .set("event", "fault_latched")
+                .set("task", task)
+                .set("at", at),
+        }
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        let payloads: Vec<Option<String>> = self
+            .medium_payloads
+            .iter()
+            .map(|p| {
+                p.as_ref()
+                    .map(|b| String::from_utf8_lossy(b.as_slice()).into_owned())
+            })
+            .collect();
+        Json::object()
+            .set("value_faulty", self.value_faulty.clone())
+            .set("deadline_misses", self.deadline_misses.clone())
+            .set("completions", self.completions.clone())
+            .set("medium_corruptions", self.medium_corruptions.clone())
+            .set("recoveries", self.recoveries.clone())
+            .set("medium_payloads", payloads)
+            .set(
+                "events",
+                Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
+            )
+    }
+}
+
 /// The observable outcome of one simulated trial.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     /// Latched value-fault flag per task.
     pub value_faulty: Vec<bool>,

@@ -3,7 +3,9 @@
 use fcm_core::FactorKind;
 use fcm_sim::model::{SchedulingPolicy, SystemSpec, SystemSpecBuilder};
 use fcm_sim::{engine, Injection};
-use proptest::prelude::*;
+use fcm_substrate::prop;
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq};
 
 /// A random one-shot system on one processor: every task individually
 /// feasible, optionally chained through a shared medium.
@@ -13,114 +15,169 @@ struct OneShotSystem {
     horizon: u64,
 }
 
-fn arb_system(policy: SchedulingPolicy) -> impl Strategy<Value = OneShotSystem> {
-    (
-        proptest::collection::vec((0u64..30, 1u64..6, 5u64..40), 1..6),
-        any::<bool>(),
-    )
-        .prop_map(move |(tasks, with_medium)| {
-            let mut b = SystemSpecBuilder::new(1);
-            b.policy(policy);
-            let medium = if with_medium {
-                Some(
-                    b.add_medium("m", FactorKind::SharedMemory, 1.0)
-                        .expect("valid"),
-                )
-            } else {
-                None
-            };
-            let mut horizon = 0;
-            for (i, &(est, ct, window)) in tasks.iter().enumerate() {
-                let tcd = est + ct + window;
-                horizon = horizon.max(tcd);
-                let mut t = b.task(format!("t{i}"), 0).one_shot(est, tcd, ct);
-                if let Some(m) = medium {
-                    t = if i % 2 == 0 { t.writes(m) } else { t.reads(m) };
-                }
-                t.build().expect("valid task");
-            }
-            OneShotSystem {
-                spec: b.build().expect("valid system"),
-                // Generous horizon: all work fits even serialised.
-                horizon: horizon + tasks.iter().map(|&(_, ct, _)| ct).sum::<u64>() + 10,
-            }
+fn arb_system(rng: &mut Rng, size: usize, policy: SchedulingPolicy) -> OneShotSystem {
+    let hi = 5usize.min(1 + size / 20).max(1);
+    let count = rng.gen_range(1..=hi);
+    let tasks: Vec<(u64, u64, u64)> = (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0u64..30),
+                rng.gen_range(1u64..6),
+                rng.gen_range(5u64..40),
+            )
         })
+        .collect();
+    let with_medium = rng.gen_bool(0.5);
+
+    let mut b = SystemSpecBuilder::new(1);
+    b.policy(policy);
+    let medium = if with_medium {
+        Some(
+            b.add_medium("m", FactorKind::SharedMemory, 1.0)
+                .expect("valid"),
+        )
+    } else {
+        None
+    };
+    let mut horizon = 0;
+    for (i, &(est, ct, window)) in tasks.iter().enumerate() {
+        let tcd = est + ct + window;
+        horizon = horizon.max(tcd);
+        let mut t = b.task(format!("t{i}"), 0).one_shot(est, tcd, ct);
+        if let Some(m) = medium {
+            t = if i % 2 == 0 { t.writes(m) } else { t.reads(m) };
+        }
+        t.build().expect("valid task");
+    }
+    OneShotSystem {
+        spec: b.build().expect("valid system"),
+        // Generous horizon: all work fits even serialised.
+        horizon: horizon + tasks.iter().map(|&(_, ct, _)| ct).sum::<u64>() + 10,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn every_one_shot_job_completes_exactly_once(sys in arb_system(SchedulingPolicy::PreemptiveEdf)) {
-        let trace = engine::run(&sys.spec, &[], 0, sys.horizon);
-        for (t, &c) in trace.completions.iter().enumerate() {
-            prop_assert_eq!(c, 1, "task {} completed {} times", t, c);
-        }
-        prop_assert!(trace.value_faulty.iter().all(|&f| !f));
-    }
-
-    #[test]
-    fn fifo_also_completes_all_work(sys in arb_system(SchedulingPolicy::NonPreemptiveFifo)) {
-        let trace = engine::run(&sys.spec, &[], 0, sys.horizon);
-        prop_assert!(trace.completions.iter().all(|&c| c == 1));
-    }
-
-    #[test]
-    fn edf_never_misses_more_than_fifo(sys in arb_system(SchedulingPolicy::PreemptiveEdf)) {
-        let edf_trace = engine::run(&sys.spec, &[], 0, sys.horizon);
-        let mut fifo_spec = sys.spec.clone();
-        fifo_spec.policy = SchedulingPolicy::NonPreemptiveFifo;
-        let fifo_trace = engine::run(&fifo_spec, &[], 0, sys.horizon);
-        let edf_misses: u32 = edf_trace.deadline_misses.iter().sum();
-        let fifo_misses: u32 = fifo_trace.deadline_misses.iter().sum();
-        // EDF is optimal: if EDF misses anything, the set is infeasible;
-        // a feasible set must have zero EDF misses while FIFO may miss.
-        if fifo_misses == 0 {
-            prop_assert_eq!(edf_misses, 0, "{:?}", sys.spec);
-        }
-    }
-
-    #[test]
-    fn runs_are_bitwise_deterministic(sys in arb_system(SchedulingPolicy::PreemptiveEdf), seed in any::<u64>()) {
-        let inj = [Injection::value(0, 0)];
-        let a = engine::run(&sys.spec, &inj, seed, sys.horizon);
-        let b = engine::run(&sys.spec, &inj, seed, sys.horizon);
-        prop_assert_eq!(a, b);
-    }
-
-    #[test]
-    fn injection_only_ever_adds_faults(sys in arb_system(SchedulingPolicy::PreemptiveEdf)) {
-        let clean = engine::run(&sys.spec, &[], 7, sys.horizon);
-        let dirty = engine::run(&sys.spec, &[Injection::value(0, 0)], 7, sys.horizon);
-        // The injected task is faulty; nobody that was faulty before
-        // became clean.
-        prop_assert!(dirty.value_faulty[0]);
-        for (c, d) in clean.value_faulty.iter().zip(&dirty.value_faulty) {
-            prop_assert!(*d || !*c);
-        }
-        // Completions are schedule-determined and unchanged by value
-        // faults.
-        prop_assert_eq!(clean.completions, dirty.completions);
-    }
-
-    #[test]
-    fn crash_never_corrupts_media(sys in arb_system(SchedulingPolicy::PreemptiveEdf)) {
-        let trace = engine::run(&sys.spec, &[Injection::crash(0, 0)], 7, sys.horizon);
-        // A crashed task 0 performs no writes, so if it was the only
-        // writer, the medium stays unwritten.
-        let writers: Vec<usize> = sys
-            .spec
-            .tasks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.writes.is_empty())
-            .map(|(i, _)| i)
-            .collect();
-        if writers == vec![0] {
-            for payload in &trace.medium_payloads {
-                prop_assert!(payload.is_none());
+#[test]
+fn every_one_shot_job_completes_exactly_once() {
+    prop::check_cases(
+        "every_one_shot_job_completes_exactly_once",
+        96,
+        |rng, size| arb_system(rng, size, SchedulingPolicy::PreemptiveEdf),
+        |sys| {
+            let trace = engine::run(&sys.spec, &[], 0, sys.horizon);
+            for (t, &c) in trace.completions.iter().enumerate() {
+                prop_assert_eq!(c, 1, "task {} completed {} times", t, c);
             }
-        }
-        prop_assert_eq!(trace.medium_corruptions.iter().sum::<u32>(), 0);
-    }
+            prop_assert!(trace.value_faulty.iter().all(|&f| !f));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fifo_also_completes_all_work() {
+    prop::check_cases(
+        "fifo_also_completes_all_work",
+        96,
+        |rng, size| arb_system(rng, size, SchedulingPolicy::NonPreemptiveFifo),
+        |sys| {
+            let trace = engine::run(&sys.spec, &[], 0, sys.horizon);
+            prop_assert!(trace.completions.iter().all(|&c| c == 1));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn edf_never_misses_more_than_fifo() {
+    prop::check_cases(
+        "edf_never_misses_more_than_fifo",
+        96,
+        |rng, size| arb_system(rng, size, SchedulingPolicy::PreemptiveEdf),
+        |sys| {
+            let edf_trace = engine::run(&sys.spec, &[], 0, sys.horizon);
+            let mut fifo_spec = sys.spec.clone();
+            fifo_spec.policy = SchedulingPolicy::NonPreemptiveFifo;
+            let fifo_trace = engine::run(&fifo_spec, &[], 0, sys.horizon);
+            let edf_misses: u32 = edf_trace.deadline_misses.iter().sum();
+            let fifo_misses: u32 = fifo_trace.deadline_misses.iter().sum();
+            // EDF is optimal: if EDF misses anything, the set is infeasible;
+            // a feasible set must have zero EDF misses while FIFO may miss.
+            if fifo_misses == 0 {
+                prop_assert_eq!(edf_misses, 0, "{:?}", sys.spec);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn runs_are_bitwise_deterministic() {
+    prop::check_cases(
+        "runs_are_bitwise_deterministic",
+        96,
+        |rng, size| {
+            let sys = arb_system(rng, size, SchedulingPolicy::PreemptiveEdf);
+            let seed: u64 = rng.gen();
+            (sys, seed)
+        },
+        |(sys, seed)| {
+            let inj = [Injection::value(0, 0)];
+            let a = engine::run(&sys.spec, &inj, *seed, sys.horizon);
+            let b = engine::run(&sys.spec, &inj, *seed, sys.horizon);
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn injection_only_ever_adds_faults() {
+    prop::check_cases(
+        "injection_only_ever_adds_faults",
+        96,
+        |rng, size| arb_system(rng, size, SchedulingPolicy::PreemptiveEdf),
+        |sys| {
+            let clean = engine::run(&sys.spec, &[], 7, sys.horizon);
+            let dirty = engine::run(&sys.spec, &[Injection::value(0, 0)], 7, sys.horizon);
+            // The injected task is faulty; nobody that was faulty before
+            // became clean.
+            prop_assert!(dirty.value_faulty[0]);
+            for (c, d) in clean.value_faulty.iter().zip(&dirty.value_faulty) {
+                prop_assert!(*d || !*c);
+            }
+            // Completions are schedule-determined and unchanged by value
+            // faults.
+            prop_assert_eq!(&clean.completions, &dirty.completions);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn crash_never_corrupts_media() {
+    prop::check_cases(
+        "crash_never_corrupts_media",
+        96,
+        |rng, size| arb_system(rng, size, SchedulingPolicy::PreemptiveEdf),
+        |sys| {
+            let trace = engine::run(&sys.spec, &[Injection::crash(0, 0)], 7, sys.horizon);
+            // A crashed task 0 performs no writes, so if it was the only
+            // writer, the medium stays unwritten.
+            let writers: Vec<usize> = sys
+                .spec
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.writes.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            if writers == vec![0] {
+                for payload in &trace.medium_payloads {
+                    prop_assert!(payload.is_none());
+                }
+            }
+            prop_assert_eq!(trace.medium_corruptions.iter().sum::<u32>(), 0);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,134 @@
+//! A minimal immutable byte-string, replacing the `bytes` crate.
+//!
+//! The simulator uses payloads as opaque markers (clean/corrupt data in a
+//! medium), so all that is needed is cheap cloning, equality, and display
+//! — not the full rope machinery of the external crate. Static payloads
+//! clone without allocating; owned payloads share an `Arc`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte string.
+#[derive(Clone)]
+pub enum Bytes {
+    /// Borrowed from static storage (zero-cost clone).
+    Static(&'static [u8]),
+    /// Heap-allocated, reference-counted.
+    Owned(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Wraps a static byte slice (usable in `const` contexts).
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::Static(bytes)
+    }
+
+    /// Copies a slice into an owned payload.
+    #[must_use]
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes::Owned(Arc::from(bytes))
+    }
+
+    /// The payload as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Static(s) => s,
+            Bytes::Owned(o) => o,
+        }
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"{}\"", String::from_utf8_lossy(self.as_slice()))
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::Static(s.as_bytes())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::Owned(Arc::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MARKER: Bytes = Bytes::from_static(b"CLEAN");
+
+    #[test]
+    fn static_and_owned_compare_by_content() {
+        let owned = Bytes::copy_from_slice(b"CLEAN");
+        assert_eq!(MARKER, owned);
+        assert_ne!(MARKER, Bytes::from_static(b"CORRUPT"));
+        assert_eq!(MARKER.len(), 5);
+        assert!(!MARKER.is_empty());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = Bytes::from("payload");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&*a, b"payload");
+    }
+
+    #[test]
+    fn debug_renders_contents() {
+        assert_eq!(format!("{MARKER:?}"), "b\"CLEAN\"");
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        let b = Bytes::from(v.clone());
+        assert_eq!(b.as_slice(), &v[..]);
+    }
+}

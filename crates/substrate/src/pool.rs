@@ -1,0 +1,198 @@
+//! Scoped data-parallel helpers over `std::thread::scope`.
+//!
+//! The workspace's parallel workloads (fault-injection campaigns,
+//! Monte-Carlo reliability) are embarrassingly parallel loops whose
+//! *results must not depend on the thread count*. These helpers give
+//! them a fixed contract:
+//!
+//! * [`par_map`] — chunked work-stealing map that returns results in
+//!   input order;
+//! * [`par_for`] — the side-effect variant;
+//! * [`par_reduce`] — map + associative fold, in input order;
+//! * [`Mutex`] — a `std::sync::Mutex` with the poison-free `lock()` /
+//!   `into_inner()` surface the code previously got from `parking_lot`.
+//!
+//! Scheduling is self-stealing: workers repeatedly claim the next unclaimed
+//! chunk from a shared atomic cursor, so a slow chunk never idles the other
+//! workers. Panics in a worker propagate to the caller when the scope
+//! joins, like `crossbeam::thread::scope` did.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: available parallelism capped at 8 (the workloads
+/// here saturate memory bandwidth well before core count on big hosts).
+#[must_use]
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// A mutual-exclusion lock with `parking_lot`'s ergonomic surface over
+/// `std::sync::Mutex`: `lock()` returns the guard directly and a
+/// poisoned lock (a worker panicked while holding it) panics at the
+/// caller, which is always a bug here, never a recoverable state.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned: a worker panicked")
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .expect("mutex poisoned: a worker panicked")
+    }
+}
+
+/// Applies `f` to every item in parallel, returning results in input
+/// order. Uses up to [`worker_count`] threads; short inputs are mapped
+/// inline with no thread overhead.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = worker_count();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Chunks of at least 1, sized so each worker sees several chunks —
+    // coarse enough to amortise the atomic claim, fine enough to steal.
+    let chunk = (items.len() / (threads * 4)).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_chunks) {
+            s.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(items.len());
+                let out: Vec<R> = items[lo..hi].iter().map(&f).collect();
+                collected.lock().push((c, out));
+            });
+        }
+    });
+    let mut parts = collected.into_inner();
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    let mut result = Vec::with_capacity(items.len());
+    for (_, mut part) in parts {
+        result.append(&mut part);
+    }
+    result
+}
+
+/// Runs `f` over every index `0..n` in parallel (chunked, work-stealing).
+/// The closure receives the index; use it for side effects on `Sync`
+/// state (e.g. accumulating into a [`Mutex`]).
+pub fn par_for(n: usize, f: impl Fn(usize) + Sync) {
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |&i| f(i));
+}
+
+/// Parallel map followed by an in-order fold with `combine`.
+///
+/// `combine` is applied left-to-right over per-item results in input
+/// order, so non-commutative (but associative) folds are deterministic.
+pub fn par_reduce<T: Sync, R: Send>(
+    items: &[T],
+    map: impl Fn(&T) -> R + Sync,
+    init: R,
+    combine: impl Fn(R, R) -> R,
+) -> R {
+    par_map(items, map).into_iter().fold(init, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_with_uneven_work_still_ordered() {
+        // Later items finish first; order must still hold.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        par_for(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_reduce_is_deterministic_in_order() {
+        // String concatenation is associative but not commutative: any
+        // out-of-order combine would scramble it.
+        let items: Vec<usize> = (0..200).collect();
+        let s = par_reduce(
+            &items,
+            |&i| format!("{i},"),
+            String::new(),
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        let expected: String = (0..200).map(|i| format!("{i},")).collect();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<u32> = (0..100).collect();
+            par_map(&items, |&x| {
+                assert!(x != 57, "injected failure");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mutex_shim_locks_and_unwraps() {
+        let m = Mutex::new(0u64);
+        par_for(100, |_| {
+            *m.lock() += 1;
+        });
+        assert_eq!(m.into_inner(), 100);
+    }
+
+    #[test]
+    fn worker_count_is_positive_and_capped() {
+        let w = worker_count();
+        assert!(w >= 1 && w <= 8);
+    }
+}

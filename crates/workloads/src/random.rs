@@ -6,8 +6,7 @@
 //! generator, with controllable size, edge density and attribute
 //! distributions, deterministic in the seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fcm_substrate::rng::Rng;
 
 use fcm_alloc::sw::{SwGraph, SwGraphBuilder};
 use fcm_core::{AttributeSet, FaultTolerance};
@@ -57,7 +56,7 @@ impl RandomWorkload {
     /// too much work into overlapping windows — exactly the behaviour the
     /// heuristics must navigate.
     pub fn generate(&self) -> SwGraph {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut b = SwGraphBuilder::new();
         let mut nodes = Vec::with_capacity(self.processes);
         for i in 0..self.processes {

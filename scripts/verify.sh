@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic offline build, full test suite, a repro
+# smoke run, and a guard that no external registry dependency has crept
+# back into any manifest or the lockfile.
+#
+# The workspace builds with zero external crates by design (see
+# DESIGN.md §3); everything lives in crates/substrate. Run this from the
+# repo root before merging.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "== repro smoke (T1)"
+out=$(cargo run --release --offline -q -p fcm-bench --bin repro -- t1)
+echo "$out" | grep -q "Table 1" || {
+    echo "FAIL: repro t1 did not render Table 1" >&2
+    exit 1
+}
+
+echo "== dependency hermeticity"
+if grep -En 'rand|serde|crossbeam|parking_lot|bytes|proptest|criterion' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: external dependency name found in a manifest" >&2
+    exit 1
+fi
+# The lockfile is ground truth: path dependencies carry no `source`
+# line, so any `source = ` entry means a registry/git crate crept in.
+if grep -q 'source = ' Cargo.lock; then
+    echo "FAIL: Cargo.lock references a non-path source" >&2
+    exit 1
+fi
+
+echo "verify: OK"
