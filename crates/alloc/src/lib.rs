@@ -23,7 +23,12 @@
 //! * [`mapping`] — **Approach A** (importance-ordered assignment),
 //!   **Approach B** (criticality-first lexicographic assignment, §6.2's
 //!   most-with-least pairing) and the timing-ordered refinement of §6.2's
-//!   closing example.
+//!   closing example;
+//! * [`failover`] — run-time re-placement of the FCMs stranded by a dead
+//!   HW node onto the survivors (same constraints as the original
+//!   mapping, exact admission via `fcm_sched`), with degraded-mode
+//!   shedding of the lowest-criticality FCMs when nothing feasible
+//!   remains.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@
 
 pub mod cluster;
 mod error;
+pub mod failover;
 pub mod heuristics;
 pub mod hw;
 pub mod mapping;
@@ -56,6 +62,7 @@ pub mod sw;
 
 pub use cluster::Clustering;
 pub use error::AllocError;
+pub use failover::{FailoverOutcome, ShedPolicy};
 pub use hw::{HwGraph, HwNode};
 pub use mapping::Mapping;
 pub use sw::{SwGraph, SwGraphBuilder, SwNode};

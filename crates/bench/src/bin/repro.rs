@@ -1,5 +1,5 @@
 //! Regenerates every table and figure of the paper plus the extension
-//! experiments E1–E7.
+//! experiments E1–E14.
 //!
 //! ```text
 //! cargo run --release -p fcm-bench --bin repro            # everything
@@ -14,6 +14,32 @@
 
 use fcm_bench::experiments::{self, Scale};
 
+/// Every valid experiment id with its one-line description — the single
+/// source of truth for `--list` and for unknown-id rejection.
+const EXPERIMENTS: [(&str, &str); 21] = [
+    ("t1", "Table 1: example process attributes"),
+    ("f3", "Fig. 3: initial SW influence graph (--dot available)"),
+    ("f4", "Fig. 4: replica-expanded graph (--dot available)"),
+    ("f5", "Fig. 5: Eq. 4 cluster influence"),
+    ("f6", "Fig. 6: H1 reduction to the 6-node platform"),
+    ("f7", "Fig. 7: criticality-driven integration"),
+    ("f8", "Fig. 8: timing-ordered refinement"),
+    ("e1", "heuristic ablation"),
+    ("e2", "separation-series convergence"),
+    ("e3", "measured vs analytic influence"),
+    ("e4", "mission reliability of competing strategies"),
+    ("e5", "schedulability vs utilisation"),
+    ("e6", "R5 retest set vs naive recertification"),
+    ("e7", "isolation-technique ablation"),
+    ("e8", "integration-depth tradeoff"),
+    ("e9", "HW platform selection"),
+    ("e10", "heuristic x interaction structure"),
+    ("e11", "materialised-system validation"),
+    ("e12", "measured workflow end to end"),
+    ("e13", "TMR voting in the materialised system"),
+    ("e14", "node-failure recovery policy sweep"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -21,28 +47,7 @@ fn main() {
     let seed = parse_seed(&args);
     let scale = if quick { Scale::QUICK } else { Scale::FULL }.with_seed(seed);
     if args.iter().any(|a| a == "--list") {
-        for (id, what) in [
-            ("t1", "Table 1: example process attributes"),
-            ("f3", "Fig. 3: initial SW influence graph (--dot available)"),
-            ("f4", "Fig. 4: replica-expanded graph (--dot available)"),
-            ("f5", "Fig. 5: Eq. 4 cluster influence"),
-            ("f6", "Fig. 6: H1 reduction to the 6-node platform"),
-            ("f7", "Fig. 7: criticality-driven integration"),
-            ("f8", "Fig. 8: timing-ordered refinement"),
-            ("e1", "heuristic ablation"),
-            ("e2", "separation-series convergence"),
-            ("e3", "measured vs analytic influence"),
-            ("e4", "mission reliability of competing strategies"),
-            ("e5", "schedulability vs utilisation"),
-            ("e6", "R5 retest set vs naive recertification"),
-            ("e7", "isolation-technique ablation"),
-            ("e8", "integration-depth tradeoff"),
-            ("e9", "HW platform selection"),
-            ("e10", "heuristic x interaction structure"),
-            ("e11", "materialised-system validation"),
-            ("e12", "measured workflow end to end"),
-            ("e13", "TMR voting in the materialised system"),
-        ] {
+        for (id, what) in EXPERIMENTS {
             println!("{id:<4} {what}");
         }
         return;
@@ -59,6 +64,24 @@ fn main() {
         } else if !a.starts_with("--") {
             selected.push(a.as_str());
         }
+    }
+    // Reject unknown ids up front: a typo must not silently run nothing.
+    let unknown: Vec<&str> = selected
+        .iter()
+        .copied()
+        .filter(|s| !EXPERIMENTS.iter().any(|(id, _)| s.eq_ignore_ascii_case(id)))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment id(s): {}", unknown.join(", "));
+        eprintln!(
+            "valid ids: {}",
+            EXPERIMENTS
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
     }
     let want =
         |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
@@ -156,6 +179,10 @@ fn main() {
     if want("e13") {
         section("E13 TMR voting in the materialised system");
         print!("{}", experiments::e13(scale));
+    }
+    if want("e14") {
+        section("E14 node-failure recovery policy sweep");
+        print!("{}", experiments::e14(scale));
     }
 }
 

@@ -1,4 +1,4 @@
-//! The experiments: paper items T1, F3–F8 and extensions E1–E7.
+//! The experiments: paper items T1, F3–F8 and extensions E1–E14.
 //!
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured outcomes.
@@ -963,6 +963,55 @@ pub fn e12(scale: Scale) -> String {
     out
 }
 
+/// E14: node-failure recovery policy sweep. The expanded avionics suite
+/// on its 6-cabinet platform, swept over the HW fault rate × the four
+/// [`RecoveryPolicy`] levels of the repairable reliability model. The
+/// policies share each trial's fault world (common random numbers), so
+/// mission failure is monotone non-increasing down the policy column at
+/// every fault rate — exactly, not just in expectation.
+pub fn e14(scale: Scale) -> Table {
+    use fcm_eval::{RecoveryPolicy, RepairableModel};
+    let (ex, _) = avionics::expanded_suite();
+    let g = &ex.graph;
+    let hw = avionics::platform();
+    let weights = ImportanceWeights::default();
+    let c = h1(g, hw.len()).expect("avionics suite clusters");
+    let m = approach_a(g, &c, &hw, &weights).expect("avionics suite maps");
+    let mut t = Table::new([
+        "p_hw",
+        "policy",
+        "mission failure",
+        "mean shed",
+        "mean recoveries",
+        "mttr",
+    ]);
+    for &p_hw in &[0.02, 0.05, 0.10, 0.20] {
+        let model = RepairableModel {
+            base: ReliabilityModel {
+                p_hw,
+                p_sw: 0.05,
+                cross_node_attenuation: 0.2,
+                critical_at: 7,
+                trials: scale.reliability_trials,
+                seed: scale.base_seed.wrapping_add(1414),
+            },
+            ..RepairableModel::default()
+        };
+        for policy in RecoveryPolicy::ALL {
+            let est = model.evaluate(g, &c, &m, &hw, policy);
+            t.push([
+                format!("{p_hw:.2}"),
+                policy.label().to_string(),
+                format!("{:.4}", est.mission_failure),
+                format!("{:.3}", est.mean_shed_processes),
+                format!("{:.3}", est.mean_recoveries),
+                est.mttr.map_or_else(|| "-".to_string(), |v| format!("{v:.2}")),
+            ]);
+        }
+    }
+    t
+}
+
 /// A complete platform of `k` nodes with the avionics resources on the
 /// first two nodes (the display head and the radio).
 fn platform_with_resources(k: usize) -> fcm_alloc::HwGraph {
@@ -1091,6 +1140,32 @@ mod tests {
         let fail = |row: &Vec<String>| row[2].parse::<f64>().unwrap();
         let h1_rows: Vec<&Vec<String>> = t.rows().iter().filter(|r| r[1] == "H1+A").collect();
         assert!(fail(h1_rows[0]) <= fail(h1_rows[2]) + 0.02);
+    }
+
+    #[test]
+    fn e14_recovery_policies_are_ordered_at_every_rate() {
+        let t = e14(Scale::QUICK);
+        // 4 fault rates × 4 policies.
+        assert_eq!(t.len(), 4 * 4);
+        let fail = |row: &Vec<String>| row[2].parse::<f64>().unwrap();
+        for rate_rows in t.rows().chunks(4) {
+            // none ≥ retry-only ≥ failover ≥ failover+shedding.
+            for pair in rate_rows.windows(2) {
+                assert!(
+                    fail(&pair[0]) >= fail(&pair[1]),
+                    "ordering violated: {rate_rows:?}"
+                );
+            }
+            // Policy labels in sweep order.
+            assert_eq!(rate_rows[0][1], "none");
+            assert_eq!(rate_rows[3][1], "failover+shedding");
+            // No recovery ⇒ no recoveries and no MTTR.
+            assert_eq!(rate_rows[0][4], "0.000");
+            assert_eq!(rate_rows[0][5], "-");
+        }
+        // Recovery actually happens at the higher fault rates.
+        let last = &t.rows()[15];
+        assert!(last[4].parse::<f64>().unwrap() > 0.0, "{last:?}");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   fail, SW processes fail, faults propagate along influence edges
 //!   (attenuated across HW-node boundaries, which are fault containment
 //!   regions), and the mission fails when every replica of a critical
-//!   module is lost;
+//!   module is lost; its repairable-system mode adds watchdog coverage,
+//!   transient/permanent faults, checkpoint/retry, failover re-placement
+//!   and degraded-mode shedding under a [`RecoveryPolicy`] sweep;
 //! * [`compare`] — a harness that evaluates several integration
 //!   strategies side by side and renders the comparison table used by the
 //!   E1/E4 experiments.
@@ -50,5 +52,7 @@ pub mod tradeoff;
 pub use compare::{Comparison, StrategyOutcome};
 pub use metrics::MappingQuality;
 pub use platform::{select_platform, PlatformOption, PlatformSelection};
-pub use reliability::{ReliabilityEstimate, ReliabilityModel};
+pub use reliability::{
+    RecoveryPolicy, ReliabilityEstimate, ReliabilityModel, RepairableEstimate, RepairableModel,
+};
 pub use tradeoff::{integration_sweep, TradeoffCurve, TradeoffPoint};

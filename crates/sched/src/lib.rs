@@ -21,7 +21,9 @@
 //! * [`nonpreemptive`] — exact non-preemptive feasibility by
 //!   branch-and-bound with an EDD fast path;
 //! * [`periodic`] — periodic task utilisation tests (EDF bound,
-//!   Liu–Layland RM bound, exact response-time analysis).
+//!   Liu–Layland RM bound, exact response-time analysis);
+//! * [`admission`] — incremental accept/reject on one processor, used by
+//!   failover re-placement and degraded-mode shedding.
 //!
 //! # Example
 //!
@@ -39,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod edf;
 mod error;
 mod job;
 pub mod nonpreemptive;
 pub mod periodic;
 
+pub use admission::Admission;
 pub use error::SchedError;
 pub use job::{Job, JobId, JobSet, Time};

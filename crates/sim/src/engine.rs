@@ -12,6 +12,15 @@
 //! p₃. Timing faults arise from deadline misses, including jobs still
 //! unfinished at the horizon (starvation under non-preemptive
 //! scheduling).
+//!
+//! Node-failure recovery: a `NodeCrash`/`NodeTransient` injection halts
+//! a processor and kills its running job. With a watchdog configured the
+//! failure is detected at the next heartbeat (plus detection latency);
+//! with a retry policy the killed job is then re-released from its last
+//! checkpoint under bounded exponential backoff — on the home node once
+//! it heals, or failed over to the lowest-index surviving processor when
+//! the home node is permanently dead. Jobs whose retries exhaust stay
+//! outstanding and are counted by the starvation sweep.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -36,20 +45,47 @@ struct Job {
     release: Time,
     abs_deadline: Time,
     remaining: Time,
+    /// Full computation demand at release (checkpoint arithmetic).
+    total: Time,
+    /// Time of the node failure that last killed this job, when it is a
+    /// checkpoint-restarted job (recovery-time accounting).
+    failed_at: Option<Time>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     /// Injections apply before anything else at the same instant.
     Inject(usize),
+    /// Node healing next, so same-instant retries see the node up.
+    NodeRecover {
+        node: usize,
+    },
+    /// Watchdog detections before completions and retries.
+    Detect {
+        node: usize,
+    },
     /// Completions before releases so a freed processor sees new work.
     Finish {
         processor: usize,
         token: u64,
     },
+    /// Checkpoint retries of killed jobs, after completions free CPU.
+    Retry(usize),
     Release {
         task: TaskId,
     },
+}
+
+/// A job killed by a node failure, awaiting retry.
+#[derive(Debug, Clone, Copy)]
+struct KilledJob {
+    job: Job,
+    /// Home processor (failover may re-target the restart).
+    node: usize,
+    /// Index of the next retry attempt (0-based).
+    attempt: u32,
+    /// Whether a detection has already scheduled its retry chain.
+    scheduled: bool,
 }
 
 #[derive(Debug, Default)]
@@ -77,6 +113,12 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
     let mut processors: Vec<ProcessorState> = (0..spec.processors)
         .map(|_| ProcessorState::default())
         .collect();
+    // Node availability: `down` = currently unavailable, `dead` =
+    // permanently crashed (a dead node is also down forever).
+    let mut down = vec![false; spec.processors];
+    let mut dead = vec![false; spec.processors];
+    // Jobs killed by node failures, indexed by Retry events.
+    let mut killed: Vec<KilledJob> = Vec::new();
 
     let mut seq: u64 = 0;
     let mut heap: BinaryHeap<Reverse<(Time, EventKind, u64)>> = BinaryHeap::new();
@@ -86,7 +128,12 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
     };
 
     for (idx, inj) in injections.iter().enumerate() {
-        if inj.at <= horizon && inj.target < spec.task_count() {
+        let target_valid = if inj.kind.is_node_fault() {
+            inj.target < spec.processors
+        } else {
+            inj.target < spec.task_count()
+        };
+        if inj.at <= horizon && target_valid {
             push(&mut heap, inj.at, EventKind::Inject(idx), &mut seq);
         }
     }
@@ -122,6 +169,123 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                     }
                     FaultKind::TimingOverrun { factor } => overrun[inj.target] = factor.max(1),
                     FaultKind::Crash => crashed[inj.target] = true,
+                    FaultKind::NodeCrash | FaultKind::NodeTransient { .. } => {
+                        let node = inj.target;
+                        if down[node] {
+                            continue; // already down: no double failure
+                        }
+                        down[node] = true;
+                        trace.events.push(TraceEvent::NodeFailed { node, at: now });
+                        if let FaultKind::NodeTransient { downtime } = inj.kind {
+                            push(
+                                &mut heap,
+                                now + downtime,
+                                EventKind::NodeRecover { node },
+                                &mut seq,
+                            );
+                        } else {
+                            dead[node] = true;
+                        }
+                        // Kill the running job; preserve checkpointed
+                        // progress for a later retry.
+                        if let Some((mut job, slice_start)) = processors[node].running.take() {
+                            processors[node].token += 1; // stale any Finish
+                            job.remaining -= now - slice_start;
+                            let executed = job.total - job.remaining;
+                            let saved = spec.tasks[job.task]
+                                .checkpoint
+                                .map_or(0, |cp| (executed / cp) * cp);
+                            job.remaining = job.total - saved;
+                            job.failed_at = Some(now);
+                            killed.push(KilledJob {
+                                job,
+                                node,
+                                attempt: 0,
+                                scheduled: false,
+                            });
+                        }
+                        if let Some(wd) = spec.watchdog {
+                            push(
+                                &mut heap,
+                                wd.detection_time(now),
+                                EventKind::Detect { node },
+                                &mut seq,
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::NodeRecover { node } => {
+                down[node] = false;
+                trace.events.push(TraceEvent::NodeRecovered { node, at: now });
+                dispatch(spec, &mut processors[node], node, now, &mut heap, &mut seq);
+            }
+            EventKind::Detect { node } => {
+                trace.detections += 1;
+                trace
+                    .events
+                    .push(TraceEvent::FailureDetected { node, at: now });
+                if let Some(rp) = spec.retry {
+                    if rp.max_retries > 0 {
+                        for idx in 0..killed.len() {
+                            if killed[idx].node == node && !killed[idx].scheduled {
+                                killed[idx].scheduled = true;
+                                let jitter = rng.gen_range(0..rp.backoff_base);
+                                push(
+                                    &mut heap,
+                                    now + rp.backoff(0) + jitter,
+                                    EventKind::Retry(idx),
+                                    &mut seq,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::Retry(idx) => {
+                trace.retries += 1;
+                let entry = killed[idx];
+                let home = entry.node;
+                // Restart on the home node when it is back up; fail over
+                // to the lowest-index survivor when it is dead for good.
+                let target = if !down[home] {
+                    Some(home)
+                } else if dead[home] {
+                    (0..spec.processors).find(|&p| !down[p])
+                } else {
+                    None // transient outage: wait for the node
+                };
+                match target {
+                    Some(proc) => {
+                        if proc != home {
+                            trace.failovers += 1;
+                        }
+                        trace.restarts += 1;
+                        trace.events.push(TraceEvent::JobRestarted {
+                            task: entry.job.task,
+                            attempt: entry.attempt,
+                            at: now,
+                        });
+                        processors[proc].ready.push((entry.job, seq));
+                        seq += 1;
+                        dispatch(spec, &mut processors[proc], proc, now, &mut heap, &mut seq);
+                    }
+                    None => {
+                        let rp = spec.retry.expect("retry event without a policy");
+                        let next = entry.attempt + 1;
+                        if next < rp.max_retries {
+                            killed[idx].attempt = next;
+                            let jitter = rng.gen_range(0..rp.backoff_base);
+                            push(
+                                &mut heap,
+                                now + rp.backoff(next) + jitter,
+                                EventKind::Retry(idx),
+                                &mut seq,
+                            );
+                        }
+                        // Retries exhausted: the job stays outstanding
+                        // and the starvation sweep counts the miss.
+                    }
                 }
             }
             EventKind::Release { task } => {
@@ -130,17 +294,22 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                     Activation::OneShot { tcd, .. } => (tcd, None),
                     Activation::Periodic { period, .. } => (now + period, Some(now + period)),
                 };
+                let demand = t.ct * Time::from(overrun[task]);
                 let job = Job {
                     task,
                     release: now,
                     abs_deadline,
-                    remaining: t.ct * Time::from(overrun[task]),
+                    remaining: demand,
+                    total: demand,
+                    failed_at: None,
                 };
                 outstanding.push((task, abs_deadline));
                 let proc = t.processor;
                 processors[proc].ready.push((job, seq));
                 seq += 1;
-                dispatch(spec, &mut processors[proc], proc, now, &mut heap, &mut seq);
+                if !down[proc] {
+                    dispatch(spec, &mut processors[proc], proc, now, &mut heap, &mut seq);
+                }
                 if let Some(next) = next_release {
                     if next <= horizon {
                         push(&mut heap, next, EventKind::Release { task }, &mut seq);
@@ -292,6 +461,11 @@ fn complete_job(
         task: job.task,
         at: now,
     });
+    if let Some(failed_at) = job.failed_at {
+        // A checkpoint-restarted job ran to completion: the recovery
+        // interval spans from the killing node failure to now.
+        trace.recovery_times.push(now - failed_at);
+    }
     if now > job.abs_deadline {
         trace.deadline_misses[job.task] += 1;
         trace.events.push(TraceEvent::DeadlineMiss {
@@ -578,6 +752,133 @@ mod tests {
         let spec = b.build().unwrap();
         let t = run(&spec, &[Injection::value(1000, 0)], 0, 50);
         assert!(!t.value_faulty(0));
+    }
+
+    #[test]
+    fn undetected_node_crash_silently_starves_the_job() {
+        let mut b = SystemSpecBuilder::new(1);
+        b.task("t", 0).one_shot(0, 50, 10).build().unwrap();
+        let t = run(&b.build().unwrap(), &[Injection::node_crash(3, 0)], 0, 100);
+        // No watchdog: the failure passes silently.
+        assert_eq!(t.completions[0], 0);
+        assert_eq!(t.detections, 0);
+        assert_eq!(t.restarts, 0);
+        assert!(t.missed_deadline(0));
+        assert!(t
+            .events
+            .contains(&TraceEvent::NodeFailed { node: 0, at: 3 }));
+    }
+
+    #[test]
+    fn transient_outage_resumes_queued_work() {
+        let mut b = SystemSpecBuilder::new(1);
+        b.task("t", 0).periodic(10, 0, 2).build().unwrap();
+        let spec = b.build().unwrap();
+        // Down from 5 to 25 (the node is idle at 5, so nothing is
+        // killed): the releases at 10 and 20 queue up and run after
+        // recovery; the one released at 10 misses its deadline.
+        let t = run(&spec, &[Injection::node_transient(5, 0, 20)], 0, 59);
+        assert!(t
+            .events
+            .contains(&TraceEvent::NodeRecovered { node: 0, at: 25 }));
+        assert!(t.completions[0] >= 4);
+        assert!(t.deadline_misses[0] >= 1);
+    }
+
+    #[test]
+    fn watchdog_detects_and_checkpoint_retry_recovers() {
+        let mut b = SystemSpecBuilder::new(1);
+        b.watchdog(1, 0).unwrap();
+        b.retry(3, 2).unwrap();
+        b.task("t", 0).one_shot(0, 100, 10).checkpoint(2).build().unwrap();
+        let spec = b.build().unwrap();
+        // Killed at 5 with 5 ticks executed: checkpoint saves 4, so the
+        // restart owes 6. Node heals at 6, detection at 6, first retry
+        // lands in [8, 10).
+        let t = run(&spec, &[Injection::node_transient(5, 0, 1)], 7, 200);
+        assert_eq!(t.detections, 1);
+        assert_eq!(t.restarts, 1);
+        assert_eq!(t.failovers, 0);
+        assert_eq!(t.completions[0], 1);
+        assert_eq!(t.deadline_misses[0], 0);
+        assert_eq!(t.recovery_times.len(), 1);
+        // Recovery spans failure (5) → restart (within [8,10)) → +6 run.
+        let ttr = t.recovery_times[0];
+        assert!((9..=11).contains(&ttr), "time to recover {ttr}");
+
+        // Without a checkpoint the restart re-executes all 10 ticks.
+        let mut b2 = SystemSpecBuilder::new(1);
+        b2.watchdog(1, 0).unwrap();
+        b2.retry(3, 2).unwrap();
+        b2.task("t", 0).one_shot(0, 100, 10).build().unwrap();
+        let t2 = run(
+            &b2.build().unwrap(),
+            &[Injection::node_transient(5, 0, 1)],
+            7,
+            200,
+        );
+        assert_eq!(t2.restarts, 1);
+        assert_eq!(t2.recovery_times[0], ttr + 4);
+    }
+
+    #[test]
+    fn dead_node_fails_over_to_a_survivor() {
+        let mut b = SystemSpecBuilder::new(2);
+        b.watchdog(5, 0).unwrap();
+        b.retry(2, 4).unwrap();
+        b.task("t", 0).one_shot(0, 100, 10).checkpoint(1).build().unwrap();
+        let spec = b.build().unwrap();
+        let t = run(&spec, &[Injection::node_crash(3, 0)], 11, 200);
+        // Detection at 5; retry in [9, 13); home node dead, so the job
+        // restarts on processor 1 with 3 ticks checkpointed.
+        assert_eq!(t.detections, 1);
+        assert_eq!(t.restarts, 1);
+        assert_eq!(t.failovers, 1);
+        assert_eq!(t.completions[0], 1);
+        assert_eq!(t.deadline_misses[0], 0);
+        assert!(t.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::JobRestarted {
+                task: 0,
+                attempt: 0,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn retries_back_off_and_exhaust_while_the_node_is_down() {
+        let mut b = SystemSpecBuilder::new(1);
+        b.watchdog(1, 0).unwrap();
+        b.retry(2, 2).unwrap();
+        b.task("t", 0).one_shot(0, 50, 10).build().unwrap();
+        let spec = b.build().unwrap();
+        // Down from 2 for 1000 ticks: every retry finds the node down
+        // (transient, so no failover) and the chain exhausts.
+        let t = run(&spec, &[Injection::node_transient(2, 0, 1000)], 0, 400);
+        assert_eq!(t.detections, 1);
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.restarts, 0);
+        assert_eq!(t.completions[0], 0);
+        assert!(t.missed_deadline(0));
+    }
+
+    #[test]
+    fn node_fault_runs_are_deterministic_in_the_seed() {
+        let mut b = SystemSpecBuilder::new(2);
+        b.watchdog(3, 1).unwrap();
+        b.retry(4, 2).unwrap();
+        b.task("a", 0).periodic(10, 0, 3).checkpoint(1).build().unwrap();
+        b.task("b", 1).periodic(7, 1, 2).build().unwrap();
+        let spec = b.build().unwrap();
+        let inj = [
+            Injection::node_transient(4, 0, 9),
+            Injection::node_crash(20, 1),
+        ];
+        let x = run(&spec, &inj, 42, 300);
+        let y = run(&spec, &inj, 42, 300);
+        assert_eq!(x, y);
+        assert!(x.detections >= 2);
     }
 
     #[test]

@@ -61,5 +61,8 @@ pub mod trace;
 pub use campaign::{InfluenceCampaign, MeasuredInfluence};
 pub use error::SimError;
 pub use fault::{FaultKind, Injection};
-pub use model::{Activation, MediumId, SchedulingPolicy, SystemSpec, SystemSpecBuilder, TaskId};
+pub use model::{
+    Activation, MediumId, RetryPolicy, SchedulingPolicy, SystemSpec, SystemSpecBuilder, TaskId,
+    WatchdogSpec,
+};
 pub use trace::Trace;

@@ -54,6 +54,45 @@ pub enum Activation {
     },
 }
 
+/// The node-failure watchdog: each processor is assumed to emit a
+/// heartbeat every `heartbeat_period` ticks; a failure at `t` is noticed
+/// at the first heartbeat boundary strictly after `t`, plus
+/// `detection_latency` processing delay. Without a watchdog node
+/// failures pass silently (no detection, no recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatchdogSpec {
+    /// Heartbeat period (> 0).
+    pub heartbeat_period: Time,
+    /// Delay between the missed heartbeat and the detection event.
+    pub detection_latency: Time,
+}
+
+impl WatchdogSpec {
+    /// The time a failure at `at` is detected.
+    pub fn detection_time(&self, at: Time) -> Time {
+        (at / self.heartbeat_period + 1) * self.heartbeat_period + self.detection_latency
+    }
+}
+
+/// Checkpoint/retry policy for jobs killed by a node failure: each
+/// detected kill is retried up to `max_retries` times with bounded
+/// exponential backoff (`backoff_base << attempt`, plus deterministic
+/// seeded jitter in `[0, backoff_base)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per killed job (0 = detect only).
+    pub max_retries: u32,
+    /// Base backoff delay (> 0); attempt `k` waits `backoff_base << k`.
+    pub backoff_base: Time,
+}
+
+impl RetryPolicy {
+    /// The deterministic portion of the backoff before attempt `attempt`.
+    pub fn backoff(&self, attempt: u32) -> Time {
+        self.backoff_base << attempt.min(32)
+    }
+}
+
 /// A communication medium: one concrete fault-transmission path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MediumSpec {
@@ -97,6 +136,11 @@ pub struct TaskSpec {
     /// downstream half of TMR/N-version redundancy ("replication and
     /// design diversity", paper §1.1).
     pub voter: bool,
+    /// Checkpoint interval: progress is durably saved every `interval`
+    /// execution ticks, so a job killed by a node failure restarts from
+    /// its last checkpoint instead of from scratch. `None` = no
+    /// checkpointing (full re-execution on retry).
+    pub checkpoint: Option<Time>,
 }
 
 /// A complete simulated system.
@@ -110,6 +154,10 @@ pub struct SystemSpec {
     pub tasks: Vec<TaskSpec>,
     /// The media.
     pub media: Vec<MediumSpec>,
+    /// Node-failure watchdog (None = failures pass undetected).
+    pub watchdog: Option<WatchdogSpec>,
+    /// Checkpoint/retry policy for detected kills (None = no retries).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl SystemSpec {
@@ -167,6 +215,8 @@ pub struct SystemSpecBuilder {
     policy: SchedulingPolicy,
     tasks: Vec<TaskSpec>,
     media: Vec<MediumSpec>,
+    watchdog: Option<WatchdogSpec>,
+    retry: Option<RetryPolicy>,
 }
 
 impl SystemSpecBuilder {
@@ -177,6 +227,8 @@ impl SystemSpecBuilder {
             policy: SchedulingPolicy::PreemptiveEdf,
             tasks: Vec::new(),
             media: Vec::new(),
+            watchdog: None,
+            retry: None,
         }
     }
 
@@ -184,6 +236,46 @@ impl SystemSpecBuilder {
     pub fn policy(&mut self, policy: SchedulingPolicy) -> &mut Self {
         self.policy = policy;
         self
+    }
+
+    /// Enables the node-failure watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTiming`] for a zero heartbeat period.
+    pub fn watchdog(
+        &mut self,
+        heartbeat_period: Time,
+        detection_latency: Time,
+    ) -> Result<&mut Self, SimError> {
+        if heartbeat_period == 0 {
+            return Err(SimError::InvalidTiming {
+                task: "watchdog".into(),
+            });
+        }
+        self.watchdog = Some(WatchdogSpec {
+            heartbeat_period,
+            detection_latency,
+        });
+        Ok(self)
+    }
+
+    /// Enables checkpoint/retry of jobs killed by node failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTiming`] for a zero backoff base.
+    pub fn retry(&mut self, max_retries: u32, backoff_base: Time) -> Result<&mut Self, SimError> {
+        if backoff_base == 0 {
+            return Err(SimError::InvalidTiming {
+                task: "retry".into(),
+            });
+        }
+        self.retry = Some(RetryPolicy {
+            max_retries,
+            backoff_base,
+        });
+        Ok(self)
     }
 
     /// Adds a medium with transmission probability `transmission`.
@@ -248,6 +340,7 @@ impl SystemSpecBuilder {
             fault_rate: Probability::ZERO,
             recovery: Probability::ZERO,
             voter: false,
+            checkpoint: None,
         }
     }
 
@@ -269,6 +362,8 @@ impl SystemSpecBuilder {
             policy: self.policy,
             tasks: self.tasks,
             media: self.media,
+            watchdog: self.watchdog,
+            retry: self.retry,
         })
     }
 }
@@ -287,6 +382,7 @@ pub struct TaskBuilder<'a> {
     fault_rate: Probability,
     recovery: Probability,
     voter: bool,
+    checkpoint: Option<Time>,
 }
 
 impl TaskBuilder<'_> {
@@ -346,6 +442,15 @@ impl TaskBuilder<'_> {
         self
     }
 
+    /// Sets the checkpoint interval (default none): a job killed by a
+    /// node failure restarts from its last multiple of `interval`
+    /// executed ticks rather than from scratch. An interval of 0 is
+    /// treated as no checkpointing.
+    pub fn checkpoint(mut self, interval: Time) -> Self {
+        self.checkpoint = (interval > 0).then_some(interval);
+        self
+    }
+
     /// Validates and registers the task, returning its id.
     ///
     /// # Errors
@@ -385,6 +490,7 @@ impl TaskBuilder<'_> {
             fault_rate: self.fault_rate,
             recovery: self.recovery,
             voter: self.voter,
+            checkpoint: self.checkpoint,
         });
         Ok(self.owner.tasks.len() - 1)
     }
@@ -508,6 +614,54 @@ mod tests {
         assert!((spec.utilisation(0) - 0.45).abs() < 1e-12);
         assert!((spec.utilisation(1) - 0.25).abs() < 1e-12);
         assert_eq!(spec.utilisation(7), 0.0);
+    }
+
+    #[test]
+    fn watchdog_and_retry_are_validated_and_recorded() {
+        let mut b = SystemSpecBuilder::new(1);
+        b.watchdog(10, 2).unwrap();
+        b.retry(3, 4).unwrap();
+        b.task("t", 0)
+            .periodic(20, 0, 5)
+            .checkpoint(2)
+            .build()
+            .unwrap();
+        let spec = b.build().unwrap();
+        let wd = spec.watchdog.unwrap();
+        assert_eq!(wd.heartbeat_period, 10);
+        assert_eq!(wd.detection_latency, 2);
+        assert_eq!(spec.retry.unwrap().max_retries, 3);
+        assert_eq!(spec.tasks[0].checkpoint, Some(2));
+
+        assert!(SystemSpecBuilder::new(1).watchdog(0, 1).is_err());
+        assert!(SystemSpecBuilder::new(1).retry(1, 0).is_err());
+        // Zero checkpoint interval degrades to "no checkpointing".
+        let mut b2 = SystemSpecBuilder::new(1);
+        b2.task("u", 0).periodic(5, 0, 1).checkpoint(0).build().unwrap();
+        assert_eq!(b2.build().unwrap().tasks[0].checkpoint, None);
+    }
+
+    #[test]
+    fn detection_time_rounds_up_to_the_next_heartbeat() {
+        let wd = WatchdogSpec {
+            heartbeat_period: 10,
+            detection_latency: 3,
+        };
+        assert_eq!(wd.detection_time(0), 13);
+        assert_eq!(wd.detection_time(9), 13);
+        // A failure exactly on a heartbeat is caught by the *next* one.
+        assert_eq!(wd.detection_time(10), 23);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let rp = RetryPolicy {
+            max_retries: 3,
+            backoff_base: 4,
+        };
+        assert_eq!(rp.backoff(0), 4);
+        assert_eq!(rp.backoff(1), 8);
+        assert_eq!(rp.backoff(2), 16);
     }
 
     #[test]

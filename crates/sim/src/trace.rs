@@ -42,6 +42,37 @@ pub enum TraceEvent {
         /// Latch time.
         at: Time,
     },
+    /// Processor `node` failed at `at` (node crash or transient outage).
+    NodeFailed {
+        /// The failed processor.
+        node: usize,
+        /// Failure time.
+        at: Time,
+    },
+    /// Processor `node` healed from a transient outage at `at`.
+    NodeRecovered {
+        /// The healed processor.
+        node: usize,
+        /// Recovery time.
+        at: Time,
+    },
+    /// The watchdog noticed the failure of `node` at `at`.
+    FailureDetected {
+        /// The failed processor.
+        node: usize,
+        /// Detection time.
+        at: Time,
+    },
+    /// A job of `task` killed by a node failure was re-released at `at`
+    /// from its last checkpoint (retry attempt `attempt`, 0-based).
+    JobRestarted {
+        /// The restarted task.
+        task: TaskId,
+        /// Retry attempt index.
+        attempt: u32,
+        /// Restart time.
+        at: Time,
+    },
 }
 
 impl ToJson for TraceEvent {
@@ -65,6 +96,23 @@ impl ToJson for TraceEvent {
                 .set("event", "fault_latched")
                 .set("task", task)
                 .set("at", at),
+            TraceEvent::NodeFailed { node, at } => Json::object()
+                .set("event", "node_failed")
+                .set("node", node)
+                .set("at", at),
+            TraceEvent::NodeRecovered { node, at } => Json::object()
+                .set("event", "node_recovered")
+                .set("node", node)
+                .set("at", at),
+            TraceEvent::FailureDetected { node, at } => Json::object()
+                .set("event", "failure_detected")
+                .set("node", node)
+                .set("at", at),
+            TraceEvent::JobRestarted { task, attempt, at } => Json::object()
+                .set("event", "job_restarted")
+                .set("task", task)
+                .set("attempt", attempt)
+                .set("at", at),
         }
     }
 }
@@ -86,6 +134,11 @@ impl ToJson for Trace {
             .set("medium_corruptions", self.medium_corruptions.clone())
             .set("recoveries", self.recoveries.clone())
             .set("medium_payloads", payloads)
+            .set("detections", self.detections)
+            .set("retries", self.retries)
+            .set("restarts", self.restarts)
+            .set("failovers", self.failovers)
+            .set("recovery_times", self.recovery_times.clone())
             .set(
                 "events",
                 Json::Arr(self.events.iter().map(ToJson::to_json).collect()),
@@ -110,6 +163,19 @@ pub struct Trace {
     /// Final payload of each medium (`None` until first written). Corrupt
     /// payloads carry the `CORRUPT` marker bytes.
     pub medium_payloads: Vec<Option<Bytes>>,
+    /// Watchdog detections of node failures.
+    pub detections: u32,
+    /// Retry attempts fired (including re-backoffs onto a still-down
+    /// node).
+    pub retries: u32,
+    /// Jobs actually re-released from a checkpoint.
+    pub restarts: u32,
+    /// Restarts re-targeted to a surviving processor because the home
+    /// node was permanently dead.
+    pub failovers: u32,
+    /// Per recovered job: time from the node failure that killed it to
+    /// its eventual successful completion.
+    pub recovery_times: Vec<Time>,
     /// Chronological event log.
     pub events: Vec<TraceEvent>,
 }
@@ -124,8 +190,23 @@ impl Trace {
             medium_corruptions: vec![0; media],
             recoveries: vec![0; tasks],
             medium_payloads: vec![None; media],
+            detections: 0,
+            retries: 0,
+            restarts: 0,
+            failovers: 0,
+            recovery_times: Vec::new(),
             events: Vec::new(),
         }
+    }
+
+    /// Mean time from node failure to successful re-completion over the
+    /// jobs that recovered (`None` when nothing recovered).
+    pub fn mean_time_to_recover(&self) -> Option<f64> {
+        if self.recovery_times.is_empty() {
+            return None;
+        }
+        let sum: Time = self.recovery_times.iter().sum();
+        Some(sum as f64 / self.recovery_times.len() as f64)
     }
 
     /// Whether `task` exhibited any fault (latched value fault or at least
@@ -188,6 +269,14 @@ mod tests {
         assert!(s.contains("completions=3"));
         assert!(s.contains("value_faults=1"));
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn mean_time_to_recover_averages_recoveries() {
+        let mut t = Trace::empty(1, 0);
+        assert_eq!(t.mean_time_to_recover(), None);
+        t.recovery_times = vec![10, 20];
+        assert_eq!(t.mean_time_to_recover(), Some(15.0));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Property-based tests of the fault and recovery semantics.
+//!
+//! Three invariants pinned here:
+//!
+//! 1. a `NodeCrash` on a processor (with no recovery machinery) halts
+//!    it: no task hosted there completes after the crash instant;
+//! 2. recovery blocks only ever fire on corrupt reads: a task that never
+//!    read a corrupt medium reports zero recoveries, and recoveries are
+//!    bounded by the corrupt-read opportunities;
+//! 3. with a watchdog and retries, restarts never outpace detections —
+//!    in the chronological event log every `JobRestarted` is preceded by
+//!    at least as many `FailureDetected` events.
+
+use fcm_core::FactorKind;
+use fcm_sim::model::{SchedulingPolicy, SystemSpec, SystemSpecBuilder};
+use fcm_sim::trace::TraceEvent;
+use fcm_sim::{engine, Injection};
+use fcm_substrate::prop;
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq};
+
+/// A random periodic system over `processors` processors. Tasks may be
+/// individually infeasible together — the properties hold regardless.
+fn arb_periodic(rng: &mut Rng, size: usize, processors: usize, checkpoint: bool) -> SystemSpec {
+    let hi = 4usize.min(1 + size / 24).max(1);
+    let count = rng.gen_range(1..=hi) + 1;
+    let mut b = SystemSpecBuilder::new(processors);
+    b.policy(SchedulingPolicy::PreemptiveEdf);
+    for i in 0..count {
+        let period = rng.gen_range(6u64..16);
+        let ct = rng.gen_range(1u64..4);
+        let offset = rng.gen_range(0u64..period - ct);
+        let mut t = b
+            .task(format!("t{i}"), i % processors)
+            .periodic(period, offset, ct);
+        if checkpoint {
+            t = t.checkpoint(rng.gen_range(1u64..3));
+        }
+        t.build().expect("valid task");
+    }
+    b.build().expect("valid system")
+}
+
+#[test]
+fn node_crash_halts_all_completions_on_the_node() {
+    prop::check_cases(
+        "node_crash_halts_all_completions_on_the_node",
+        96,
+        |rng, size| {
+            let spec = arb_periodic(rng, size, 2, false);
+            let at = rng.gen_range(10u64..50);
+            let seed: u64 = rng.gen();
+            (spec, at, seed)
+        },
+        |(spec, at, seed)| {
+            // No watchdog, no retry: the crash must silently kill the
+            // node for the rest of the run.
+            let trace = engine::run(spec, &[Injection::node_crash(*at, 0)], *seed, 100);
+            for ev in &trace.events {
+                if let TraceEvent::Completion { task, at: done } = ev {
+                    if spec.tasks[*task].processor == 0 {
+                        prop_assert!(
+                            done < at,
+                            "task {} on the crashed node completed at {} (crash at {})",
+                            task,
+                            done,
+                            at
+                        );
+                    }
+                }
+            }
+            // The other processor is unaffected: it completes something.
+            let other_done = trace.events.iter().any(|ev| {
+                matches!(ev, TraceEvent::Completion { task, .. }
+                    if spec.tasks[*task].processor == 1)
+            });
+            prop_assert!(other_done || spec.tasks.iter().all(|t| t.processor == 0));
+            Ok(())
+        },
+    );
+}
+
+/// Writer → reader chain: the writer corrupts its medium with a random
+/// fault rate, the reader carries a recovery block.
+fn arb_chain(rng: &mut Rng) -> SystemSpec {
+    let mut b = SystemSpecBuilder::new(1);
+    let m = b
+        .add_medium("gv", FactorKind::GlobalVariable, 1.0)
+        .expect("valid");
+    b.task("w", 0)
+        .periodic(10, 0, 1)
+        .writes(m)
+        .fault_rate(rng.gen_range(0..2) as f64 * rng.gen::<f64>())
+        .build()
+        .expect("valid");
+    b.task("r", 0)
+        .periodic(10, 5, 1)
+        .reads(m)
+        .recovery(rng.gen::<f64>())
+        .build()
+        .expect("valid");
+    b.build().expect("valid system")
+}
+
+#[test]
+fn recoveries_require_corrupt_reads() {
+    prop::check_cases(
+        "recoveries_require_corrupt_reads",
+        128,
+        |rng, _size| {
+            let spec = arb_chain(rng);
+            let seed: u64 = rng.gen();
+            (spec, seed)
+        },
+        |(spec, seed)| {
+            let trace = engine::run(spec, &[], *seed, 200);
+            // A recovery is a caught corrupt read: with a clean medium
+            // there is nothing to catch.
+            if trace.medium_corruptions.iter().all(|&c| c == 0) {
+                prop_assert_eq!(trace.recoveries.iter().sum::<u32>(), 0);
+            }
+            // Each completed reader job reads one medium at most once.
+            for (i, &rec) in trace.recoveries.iter().enumerate() {
+                let reads = spec.tasks[i].reads.len() as u32;
+                prop_assert!(
+                    rec <= trace.completions[i] * reads,
+                    "task {} recovered {} times over {} completions x {} reads",
+                    i,
+                    rec,
+                    trace.completions[i],
+                    reads
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn restarts_never_outpace_detections() {
+    prop::check_cases(
+        "restarts_never_outpace_detections",
+        96,
+        |rng, size| {
+            let mut spec = arb_periodic(rng, size, 2, true);
+            // arb_periodic cannot set system-level knobs; rebuild-free
+            // wiring through the public fields keeps the generator small.
+            spec.watchdog = Some(fcm_sim::WatchdogSpec {
+                heartbeat_period: rng.gen_range(3u64..9),
+                detection_latency: rng.gen_range(0u64..3),
+            });
+            spec.retry = Some(fcm_sim::RetryPolicy {
+                max_retries: rng.gen_range(1u32..4),
+                backoff_base: rng.gen_range(1u64..5),
+            });
+            let faults = rng.gen_range(1usize..4);
+            let inj: Vec<Injection> = (0..faults)
+                .map(|_| {
+                    let at = rng.gen_range(5u64..60);
+                    let node = rng.gen_range(0usize..2);
+                    if rng.gen_bool(0.5) {
+                        Injection::node_crash(at, node)
+                    } else {
+                        Injection::node_transient(at, node, rng.gen_range(2u64..10))
+                    }
+                })
+                .collect();
+            let seed: u64 = rng.gen();
+            (spec, inj, seed)
+        },
+        |(spec, inj, seed)| {
+            let trace = engine::run(spec, inj, *seed, 150);
+            prop_assert!(
+                trace.detections >= trace.restarts,
+                "detections {} < restarts {}",
+                trace.detections,
+                trace.restarts
+            );
+            prop_assert!(trace.retries >= trace.restarts);
+            // Prefix invariant over the chronological log: a restart can
+            // only follow the detection that triggered its retry chain.
+            let (mut seen_detections, mut seen_restarts) = (0u32, 0u32);
+            for ev in &trace.events {
+                match ev {
+                    TraceEvent::FailureDetected { .. } => seen_detections += 1,
+                    TraceEvent::JobRestarted { .. } => {
+                        seen_restarts += 1;
+                        prop_assert!(
+                            seen_restarts <= seen_detections,
+                            "restart #{} before detection #{}",
+                            seen_restarts,
+                            seen_detections
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Same-seed runs of the fault schedule are bit-identical.
+            prop_assert_eq!(&trace, &engine::run(spec, inj, *seed, 150));
+            Ok(())
+        },
+    );
+}

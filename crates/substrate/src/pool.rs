@@ -7,17 +7,24 @@
 //!
 //! * [`par_map`] — chunked work-stealing map that returns results in
 //!   input order;
+//! * [`par_try_map`] — the fallible variant: first error in input order;
 //! * [`par_for`] — the side-effect variant;
 //! * [`par_reduce`] — map + associative fold, in input order;
-//! * [`Mutex`] — a `std::sync::Mutex` with the poison-free `lock()` /
-//!   `into_inner()` surface the code previously got from `parking_lot`.
+//! * [`Mutex`] — a `std::sync::Mutex` with the poison-recovering
+//!   `lock()` / `into_inner()` surface the code previously got from
+//!   `parking_lot`.
 //!
 //! Scheduling is self-stealing: workers repeatedly claim the next unclaimed
 //! chunk from a shared atomic cursor, so a slow chunk never idles the other
-//! workers. Panics in a worker propagate to the caller when the scope
-//! joins, like `crossbeam::thread::scope` did.
+//! workers. Worker jobs run under `catch_unwind`: a panicking closure
+//! cancels the remaining chunks, and exactly one panic (the one from the
+//! lowest-indexed panicking chunk observed) is re-raised at the caller
+//! after the scope joins — the pool itself stays usable, so a subsequent
+//! `par_map` succeeds.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Default worker count: available parallelism capped at 8 (the workloads
 /// here saturate memory bandwidth well before core count on big hosts).
@@ -27,9 +34,11 @@ pub fn worker_count() -> usize {
 }
 
 /// A mutual-exclusion lock with `parking_lot`'s ergonomic surface over
-/// `std::sync::Mutex`: `lock()` returns the guard directly and a
-/// poisoned lock (a worker panicked while holding it) panics at the
-/// caller, which is always a bug here, never a recoverable state.
+/// `std::sync::Mutex`: `lock()` returns the guard directly. A poisoned
+/// lock (a worker panicked while holding it) is recovered rather than
+/// re-panicking — the data here is always per-chunk results whose
+/// integrity does not depend on the panicking critical section, and the
+/// original panic is surfaced separately by the pool.
 #[derive(Debug, Default)]
 pub struct Mutex<T>(std::sync::Mutex<T>);
 
@@ -39,22 +48,30 @@ impl<T> Mutex<T> {
         Mutex(std::sync::Mutex::new(value))
     }
 
-    /// Acquires the lock, blocking until available.
+    /// Acquires the lock, blocking until available; poison is recovered.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
-        self.0.lock().expect("mutex poisoned: a worker panicked")
+        self.0.lock().unwrap_or_else(|poison| poison.into_inner())
     }
 
-    /// Consumes the lock, returning the inner value.
+    /// Consumes the lock, returning the inner value; poison is
+    /// recovered.
     pub fn into_inner(self) -> T {
         self.0
             .into_inner()
-            .expect("mutex poisoned: a worker panicked")
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 }
 
 /// Applies `f` to every item in parallel, returning results in input
 /// order. Uses up to [`worker_count`] threads; short inputs are mapped
 /// inline with no thread overhead.
+///
+/// # Panics
+///
+/// When `f` panics, the remaining chunks are cancelled and exactly one
+/// panic (from the lowest-indexed panicking chunk observed) is re-raised
+/// here after all workers have joined. The pool is not poisoned: a later
+/// `par_map` on the same inputs works normally.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = worker_count();
     if threads <= 1 || items.len() <= 1 {
@@ -65,21 +82,43 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
     let chunk = (items.len() / (threads * 4)).max(1);
     let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
     let collected: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    // First panic by chunk index; later chunks may still complete or
+    // panic while cancellation propagates, so keep the smallest.
+    let panicked: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n_chunks) {
             s.spawn(|| loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
                 let c = cursor.fetch_add(1, Ordering::Relaxed);
                 if c >= n_chunks {
                     break;
                 }
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(items.len());
-                let out: Vec<R> = items[lo..hi].iter().map(&f).collect();
-                collected.lock().push((c, out));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    items[lo..hi].iter().map(&f).collect::<Vec<R>>()
+                }));
+                match outcome {
+                    Ok(out) => collected.lock().push((c, out)),
+                    Err(payload) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        let mut slot = panicked.lock();
+                        if slot.as_ref().is_none_or(|(pc, _)| c < *pc) {
+                            *slot = Some((c, payload));
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some((_, payload)) = panicked.into_inner() {
+        resume_unwind(payload);
+    }
     let mut parts = collected.into_inner();
     parts.sort_unstable_by_key(|&(c, _)| c);
     let mut result = Vec::with_capacity(items.len());
@@ -87,6 +126,27 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
         result.append(&mut part);
     }
     result
+}
+
+/// The fallible variant of [`par_map`]: maps every item (no early
+/// cancellation, so the outcome does not depend on thread timing or
+/// worker count) and returns either all results in input order or the
+/// error of the **first failing item in input order** — campaign code
+/// can record it and continue with the rest of a sweep rather than
+/// aborting wholesale.
+///
+/// # Errors
+///
+/// Returns the error produced by the lowest-indexed failing item.
+pub fn par_try_map<T: Sync, R: Send, E: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> Result<R, E> + Sync,
+) -> Result<Vec<R>, E> {
+    let mut out = Vec::with_capacity(items.len());
+    for result in par_map(items, f) {
+        out.push(result?);
+    }
+    Ok(out)
 }
 
 /// Runs `f` over every index `0..n` in parallel (chunked, work-stealing).
@@ -179,6 +239,67 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let items: Vec<u32> = (0..200).collect();
+        // One panicking closure must propagate exactly one panic…
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(x != 123, "injected failure");
+                x
+            })
+        });
+        let payload = result.expect_err("the panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("injected failure"), "payload: {msg}");
+        // …and the pool must not be poisoned for the next call.
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_try_map_collects_or_reports_first_error() {
+        let items: Vec<u32> = (0..300).collect();
+        let ok: Result<Vec<u32>, String> = par_try_map(&items, |&x| Ok(x + 1));
+        assert_eq!(ok.unwrap(), (1..=300).collect::<Vec<_>>());
+        // Multiple failures: the error of the smallest failing index
+        // wins, regardless of which worker saw it first.
+        let err: Result<Vec<u32>, String> = par_try_map(&items, |&x| {
+            if x == 250 || x == 17 || x == 140 {
+                Err(format!("item {x} failed"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "item 17 failed");
+    }
+
+    #[test]
+    fn par_try_map_handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        let ok: Result<Vec<u32>, ()> = par_try_map(&empty, |&x| Ok(x));
+        assert!(ok.unwrap().is_empty());
+        let err: Result<Vec<u32>, &str> = par_try_map(&[3u32], |_| Err("nope"));
+        assert_eq!(err.unwrap_err(), "nope");
+    }
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = Mutex::new(41u32);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("poison while holding the lock");
+        }));
+        assert!(result.is_err());
+        // The shim recovers the value instead of propagating poison.
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
     }
 
     #[test]

@@ -32,6 +32,36 @@ pub struct Materialized {
     pub task_of: Vec<TaskId>,
 }
 
+/// Recovery attributes wired into a materialised system: the watchdog
+/// that detects node failures, the checkpoint interval every SW task
+/// carries, and the retry policy that re-releases killed jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// Watchdog heartbeat period (must be > 0).
+    pub heartbeat_period: Time,
+    /// Latency from the detecting heartbeat to the detection event.
+    pub detection_latency: Time,
+    /// Retry budget per killed job.
+    pub max_retries: u32,
+    /// Base backoff delay; attempt `k` waits `base << k` plus jitter.
+    pub backoff_base: Time,
+    /// Checkpoint interval for every SW task (0 disables checkpointing,
+    /// so a restarted job loses all progress).
+    pub checkpoint_every: Time,
+}
+
+impl Default for RecoverySpec {
+    fn default() -> Self {
+        RecoverySpec {
+            heartbeat_period: 5,
+            detection_latency: 1,
+            max_retries: 3,
+            backoff_base: 2,
+            checkpoint_every: 1,
+        }
+    }
+}
+
 /// Builds an executable system from an integration outcome.
 ///
 /// Tasks run in a static frame per processor (frame = 2 × the cluster's
@@ -58,6 +88,37 @@ pub fn system_from_mapping(
         policy,
         cross_node_attenuation,
         false,
+        None,
+    )
+}
+
+/// As [`system_from_mapping`], but with the node-failure recovery
+/// machinery wired in: the system gets a watchdog and retry policy, and
+/// every SW task carries `recovery.checkpoint_every` as its checkpoint
+/// interval, so injected `NodeCrash`/`NodeTransient` faults are detected
+/// and the killed jobs re-released (failing over when the home node is
+/// permanently dead).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the system builder (e.g. a zero
+/// heartbeat period or backoff base).
+pub fn system_from_mapping_recoverable(
+    g: &SwGraph,
+    clustering: &Clustering,
+    mapping: &Mapping,
+    policy: SchedulingPolicy,
+    cross_node_attenuation: f64,
+    recovery: &RecoverySpec,
+) -> Result<Materialized, SimError> {
+    materialize(
+        g,
+        clustering,
+        mapping,
+        policy,
+        cross_node_attenuation,
+        false,
+        Some(recovery),
     )
 }
 
@@ -79,7 +140,15 @@ pub fn system_from_mapping_voted(
     policy: SchedulingPolicy,
     cross_node_attenuation: f64,
 ) -> Result<Materialized, SimError> {
-    materialize(g, clustering, mapping, policy, cross_node_attenuation, true)
+    materialize(
+        g,
+        clustering,
+        mapping,
+        policy,
+        cross_node_attenuation,
+        true,
+        None,
+    )
 }
 
 fn materialize(
@@ -89,6 +158,7 @@ fn materialize(
     policy: SchedulingPolicy,
     cross_node_attenuation: f64,
     voting: bool,
+    recovery: Option<&RecoverySpec>,
 ) -> Result<Materialized, SimError> {
     use std::collections::BTreeMap;
 
@@ -99,6 +169,10 @@ fn materialize(
         .unwrap_or(1);
     let mut b = SystemSpecBuilder::new(processors);
     b.policy(policy);
+    if let Some(rec) = recovery {
+        b.watchdog(rec.heartbeat_period, rec.detection_latency)?;
+        b.retry(rec.max_retries, rec.backoff_base)?;
+    }
 
     // Host processor per SW node.
     let mut host = vec![0usize; g.node_count()];
@@ -232,6 +306,9 @@ fn materialize(
             let mut t = b
                 .task(node.name.clone(), host[n.index()])
                 .periodic(frame, offset, ct);
+            if let Some(rec) = recovery {
+                t = t.checkpoint(rec.checkpoint_every);
+            }
             for &m in &reads[n.index()] {
                 t = t.reads(m);
             }
@@ -408,6 +485,67 @@ mod tests {
         assert!(
             one.value_faulty(dst),
             "without voting the fault reaches dst"
+        );
+    }
+
+    #[test]
+    fn recoverable_materialisation_wires_the_recovery_attributes() {
+        let (g, c, m) = setup(2);
+        let rec = RecoverySpec::default();
+        let mat = system_from_mapping_recoverable(
+            &g,
+            &c,
+            &m,
+            SchedulingPolicy::PreemptiveEdf,
+            1.0,
+            &rec,
+        )
+        .unwrap();
+        let wd = mat.spec.watchdog.expect("watchdog wired");
+        assert_eq!(wd.heartbeat_period, rec.heartbeat_period);
+        assert_eq!(wd.detection_latency, rec.detection_latency);
+        let rp = mat.spec.retry.expect("retry wired");
+        assert_eq!(rp.max_retries, rec.max_retries);
+        assert_eq!(rp.backoff_base, rec.backoff_base);
+        for t in &mat.spec.tasks {
+            assert_eq!(t.checkpoint, Some(rec.checkpoint_every));
+        }
+        // The plain materialisation stays recovery-free.
+        let bare = system_from_mapping(&g, &c, &m, SchedulingPolicy::PreemptiveEdf, 1.0).unwrap();
+        assert!(bare.spec.watchdog.is_none());
+        assert!(bare.spec.retry.is_none());
+        assert!(bare.spec.tasks.iter().all(|t| t.checkpoint.is_none()));
+    }
+
+    #[test]
+    fn recoverable_system_detects_and_restarts_after_a_node_fault() {
+        let (g, c, m) = setup(2);
+        let rec = RecoverySpec {
+            max_retries: 5,
+            ..RecoverySpec::default()
+        };
+        let mat = system_from_mapping_recoverable(
+            &g,
+            &c,
+            &m,
+            SchedulingPolicy::PreemptiveEdf,
+            1.0,
+            &rec,
+        )
+        .unwrap();
+        // Take processor 0 down briefly while its frame is executing.
+        let trace = engine::run(
+            &mat.spec,
+            &[Injection::node_transient(1, 0, 4)],
+            7,
+            300,
+        );
+        assert!(trace.detections >= 1, "watchdog must detect the outage");
+        assert!(
+            trace.restarts >= 1,
+            "the killed job must restart (detections {}, retries {})",
+            trace.detections,
+            trace.retries
         );
     }
 

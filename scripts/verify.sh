@@ -23,6 +23,32 @@ echo "$out" | grep -q "Table 1" || {
     exit 1
 }
 
+echo "== repro smoke (E14 recovery policy sweep)"
+e14_a=$(cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e14)
+echo "$e14_a" | grep -q "E14 node-failure recovery policy sweep" || {
+    echo "FAIL: repro e14 did not render the policy sweep" >&2
+    exit 1
+}
+echo "$e14_a" | grep -q "failover+shedding" || {
+    echo "FAIL: repro e14 is missing the shedding policy rows" >&2
+    exit 1
+}
+# Determinism: two same-seed runs must be byte-identical.
+e14_b=$(cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e14)
+if [ "$e14_a" != "$e14_b" ]; then
+    echo "FAIL: repro e14 is not deterministic across same-seed runs" >&2
+    exit 1
+fi
+
+echo "== repro rejects unknown experiment ids"
+if cargo run --release --offline -q -p fcm-bench --bin repro -- e99 2>/dev/null; then
+    echo "FAIL: repro accepted an unknown experiment id" >&2
+    exit 1
+fi
+
+echo "== pool panic containment"
+cargo test -q -p fcm-substrate --offline pool_survives_a_panicking_job
+
 echo "== dependency hermeticity"
 if grep -En 'rand|serde|crossbeam|parking_lot|bytes|proptest|criterion' \
     Cargo.toml crates/*/Cargo.toml; then
