@@ -196,7 +196,7 @@ impl Clustering {
 
 /// First pair inside `group` that must stay separated (same-module
 /// replicas or a shared anti-affinity group), by name.
-fn replica_conflict(g: &SwGraph, group: &[NodeIdx]) -> Option<(String, String)> {
+pub(crate) fn replica_conflict(g: &SwGraph, group: &[NodeIdx]) -> Option<(String, String)> {
     for (k, &a) in group.iter().enumerate() {
         for &b in &group[k + 1..] {
             let na = g.node(a).expect("caller validates indices");
@@ -226,7 +226,7 @@ fn replica_conflict(g: &SwGraph, group: &[NodeIdx]) -> Option<(String, String)> 
 
 /// Whether the merged timing constraints of `group` are EDF-schedulable
 /// on one processor (members without timing constraints are unconstrained).
-fn is_schedulable(g: &SwGraph, group: &[NodeIdx]) -> bool {
+pub(crate) fn is_schedulable(g: &SwGraph, group: &[NodeIdx]) -> bool {
     let jobs: Vec<Job> = group
         .iter()
         .filter_map(|&n| {
@@ -243,7 +243,7 @@ fn is_schedulable(g: &SwGraph, group: &[NodeIdx]) -> bool {
     }
 }
 
-fn member_names(g: &SwGraph, group: &[NodeIdx]) -> Vec<String> {
+pub(crate) fn member_names(g: &SwGraph, group: &[NodeIdx]) -> Vec<String> {
     group
         .iter()
         .map(|&n| g.node(n).expect("validated member").name.clone())

@@ -198,7 +198,7 @@ fn place(
         return Ok(None);
     }
     if let ShedPolicy::ShedBelow { .. } = policy {
-        let mut best: Option<(usize, Vec<NodeIdx>, (u64, f64, usize))> = None;
+        let mut best: Option<(usize, Vec<NodeIdx>, HostScore)> = None;
         for (i, host) in hosts.iter().enumerate() {
             if !hard_constraints_ok(g, hw, host, v) {
                 continue;
@@ -322,7 +322,10 @@ fn commit(g: &SwGraph, host: &mut Host, v: NodeIdx) {
     host.members.push(v);
 }
 
-fn host_score(g: &SwGraph, host: &Host, v: NodeIdx, crit_v: u32) -> (u64, f64, usize) {
+/// Host preference score: (criticality co-location burden, load, index).
+type HostScore = (u64, f64, usize);
+
+fn host_score(g: &SwGraph, host: &Host, v: NodeIdx, crit_v: u32) -> HostScore {
     // Criticality co-location burden: pairing two highly critical FCMs
     // on one node is what the original heuristics avoid, so prefer the
     // host minimising Σ min(crit_v, crit_member).
@@ -335,7 +338,7 @@ fn host_score(g: &SwGraph, host: &Host, v: NodeIdx, crit_v: u32) -> (u64, f64, u
     (burden, load, host.hw.index())
 }
 
-fn score_lt(a: (u64, f64, usize), b: (u64, f64, usize)) -> bool {
+fn score_lt(a: HostScore, b: HostScore) -> bool {
     a.0.cmp(&b.0)
         .then(a.1.partial_cmp(&b.1).expect("finite load"))
         .then(a.2.cmp(&b.2))

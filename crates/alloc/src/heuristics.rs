@@ -8,13 +8,25 @@
 //! variations the paper sketches. Every heuristic returns a *validated*
 //! [`Clustering`] (replica anti-affinity and per-cluster schedulability
 //! hold), or [`AllocError::NoFeasibleClustering`].
+//!
+//! All merge paths run through the [`crate::pipeline`] condensation
+//! engine: H1 and its pair-all variation rank pairs straight off the
+//! incrementally maintained Eq. 4 influence matrix ([`pipeline::H1Greedy`]
+//! and [`pipeline::H1PairAll`]); H2, H2′ and H3 compute their partition
+//! (min cut / importance spheres) and then replay it through the pipeline
+//! ([`pipeline::PartitionReplay`]). [`h1_rebuild`] keeps the original
+//! rebuild-per-ranking implementation as the performance baseline the
+//! benches compare against. Wall time per heuristic is recorded in the
+//! global [`fcm_substrate::telemetry`] under `alloc.*` stages.
 
 use fcm_core::ImportanceWeights;
 use fcm_graph::algo::{recursive_min_cut, BisectPolicy};
 use fcm_graph::NodeIdx;
+use fcm_substrate::telemetry;
 
 use crate::cluster::Clustering;
 use crate::error::AllocError;
+use crate::pipeline::{self, CondensePipeline};
 use crate::sw::SwGraph;
 
 /// Heuristic **H1**: "Combine the two nodes with the highest value of
@@ -33,16 +45,37 @@ use crate::sw::SwGraph;
 ///   can reduce the cluster count further;
 /// * [`AllocError::Graph`] — `target` is zero or exceeds the node count.
 pub fn h1(g: &SwGraph, target: usize) -> Result<Clustering, AllocError> {
-    check_target(g, target)?;
-    let mut clustering = Clustering::singletons(g);
-    while clustering.len() > target {
-        clustering =
-            merge_best_pair(g, &clustering).map_err(|_| AllocError::NoFeasibleClustering {
-                requested: target,
-                reached: clustering.len(),
-            })?;
-    }
-    Ok(clustering)
+    telemetry::global().time("alloc.h1", || {
+        check_target(g, target)?;
+        let mut pipe = CondensePipeline::new(g);
+        pipe.run_policy(target, &mut pipeline::H1Greedy)?;
+        pipe.into_clustering()
+    })
+}
+
+/// The pre-pipeline H1 implementation, which rebuilds the full Eq. 4
+/// condensation for every pair ranking (O(E + k²) per *ranking* inside
+/// the merge loop, versus the pipeline's one incremental row/column
+/// update per *merge*). Kept public as the measured baseline for the
+/// `e1_heuristics` bench; produces exactly the same clustering as
+/// [`h1`].
+///
+/// # Errors
+///
+/// As for [`h1`].
+pub fn h1_rebuild(g: &SwGraph, target: usize) -> Result<Clustering, AllocError> {
+    telemetry::global().time("alloc.h1_rebuild", || {
+        check_target(g, target)?;
+        let mut clustering = Clustering::singletons(g);
+        while clustering.len() > target {
+            clustering =
+                merge_best_pair(g, &clustering).map_err(|_| AllocError::NoFeasibleClustering {
+                    requested: target,
+                    reached: clustering.len(),
+                })?;
+        }
+        Ok(clustering)
+    })
 }
 
 /// The H1 variation: "pair all nodes based on influence values and then
@@ -53,49 +86,12 @@ pub fn h1(g: &SwGraph, target: usize) -> Result<Clustering, AllocError> {
 ///
 /// As for [`h1`].
 pub fn h1_pair_all(g: &SwGraph, target: usize) -> Result<Clustering, AllocError> {
-    check_target(g, target)?;
-    let mut clustering = Clustering::singletons(g);
-    while clustering.len() > target {
-        let before = clustering.len();
-        let mut pairs = ranked_pairs(g, &clustering);
-        pairs.retain(|&(_, i, j)| clustering.can_merge(g, i, j));
-        // Greedy matching on disjoint pairs; re-indexing after each merge
-        // would invalidate the matching, so collect a disjoint set first.
-        let mut used = vec![false; clustering.len()];
-        let mut matched: Vec<(usize, usize)> = Vec::new();
-        for (_, i, j) in pairs {
-            if !used[i] && !used[j] && clustering.len() - matched.len() > target {
-                used[i] = true;
-                used[j] = true;
-                matched.push((i, j));
-            }
-        }
-        if matched.is_empty() {
-            return Err(AllocError::NoFeasibleClustering {
-                requested: target,
-                reached: clustering.len(),
-            });
-        }
-        // Merge from the highest indices down so earlier indices stay valid.
-        matched.sort_by_key(|&(i, j)| std::cmp::Reverse(i.max(j)));
-        let mut current = clustering;
-        for (i, j) in matched {
-            match current.merge_clusters(g, i, j) {
-                Ok(next) => current = next,
-                // A previous merge in this round can invalidate a later
-                // pair; skip it and let the next round retry.
-                Err(_) => continue,
-            }
-        }
-        clustering = current;
-        if clustering.len() == before {
-            return Err(AllocError::NoFeasibleClustering {
-                requested: target,
-                reached: clustering.len(),
-            });
-        }
-    }
-    Ok(clustering)
+    telemetry::global().time("alloc.h1_pair_all", || {
+        check_target(g, target)?;
+        let mut pipe = CondensePipeline::new(g);
+        pipe.run_policy(target, &mut pipeline::H1PairAll)?;
+        pipe.into_clustering()
+    })
 }
 
 /// Heuristic **H2**: "Find the min-cut of the graph. Divide the graph into
@@ -111,9 +107,12 @@ pub fn h1_pair_all(g: &SwGraph, target: usize) -> Result<Clustering, AllocError>
 /// * [`AllocError::Graph`] — invalid `target`;
 /// * [`AllocError::NoFeasibleClustering`] — repair failed.
 pub fn h2(g: &SwGraph, target: usize, policy: BisectPolicy) -> Result<Clustering, AllocError> {
-    check_target(g, target)?;
-    let groups = recursive_min_cut(g, target, policy)?;
-    repair(g, groups, target)
+    telemetry::global().time("alloc.h2", || {
+        check_target(g, target)?;
+        let groups = recursive_min_cut(g, target, policy)?;
+        let repaired = repair(g, groups, target)?;
+        replay_through_pipeline(g, repaired)
+    })
 }
 
 /// Heuristic **H3**: "For n HW nodes, identify the n most important SW
@@ -127,6 +126,14 @@ pub fn h2(g: &SwGraph, target: usize, policy: BisectPolicy) -> Result<Clustering
 /// * [`AllocError::Graph`] — invalid `target`;
 /// * [`AllocError::NoFeasibleClustering`] — some node fits no sphere.
 pub fn h3(
+    g: &SwGraph,
+    target: usize,
+    weights: &ImportanceWeights,
+) -> Result<Clustering, AllocError> {
+    telemetry::global().time("alloc.h3", || h3_inner(g, target, weights))
+}
+
+fn h3_inner(
     g: &SwGraph,
     target: usize,
     weights: &ImportanceWeights,
@@ -173,7 +180,8 @@ pub fn h3(
             }
         }
     }
-    Clustering::new(g, groups)
+    let spheres = Clustering::new(g, groups)?;
+    replay_through_pipeline(g, spheres)
 }
 
 /// The H2 source–target variation ("cut the graph using source and
@@ -186,6 +194,14 @@ pub fn h3(
 ///
 /// As for [`h2`].
 pub fn h2_source_target(
+    g: &SwGraph,
+    target: usize,
+    weights: &ImportanceWeights,
+) -> Result<Clustering, AllocError> {
+    telemetry::global().time("alloc.h2_st", || h2_source_target_inner(g, target, weights))
+}
+
+fn h2_source_target_inner(
     g: &SwGraph,
     target: usize,
     weights: &ImportanceWeights,
@@ -221,7 +237,21 @@ pub fn h2_source_target(
         groups.push(to_orig(&cut.side_a));
         groups.push(to_orig(&cut.side_b));
     }
-    repair(g, groups, target)
+    let repaired = repair(g, groups, target)?;
+    replay_through_pipeline(g, repaired)
+}
+
+/// Reconstructs `target` by replaying it as pairwise merges through the
+/// condensation pipeline, so every heuristic's merge path exercises the
+/// incremental Eq. 4 update. Merging two subsets of a feasible cluster is
+/// always feasible, so the replay never gets stuck; the result is the
+/// same clustering (same groups, same listing order, re-validated).
+fn replay_through_pipeline(g: &SwGraph, target: Clustering) -> Result<Clustering, AllocError> {
+    let mut pipe = CondensePipeline::new(g);
+    let mut policy = pipeline::PartitionReplay::toward(g.node_count(), target.clusters());
+    pipe.run_policy(target.len(), &mut policy)?;
+    pipe.reorder_to(target.clusters())?;
+    pipe.into_clustering()
 }
 
 /// One H1 step: merge the highest-mutual-influence feasible pair.
@@ -406,6 +436,16 @@ mod tests {
         let mut names: Vec<String> = (0..3).map(|i| c.cluster_name(&g, i)).collect();
         names.sort();
         assert_eq!(names, vec!["pa,b", "pc,d", "pe"]);
+    }
+
+    #[test]
+    fn h1_matches_the_rebuild_baseline_exactly() {
+        let g = pairs_graph();
+        for target in 1..=5 {
+            let incremental = h1(&g, target);
+            let rebuilt = h1_rebuild(&g, target);
+            assert_eq!(incremental, rebuilt, "target {target}");
+        }
     }
 
     #[test]

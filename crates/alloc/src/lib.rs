@@ -16,10 +16,14 @@
 //! * [`cluster`] — validated clusterings: replica anti-affinity,
 //!   EDF-schedulability of each cluster, combined attributes, and the
 //!   Eq. 4 condensed influence graph;
+//! * [`pipeline`] — the **condensation pipeline**: an incrementally
+//!   maintained Eq. 4 cluster influence matrix (bitwise-equal to a full
+//!   recompute after every merge) that every heuristic drives through a
+//!   pluggable [`pipeline::CondensePolicy`];
 //! * [`heuristics`] — the paper's three condensation heuristics **H1**
 //!   (greedy max mutual influence, plus the pair-all variant), **H2**
 //!   (recursive min-cut, plus the largest-part variant) and **H3**
-//!   (importance spheres);
+//!   (importance spheres), all expressed as pipeline policies;
 //! * [`mapping`] — **Approach A** (importance-ordered assignment),
 //!   **Approach B** (criticality-first lexicographic assignment, §6.2's
 //!   most-with-least pairing) and the timing-ordered refinement of §6.2's
@@ -57,11 +61,13 @@ pub mod failover;
 pub mod heuristics;
 pub mod hw;
 pub mod mapping;
+pub mod pipeline;
 pub mod replication;
 pub mod sw;
 
 pub use cluster::Clustering;
 pub use error::AllocError;
+pub use pipeline::{CondensePipeline, CondensePolicy, H1Greedy, H1PairAll, PartitionReplay};
 pub use failover::{FailoverOutcome, ShedPolicy};
 pub use hw::{HwGraph, HwNode};
 pub use mapping::Mapping;

@@ -11,8 +11,15 @@
 //!
 //! Every run is deterministic: the default base seed is fixed, so two
 //! invocations with the same arguments produce byte-identical output.
+//! After each experiment a wall-time line and the stage-telemetry
+//! summary are printed with a `# ` prefix — those lines carry
+//! wall-clock measurements, so byte-comparisons (`scripts/verify.sh`)
+//! strip them with `grep -v '^# '`.
+
+use std::time::Instant;
 
 use fcm_bench::experiments::{self, Scale};
+use fcm_substrate::telemetry;
 
 /// Every valid experiment id with its one-line description — the single
 /// source of truth for `--list` and for unknown-id rejection.
@@ -87,107 +94,139 @@ fn main() {
         |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
 
     if want("t1") {
-        section("T1  Table 1: example process attributes");
-        print!("{}", experiments::t1());
+        emit("T1  Table 1: example process attributes", || {
+            experiments::t1().to_string()
+        });
     }
     if want("f3") {
-        section("F3  Fig. 3: initial SW influence graph");
-        print!(
-            "{}",
+        emit("F3  Fig. 3: initial SW influence graph", || {
             if dot {
                 experiments::f3_dot()
             } else {
-                experiments::f3()
+                experiments::f3().to_string()
             }
-        );
+        });
     }
     if want("f4") {
-        section("F4  Fig. 4: replica-expanded graph");
-        print!(
-            "{}",
+        emit("F4  Fig. 4: replica-expanded graph", || {
             if dot {
                 experiments::f4_dot()
             } else {
-                experiments::f4()
+                experiments::f4().to_string()
             }
-        );
+        });
     }
     if want("f5") {
-        section("F5  Fig. 5: Eq. 4 cluster influence");
-        print!("{}", experiments::f5());
+        emit("F5  Fig. 5: Eq. 4 cluster influence", || {
+            experiments::f5().to_string()
+        });
     }
     if want("f6") {
-        section("F6  Fig. 6: H1 reduction to the 6-node platform");
-        print!("{}", experiments::f6());
+        emit("F6  Fig. 6: H1 reduction to the 6-node platform", || {
+            experiments::f6().to_string()
+        });
     }
     if want("f7") {
-        section("F7  Fig. 7: criticality-driven integration");
-        print!("{}", experiments::f7());
+        emit("F7  Fig. 7: criticality-driven integration", || {
+            experiments::f7().to_string()
+        });
     }
     if want("f8") {
-        section("F8  Fig. 8: timing-ordered refinement");
-        print!("{}", experiments::f8());
+        emit("F8  Fig. 8: timing-ordered refinement", || {
+            experiments::f8().to_string()
+        });
     }
     if want("e1") {
-        section("E1  heuristic ablation (residual cross-node influence)");
-        print!("{}", experiments::e1(scale));
+        emit("E1  heuristic ablation (residual cross-node influence)", || {
+            experiments::e1(scale).to_string()
+        });
     }
     if want("e2") {
-        section("E2  separation-series convergence (Eq. 3 truncation)");
-        print!("{}", experiments::e2());
+        emit("E2  separation-series convergence (Eq. 3 truncation)", || {
+            experiments::e2().to_string()
+        });
     }
     if want("e3") {
-        section("E3  measured vs analytic influence (Eq. 1/2)");
-        print!("{}", experiments::e3(scale));
+        emit("E3  measured vs analytic influence (Eq. 1/2)", || {
+            experiments::e3(scale).to_string()
+        });
     }
     if want("e4") {
-        section("E4  mission reliability of competing strategies");
-        print!("{}", experiments::e4(scale));
+        emit("E4  mission reliability of competing strategies", || {
+            experiments::e4(scale).to_string()
+        });
     }
     if want("e5") {
-        section("E5  schedulability vs utilisation");
-        print!("{}", experiments::e5(scale));
+        emit("E5  schedulability vs utilisation", || {
+            experiments::e5(scale).to_string()
+        });
     }
     if want("e6") {
-        section("E6  R5 retest set vs naive recertification");
-        print!("{}", experiments::e6());
+        emit("E6  R5 retest set vs naive recertification", || {
+            experiments::e6().to_string()
+        });
     }
     if want("e7") {
-        section("E7  isolation-technique ablation");
-        print!("{}", experiments::e7(scale));
+        emit("E7  isolation-technique ablation", || {
+            experiments::e7(scale).to_string()
+        });
     }
     if want("e8") {
-        section("E8  integration-depth tradeoff (the paper's deferred study)");
-        print!("{}", experiments::e8(scale));
+        emit(
+            "E8  integration-depth tradeoff (the paper's deferred study)",
+            || experiments::e8(scale).to_string(),
+        );
     }
     if want("e9") {
-        section("E9  HW platform selection under a reliability target");
-        print!("{}", experiments::e9(scale));
+        emit("E9  HW platform selection under a reliability target", || {
+            experiments::e9(scale).to_string()
+        });
     }
     if want("e10") {
-        section("E10 heuristic × interaction structure");
-        print!("{}", experiments::e10());
+        emit("E10 heuristic × interaction structure", || {
+            experiments::e10().to_string()
+        });
     }
     if want("e11") {
-        section("E11 materialised-system validation (simulator in the loop)");
-        print!("{}", experiments::e11(scale));
+        emit(
+            "E11 materialised-system validation (simulator in the loop)",
+            || experiments::e11(scale).to_string(),
+        );
     }
     if want("e12") {
-        section("E12 measured workflow: campaign -> SW graph -> integration");
-        print!("{}", experiments::e12(scale));
+        emit(
+            "E12 measured workflow: campaign -> SW graph -> integration",
+            || experiments::e12(scale),
+        );
     }
     if want("e13") {
-        section("E13 TMR voting in the materialised system");
-        print!("{}", experiments::e13(scale));
+        emit("E13 TMR voting in the materialised system", || {
+            experiments::e13(scale).to_string()
+        });
     }
     if want("e14") {
-        section("E14 node-failure recovery policy sweep");
-        print!("{}", experiments::e14(scale));
+        emit("E14 node-failure recovery policy sweep", || {
+            experiments::e14(scale).to_string()
+        });
     }
 }
 
-fn section(title: &str) {
+/// Runs one experiment: section header, the experiment's own output,
+/// then the `# `-prefixed wall time and per-stage telemetry summary
+/// (the global sink is reset first, so the stages belong to this
+/// experiment alone). The `# ` lines are the only non-deterministic
+/// output — byte comparisons must strip them.
+fn emit(title: &str, body: impl FnOnce() -> String) {
     println!("\n=== {title} ===");
+    telemetry::global().reset();
+    let t0 = Instant::now();
+    let out = body();
+    let wall = t0.elapsed();
+    print!("{out}");
+    println!("# wall {:.3}s", wall.as_secs_f64());
+    for line in telemetry::global().summary_lines() {
+        println!("# {line}");
+    }
 }
 
 /// Parses `--seed <n>` (also `--seed=<n>`); defaults to 0, the fixed

@@ -11,7 +11,7 @@ use fcm_core::{
     AttributeSet, FactorKind, FaultFactor, FcmHierarchy, HierarchyLevel, ImportanceWeights,
     Influence, IsolationTechnique,
 };
-use fcm_eval::{Comparison, ReliabilityModel};
+use fcm_eval::{Comparison, ReliabilityModel, SweepDriver};
 use fcm_graph::algo::BisectPolicy;
 use fcm_graph::NodeIdx;
 use fcm_sched::{edf, nonpreemptive, Job, JobSet};
@@ -260,44 +260,59 @@ pub fn f8() -> String {
 
 /// E1: heuristic ablation — residual cross-node influence (normalised by
 /// total influence) for H1 / H1′ / H2 / H2′ / H3 over random graphs.
+///
+/// Each (size, seed) configuration is an independent sweep cell fanned
+/// out by [`SweepDriver`]; aggregation happens afterwards in cell order,
+/// so the table is byte-identical for any thread count.
 pub fn e1(scale: Scale) -> Table {
     let mut t = Table::new(["n", "strategy", "norm residual influence", "failures"]);
-    for &n in &[8usize, 16, 32, 64] {
+    let sizes = [8usize, 16, 32, 64];
+    let cells: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| (0..scale.seeds).map(move |seed| (n, seed)))
+        .collect();
+    let per_cell = SweepDriver::new(scale.base_seed).run(&cells, |&(n, seed), _| {
+        let g = RandomWorkload {
+            processes: n,
+            density: 0.25,
+            replicated_fraction: 0.15,
+            seed: scale.base_seed.wrapping_add(seed.wrapping_mul(7919)).wrapping_add(n as u64),
+            ..RandomWorkload::default()
+        }
+        .generate();
+        let g = fcm_alloc::replication::expand_replicas(&g).graph;
+        let total: f64 = g
+            .edges()
+            .map(|(_, e)| e.weight.influence())
+            .sum::<f64>()
+            .max(1e-9);
+        let target = (g.node_count() / 3).max(min_clusters(&g));
+        let weights = ImportanceWeights::default();
+        [
+            h1(&g, target),
+            h1_pair_all(&g, target),
+            h2(&g, target, BisectPolicy::LargestPart),
+            h2(&g, target, BisectPolicy::HeaviestPart),
+            h2_source_target(&g, target, &weights),
+            h3(&g, target, &weights),
+        ]
+        .map(|r| r.ok().map(|c| c.cross_influence(&g) / total))
+    });
+    for &n in &sizes {
         let mut sums = [0.0f64; 6];
         let mut counts = [0u32; 6];
         let mut failures = [0u32; 6];
-        for seed in 0..scale.seeds {
-            let g = RandomWorkload {
-                processes: n,
-                density: 0.25,
-                replicated_fraction: 0.15,
-                seed: scale.base_seed.wrapping_add(seed.wrapping_mul(7919)).wrapping_add(n as u64),
-                ..RandomWorkload::default()
+        for (cell, outcomes) in cells.iter().zip(&per_cell) {
+            if cell.0 != n {
+                continue;
             }
-            .generate();
-            let g = fcm_alloc::replication::expand_replicas(&g).graph;
-            let total: f64 = g
-                .edges()
-                .map(|(_, e)| e.weight.influence())
-                .sum::<f64>()
-                .max(1e-9);
-            let target = (g.node_count() / 3).max(min_clusters(&g));
-            let weights = ImportanceWeights::default();
-            let results = [
-                h1(&g, target),
-                h1_pair_all(&g, target),
-                h2(&g, target, BisectPolicy::LargestPart),
-                h2(&g, target, BisectPolicy::HeaviestPart),
-                h2_source_target(&g, target, &weights),
-                h3(&g, target, &weights),
-            ];
-            for (k, r) in results.into_iter().enumerate() {
-                match r {
-                    Ok(c) => {
-                        sums[k] += c.cross_influence(&g) / total;
+            for (k, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    Some(norm) => {
+                        sums[k] += norm;
                         counts[k] += 1;
                     }
-                    Err(_) => failures[k] += 1,
+                    None => failures[k] += 1,
                 }
             }
         }
@@ -350,7 +365,11 @@ pub fn e2() -> Table {
         .filter(SeparationAnalysis::series_converges)
         .take(6)
         .collect();
-    for order in 1..=8usize {
+    // Each truncation order is an independent sweep cell (the analyses
+    // above are shared read-only state); the experiment is deterministic,
+    // so the driver's RNG streams go unused.
+    let orders: Vec<usize> = (1..=8).collect();
+    let rows = SweepDriver::new(0).run(&orders, |&order, _| {
         let mut max_err = 0.0f64;
         let mut sum_err = 0.0f64;
         let mut count = 0u32;
@@ -368,11 +387,14 @@ pub fn e2() -> Table {
                 }
             }
         }
-        t.push([
+        [
             order.to_string(),
             format!("{max_err:.6}"),
             format!("{:.6}", sum_err / count as f64),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -442,7 +464,11 @@ pub fn e4(scale: Scale) -> Table {
         "cross infl",
         "crit coloc",
     ]);
-    for &p_hw in &[0.01, 0.05, 0.10] {
+    // Each fault rate runs its full strategy comparison as one sweep
+    // cell; the Monte-Carlo seed lives in the model, so rows are
+    // identical for any thread count.
+    let rates = [0.01, 0.05, 0.10];
+    let rows_per_rate = SweepDriver::new(scale.base_seed).run(&rates, |&p_hw, _| {
         let model = ReliabilityModel {
             p_hw,
             p_sw: 0.05,
@@ -468,8 +494,9 @@ pub fn e4(scale: Scale) -> Table {
             Ok((c, m))
         });
         cmp.run_strategy("B", g, &hw, &model, || approach_b(g, &hw, &weights));
+        let mut rows: Vec<[String; 5]> = Vec::new();
         for o in cmp.outcomes() {
-            t.push([
+            rows.push([
                 format!("{p_hw:.2}"),
                 o.name.clone(),
                 format!("{:.4}", o.reliability.mission_failure),
@@ -478,7 +505,7 @@ pub fn e4(scale: Scale) -> Table {
             ]);
         }
         for (name, err) in cmp.failures() {
-            t.push([
+            rows.push([
                 format!("{p_hw:.2}"),
                 name.clone(),
                 format!("FAILED: {err}"),
@@ -486,6 +513,10 @@ pub fn e4(scale: Scale) -> Table {
                 String::new(),
             ]);
         }
+        rows
+    });
+    for row in rows_per_rate.into_iter().flatten() {
+        t.push(row);
     }
     t
 }
@@ -657,6 +688,9 @@ pub fn e7(scale: Scale) -> Table {
 /// depths 3–5 are infeasible not for timing or anti-affinity but because
 /// deep clustering packs the display and radio functions into one
 /// cluster while no processor carries both resources.
+///
+/// The depth sweep itself fans out across the [`SweepDriver`] pool
+/// inside [`integration_sweep`](fcm_eval::tradeoff::integration_sweep).
 pub fn e8(scale: Scale) -> Table {
     use fcm_eval::tradeoff::integration_sweep;
     let (ex, _) = avionics::expanded_suite();
@@ -985,7 +1019,14 @@ pub fn e14(scale: Scale) -> Table {
         "mean recoveries",
         "mttr",
     ]);
-    for &p_hw in &[0.02, 0.05, 0.10, 0.20] {
+    // Every (rate, policy) pair is an independent sweep cell — the
+    // repairable model replays the same seeded fault worlds per cell, so
+    // the common-random-numbers policy ordering survives the fan-out.
+    let cells: Vec<(f64, RecoveryPolicy)> = [0.02, 0.05, 0.10, 0.20]
+        .iter()
+        .flat_map(|&p_hw| RecoveryPolicy::ALL.into_iter().map(move |p| (p_hw, p)))
+        .collect();
+    let rows = SweepDriver::new(scale.base_seed).run(&cells, |&(p_hw, policy), _| {
         let model = RepairableModel {
             base: ReliabilityModel {
                 p_hw,
@@ -997,17 +1038,18 @@ pub fn e14(scale: Scale) -> Table {
             },
             ..RepairableModel::default()
         };
-        for policy in RecoveryPolicy::ALL {
-            let est = model.evaluate(g, &c, &m, &hw, policy);
-            t.push([
-                format!("{p_hw:.2}"),
-                policy.label().to_string(),
-                format!("{:.4}", est.mission_failure),
-                format!("{:.3}", est.mean_shed_processes),
-                format!("{:.3}", est.mean_recoveries),
-                est.mttr.map_or_else(|| "-".to_string(), |v| format!("{v:.2}")),
-            ]);
-        }
+        let est = model.evaluate(g, &c, &m, &hw, policy);
+        [
+            format!("{p_hw:.2}"),
+            policy.label().to_string(),
+            format!("{:.4}", est.mission_failure),
+            format!("{:.3}", est.mean_shed_processes),
+            format!("{:.3}", est.mean_recoveries),
+            est.mttr.map_or_else(|| "-".to_string(), |v| format!("{v:.2}")),
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }

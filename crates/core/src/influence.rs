@@ -267,6 +267,20 @@ impl Influence {
         Ok(Influence(Probability::new(value)?))
     }
 
+    /// Eq. 4: combines parallel influence values into one,
+    /// `1 − Π(1 − pᵢ)`, folding strictly left to right.
+    ///
+    /// The fold order is a contract, not an implementation detail: graph
+    /// condensation (`fcm-graph::condense`) and the incremental cluster
+    /// pipeline (`fcm-alloc::pipeline`) combine edge weights in global
+    /// edge order with this same association, which is what makes the
+    /// incrementally-maintained influence matrix **bitwise** equal to a
+    /// full recompute.
+    #[must_use]
+    pub fn combine_parallel(values: &[f64]) -> f64 {
+        1.0 - values.iter().fold(1.0, |acc, &p| acc * (1.0 - p))
+    }
+
     /// The raw value in `[0, 1]`.
     pub fn value(self) -> f64 {
         self.0.value()
@@ -338,6 +352,19 @@ mod tests {
     fn eq2_of_no_factors_is_zero() {
         assert_eq!(Influence::from_factors(&[]).value(), 0.0);
         assert_eq!(Influence::NONE.value(), 0.0);
+    }
+
+    #[test]
+    fn eq4_combine_parallel_matches_the_condense_rule() {
+        assert!((Influence::combine_parallel(&[0.7, 0.2]) - 0.76).abs() < 1e-12);
+        assert_eq!(Influence::combine_parallel(&[]), 0.0);
+        assert_eq!(Influence::combine_parallel(&[1.0, 0.3]), 1.0);
+        // Bitwise agreement with the graph-layer rule, same fold order.
+        let ws = [0.37, 0.11, 0.993, 0.0, 0.61];
+        assert_eq!(
+            Influence::combine_parallel(&ws),
+            fcm_graph::CombineRule::Probabilistic.combine(&ws)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! "higher-order terms are likely to be small enough to be neglected".
 //! Experiment E2 measures how quickly the truncation converges.
 
-use fcm_graph::{DiGraph, Matrix, NodeIdx};
+use fcm_graph::{DiGraph, Matrix, NodeIdx, Workspace};
 
 use crate::error::FcmError;
 
@@ -83,11 +83,29 @@ impl SeparationAnalysis {
         1.0 - self.total_influence(from, to, order)
     }
 
+    /// [`separation`](SeparationAnalysis::separation) against a
+    /// caller-owned [`Workspace`] — allocation-free once warm.
+    pub fn separation_with(&self, from: NodeIdx, to: NodeIdx, order: usize, ws: &mut Workspace) -> f64 {
+        1.0 - self.total_influence_with(from, to, order, ws)
+    }
+
     /// The complementary transitive influence `1 − sep(i, j)`, clamped to
     /// `[0, 1]`.
     pub fn total_influence(&self, from: NodeIdx, to: NodeIdx, order: usize) -> f64 {
+        self.total_influence_with(from, to, order, &mut Workspace::new())
+    }
+
+    /// [`total_influence`](SeparationAnalysis::total_influence) against a
+    /// caller-owned [`Workspace`].
+    pub fn total_influence_with(
+        &self,
+        from: NodeIdx,
+        to: NodeIdx,
+        order: usize,
+        ws: &mut Workspace,
+    ) -> f64 {
         self.influence
-            .walk_series(order, 1e-15)
+            .walk_series_with(order, 1e-15, ws)
             .get(from.index(), to.index())
             .unwrap_or(0.0)
             .min(1.0)
@@ -97,15 +115,24 @@ impl SeparationAnalysis {
     /// convention — an FCM is perfectly separated from itself in the
     /// paper's pairwise sense).
     pub fn pairwise(&self, order: usize) -> Matrix {
+        self.pairwise_with(order, &mut Workspace::new())
+    }
+
+    /// [`pairwise`](SeparationAnalysis::pairwise) against a caller-owned
+    /// [`Workspace`], so sweeps evaluating many graphs reuse the
+    /// power-series buffers.
+    pub fn pairwise_with(&self, order: usize, ws: &mut Workspace) -> Matrix {
         let n = self.influence.rows();
-        let series = self.influence.walk_series(order, 1e-15);
-        let mut out = Matrix::zeros(n, n);
+        let mut out = Matrix::zeros(0, 0);
+        self.influence.walk_series_into(order, 1e-15, ws, &mut out);
+        // Turn the walk series into separations in place: no second
+        // allocation, and the diagonal becomes the conventional 1.
         for i in 0..n {
             for j in 0..n {
                 out[(i, j)] = if i == j {
                     1.0
                 } else {
-                    1.0 - series.get(i, j).expect("in bounds").min(1.0)
+                    1.0 - out.get(i, j).expect("in bounds").min(1.0)
                 };
             }
         }
@@ -117,10 +144,15 @@ impl SeparationAnalysis {
     /// some point, higher-order terms are likely to be small enough to be
     /// neglected".
     pub fn converged_order(&self, epsilon: f64, max_order: usize) -> usize {
-        let mut power = Matrix::identity(self.influence.rows());
+        self.converged_order_with(epsilon, max_order, &mut Workspace::new())
+    }
+
+    /// [`converged_order`](SeparationAnalysis::converged_order) against a
+    /// caller-owned [`Workspace`].
+    pub fn converged_order_with(&self, epsilon: f64, max_order: usize, ws: &mut Workspace) -> usize {
+        ws.begin_powers(self.influence.rows());
         for k in 1..=max_order {
-            power = power.checked_mul(&self.influence).expect("square");
-            if power.max_abs() <= epsilon {
+            if ws.step_power(&self.influence).max_abs() <= epsilon {
                 return k;
             }
         }
@@ -240,6 +272,26 @@ mod tests {
         let a = SeparationAnalysis::new(p).unwrap();
         assert!(a.converged_order(1e-6, 16) <= 3);
         assert!(a.series_converges());
+    }
+
+    #[test]
+    fn workspace_variants_match_the_allocating_paths_bitwise() {
+        let a = chain();
+        let mut ws = Workspace::new();
+        assert_eq!(
+            a.separation(NodeIdx(0), NodeIdx(2), 4),
+            a.separation_with(NodeIdx(0), NodeIdx(2), 4, &mut ws)
+        );
+        assert_eq!(a.pairwise(4), a.pairwise_with(4, &mut ws));
+        assert_eq!(
+            a.converged_order(1e-6, 16),
+            a.converged_order_with(1e-6, 16, &mut ws)
+        );
+        // Reuse across differently-sized analyses must not leak state.
+        let mut p = Matrix::zeros(5, 5);
+        p[(0, 4)] = 0.3;
+        let b = SeparationAnalysis::new(p).unwrap();
+        assert_eq!(b.pairwise(4), b.pairwise_with(4, &mut ws));
     }
 
     #[test]

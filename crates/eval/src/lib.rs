@@ -47,6 +47,7 @@ pub mod compare;
 pub mod metrics;
 pub mod platform;
 pub mod reliability;
+pub mod sweep;
 pub mod tradeoff;
 
 pub use compare::{Comparison, StrategyOutcome};
@@ -55,4 +56,5 @@ pub use platform::{select_platform, PlatformOption, PlatformSelection};
 pub use reliability::{
     RecoveryPolicy, ReliabilityEstimate, ReliabilityModel, RepairableEstimate, RepairableModel,
 };
+pub use sweep::SweepDriver;
 pub use tradeoff::{integration_sweep, TradeoffCurve, TradeoffPoint};

@@ -510,22 +510,22 @@ impl RepairableModel {
                 }
             }
             // Unrecovered: the node's processes are lost.
-            for p in 0..n {
-                if topo.host[p] == h {
-                    failed[p] = true;
+            for (f, &host) in failed.iter_mut().zip(&topo.host) {
+                if host == h {
+                    *f = true;
                 }
             }
         }
         // A process is dead before it is shed: failure wins.
-        for p in 0..n {
-            if failed[p] {
-                removed[p] = false;
+        for (r, &f) in removed.iter_mut().zip(&failed) {
+            if f {
+                *r = false;
             }
         }
         // Spontaneous SW faults — shed processes are offline and immune.
-        for p in 0..n {
-            if !failed[p] && !removed[p] && u_sw[p] < self.base.p_sw {
-                failed[p] = true;
+        for ((f, &r), &u) in failed.iter_mut().zip(&removed).zip(&u_sw) {
+            if !*f && !r && u < self.base.p_sw {
+                *f = true;
             }
         }
         // Propagation to fixpoint over pre-sampled edge uniforms; shed

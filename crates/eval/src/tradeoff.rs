@@ -19,6 +19,7 @@ use fcm_core::ImportanceWeights;
 
 use crate::metrics::MappingQuality;
 use crate::reliability::{ReliabilityEstimate, ReliabilityModel};
+use crate::sweep::SweepDriver;
 
 /// One point of the integration-depth sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,16 +102,21 @@ impl fmt::Display for TradeoffCurve {
 /// mapping with Approach A onto `platform_for(k)`, and evaluating with
 /// `model`. Depths with no feasible integration are recorded, not
 /// skipped silently.
+///
+/// Depths are independent cells, so the sweep fans out across the
+/// [`SweepDriver`] thread pool; each depth is fully deterministic (the
+/// Monte-Carlo seed lives in `model`), so the curve is identical for
+/// any thread count.
 pub fn integration_sweep(
     g: &SwGraph,
     k_range: impl IntoIterator<Item = usize>,
-    platform_for: impl Fn(usize) -> HwGraph,
+    platform_for: impl Fn(usize) -> HwGraph + Sync,
     model: &ReliabilityModel,
     weights: &ImportanceWeights,
 ) -> TradeoffCurve {
-    let mut curve = TradeoffCurve::default();
-    for k in k_range {
-        let attempt = (|| -> Result<TradeoffPoint, AllocError> {
+    let ks: Vec<usize> = k_range.into_iter().collect();
+    let results = SweepDriver::new(model.seed).run(&ks, |&k, _| {
+        (|| -> Result<TradeoffPoint, AllocError> {
             let clustering = h1(g, k)?;
             let hw = platform_for(k);
             let mapping = approach_a(g, &clustering, &hw, weights)?;
@@ -122,10 +128,14 @@ pub fn integration_sweep(
                 quality,
                 reliability,
             })
-        })();
+        })()
+        .map_err(|e| e.to_string())
+    });
+    let mut curve = TradeoffCurve::default();
+    for (k, attempt) in ks.into_iter().zip(results) {
         match attempt {
             Ok(point) => curve.points.push(point),
-            Err(e) => curve.infeasible.push((k, e.to_string())),
+            Err(reason) => curve.infeasible.push((k, reason)),
         }
     }
     curve.points.sort_by_key(|p| p.clusters);

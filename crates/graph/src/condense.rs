@@ -7,7 +7,7 @@
 //! that contraction with a pluggable [`CombineRule`].
 
 use crate::error::GraphError;
-use crate::{DiGraph, NodeIdx};
+use crate::{DiGraph, Matrix, NodeIdx};
 
 /// How parallel influences from/to a condensed group are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -53,6 +53,16 @@ impl Condensation {
     /// The condensed node containing original node `orig`.
     pub fn group_of(&self, orig: NodeIdx) -> Option<NodeIdx> {
         self.membership.get(orig.index()).copied()
+    }
+
+    /// The group-to-group influence matrix of the condensed graph:
+    /// entry `(i, j)` is the combined influence of group `i` on group
+    /// `j`, `0.0` where no edge exists. This is the *full-recompute*
+    /// reference the incremental pipeline update is checked against
+    /// (bitwise) by the equivalence property tests.
+    #[must_use]
+    pub fn influence_matrix(&self) -> Matrix {
+        Matrix::from_graph(&self.graph)
     }
 }
 
@@ -229,6 +239,24 @@ mod tests {
         let (g, n) = fan_in();
         let c = condense(&g, &[vec![n[3], n[0]], vec![n[1], n[2]]], CombineRule::Max).unwrap();
         assert_eq!(c.graph.node(NodeIdx(0)).unwrap(), &vec![n[0], n[3]]);
+    }
+
+    #[test]
+    fn influence_matrix_mirrors_the_condensed_edges() {
+        let (g, n) = fan_in();
+        let c = condense(
+            &g,
+            &[vec![n[0], n[1]], vec![n[2]], vec![n[3]]],
+            CombineRule::Probabilistic,
+        )
+        .unwrap();
+        let m = c.influence_matrix();
+        assert_eq!(m.rows(), 3);
+        let g03 = c.group_of(n[3]).unwrap().index();
+        let g02 = c.group_of(n[2]).unwrap().index();
+        assert!((m[(0, g03)] - 0.76).abs() < 1e-12);
+        assert_eq!(m[(g03, g02)], 0.4);
+        assert_eq!(m[(g02, 0)], 0.0, "absent edge is zero");
     }
 
     #[test]

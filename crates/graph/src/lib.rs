@@ -43,4 +43,4 @@ mod matrix;
 pub use condense::{condense, CombineRule, Condensation};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use error::GraphError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, Workspace};

@@ -4,6 +4,18 @@
 //! `P_ij + Σ_k P_ik P_kj + Σ_l Σ_k P_ik P_kl P_lj + …`, i.e. the entries of
 //! `P + P² + P³ + …` truncated when higher-order terms become negligible.
 //! [`Matrix::walk_series`] computes that truncated sum.
+//!
+//! # The shared kernel
+//!
+//! Every analysis in the workspace funnels through one cache-blocked,
+//! allocation-free kernel: [`Matrix::mul_into`] writes the product into a
+//! caller-owned matrix, and [`Matrix::walk_series_into`] runs the whole
+//! power series against a reusable [`Workspace`], so a sweep that
+//! evaluates thousands of series performs no allocation after the first
+//! cell. The blocking is over `k` (the contraction index) and `i`, with
+//! `k`-blocks visited in ascending order — which keeps the per-entry
+//! accumulation order identical to the naive `ikj` loop, so results are
+//! **bitwise equal** to the pre-blocking implementation, not merely close.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul};
@@ -107,6 +119,23 @@ impl Matrix {
         }
     }
 
+    /// Reshapes to `rows × cols`, all zeros, reusing the existing
+    /// allocation whenever its capacity suffices.
+    fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to the `n × n` identity, reusing the allocation.
+    fn reset_identity(&mut self, n: usize) {
+        self.reset_zeros(n, n);
+        for i in 0..n {
+            self.data[i * n + i] = 1.0;
+        }
+    }
+
     /// Checked matrix product.
     ///
     /// # Errors
@@ -114,25 +143,56 @@ impl Matrix {
     /// Returns [`GraphError::DimensionMismatch`] when `self.cols !=
     /// rhs.rows`.
     pub fn checked_mul(&self, rhs: &Matrix) -> Result<Matrix, GraphError> {
+        let mut out = Matrix::zeros(0, 0);
+        self.mul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// In-place checked matrix product: writes `self * rhs` into `out`,
+    /// reshaping it (and reusing its allocation) as needed. This is the
+    /// cache-blocked kernel everything else delegates to; per output
+    /// entry the contraction index runs in ascending order, so the
+    /// result is bitwise identical to a naive `ikj` triple loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when `self.cols !=
+    /// rhs.rows`; `out` is untouched in that case.
+    pub fn mul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), GraphError> {
         if self.cols != rhs.rows {
             return Err(GraphError::DimensionMismatch {
                 left: (self.rows, self.cols),
                 right: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+        out.reset_zeros(self.rows, rhs.cols);
+        // Blocked over the contraction index k and the output row i:
+        // one k-block of `rhs` rows stays hot in cache while the whole
+        // i-block streams over it. k-blocks ascend, and k ascends within
+        // each block, so every out[(i, j)] accumulates its terms in
+        // exactly the order the naive loop used (bitwise-stable FP).
+        const BLOCK: usize = 64;
+        let n = rhs.cols;
+        for k0 in (0..self.cols).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(self.cols);
+            for i0 in (0..self.rows).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(self.rows);
+                for i in i0..i1 {
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for k in k0..k1 {
+                        let a = self.data[i * self.cols + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                        for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * r;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Checked matrix sum.
@@ -141,17 +201,28 @@ impl Matrix {
     ///
     /// Returns [`GraphError::DimensionMismatch`] when shapes differ.
     pub fn checked_add(&self, rhs: &Matrix) -> Result<Matrix, GraphError> {
+        let mut out = self.clone();
+        out.add_assign_checked(rhs)?;
+        Ok(out)
+    }
+
+    /// In-place checked matrix sum: `self += rhs`, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DimensionMismatch`] when shapes differ;
+    /// `self` is untouched in that case.
+    pub fn add_assign_checked(&mut self, rhs: &Matrix) -> Result<(), GraphError> {
         if self.rows != rhs.rows || self.cols != rhs.cols {
             return Err(GraphError::DimensionMismatch {
                 left: (self.rows, self.cols),
                 right: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = self.clone();
-        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+        for (o, r) in self.data.iter_mut().zip(&rhs.data) {
             *o += r;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Largest absolute entry (`0.0` for an empty matrix).
@@ -170,17 +241,44 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn walk_series(&self, order: usize, epsilon: f64) -> Matrix {
+        self.walk_series_with(order, epsilon, &mut Workspace::new())
+    }
+
+    /// [`walk_series`](Matrix::walk_series) against a caller-owned
+    /// [`Workspace`], so repeated series over same-sized matrices reuse
+    /// the power buffers instead of allocating per power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn walk_series_with(&self, order: usize, epsilon: f64, ws: &mut Workspace) -> Matrix {
+        let mut acc = Matrix::zeros(0, 0);
+        self.walk_series_into(order, epsilon, ws, &mut acc);
+        acc
+    }
+
+    /// The fully in-place walk series: writes `Σ_{k=1..order} P^k` into
+    /// `acc` (reshaping it as needed) using `ws` for the intermediate
+    /// powers. After the first call at a given size, no allocation at
+    /// all. Results are bitwise identical to
+    /// [`walk_series`](Matrix::walk_series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn walk_series_into(&self, order: usize, epsilon: f64, ws: &mut Workspace, acc: &mut Matrix) {
         assert_eq!(self.rows, self.cols, "walk series requires a square matrix");
-        let mut acc = Matrix::zeros(self.rows, self.cols);
-        let mut power = Matrix::identity(self.rows);
+        let n = self.rows;
+        acc.reset_zeros(n, n);
+        ws.begin_powers(n);
         for _ in 0..order {
-            power = power.checked_mul(self).expect("square matrices");
+            let power = ws.step_power(self);
             if power.max_abs() < epsilon {
                 break;
             }
-            acc = acc.checked_add(&power).expect("same shape");
+            acc.add_assign_checked(power).expect("same shape");
         }
-        acc
     }
 
     /// The walk-series entry for a node pair, i.e. `1 − separation(i, j)`.
@@ -188,6 +286,58 @@ impl Matrix {
         self.walk_series(order, 1e-12)
             .get(from.index(), to.index())
             .unwrap_or(0.0)
+    }
+}
+
+/// Reusable scratch buffers for the power-series kernel.
+///
+/// Holds the current power and a multiply target; both keep their
+/// allocations across calls, so any number of
+/// [`Matrix::walk_series_into`] runs over same-sized matrices perform
+/// zero allocation after the first. A workspace carries no result state
+/// between calls — sharing one across unrelated analyses is safe (but
+/// not across threads; give each worker its own).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    power: Matrix,
+    next: Matrix,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Workspace {
+        Workspace {
+            power: Matrix::zeros(0, 0),
+            next: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Resets the power accumulator to the `n × n` identity (`P⁰`),
+    /// starting a fresh [`step_power`](Workspace::step_power) walk.
+    pub fn begin_powers(&mut self, n: usize) {
+        self.power.reset_identity(n);
+    }
+
+    /// Advances the accumulator one step — after the `k`-th call it
+    /// holds `P^k` — and returns it. Allocation-free once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p`'s row count differs from the size given to
+    /// [`begin_powers`](Workspace::begin_powers).
+    pub fn step_power(&mut self, p: &Matrix) -> &Matrix {
+        self.power
+            .mul_into(p, &mut self.next)
+            .expect("power accumulator must match the matrix size");
+        std::mem::swap(&mut self.power, &mut self.next);
+        &self.power
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace::new()
     }
 }
 
@@ -349,6 +499,102 @@ mod tests {
         let s = m.to_string();
         assert_eq!(s.lines().count(), 2);
         assert!(s.starts_with("1.0000 0.5000"));
+    }
+
+    /// The pre-refactor naive ikj product, kept verbatim as the bitwise
+    /// reference for the blocked kernel.
+    fn naive_mul(lhs: &Matrix, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(lhs.rows, rhs.cols);
+        for i in 0..lhs.rows {
+            for k in 0..lhs.cols {
+                let a = lhs.data[i * lhs.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.data[k * rhs.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic pseudo-random matrix with a sprinkling of exact
+    /// zeros (to exercise the skip path), sized to cross block borders.
+    fn scrambled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = fcm_substrate::Rng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = if rng.gen_range(0..4) == 0 {
+                0.0
+            } else {
+                rng.gen_f64() - 0.5
+            };
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_product_is_bitwise_equal_to_naive_ikj() {
+        // Sizes straddle the 64-wide block boundary, including ragged
+        // tails and non-square shapes.
+        for (m, k, n) in [(5, 7, 3), (64, 64, 64), (65, 130, 63), (100, 97, 101)] {
+            let a = scrambled(m, k, 0xA5A5 + m as u64);
+            let b = scrambled(k, n, 0x5A5A + n as u64);
+            let blocked = a.checked_mul(&b).unwrap();
+            assert_eq!(blocked, naive_mul(&a, &b), "{m}x{k} * {k}x{n}");
+        }
+    }
+
+    #[test]
+    fn mul_into_reuses_out_across_shapes() {
+        let a = scrambled(20, 30, 1);
+        let b = scrambled(30, 10, 2);
+        let mut out = Matrix::zeros(3, 3); // wrong shape on purpose
+        a.mul_into(&b, &mut out).unwrap();
+        assert_eq!(out, naive_mul(&a, &b));
+        // Reuse for a different product; stale contents must not leak.
+        let c = scrambled(4, 5, 3);
+        let d = scrambled(5, 6, 4);
+        c.mul_into(&d, &mut out).unwrap();
+        assert_eq!(out, naive_mul(&c, &d));
+    }
+
+    #[test]
+    fn mul_into_dimension_mismatch_leaves_out_untouched() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::from_rows(1, 2, &[7.0, 8.0]);
+        assert!(a.mul_into(&b, &mut out).is_err());
+        assert_eq!(out, Matrix::from_rows(1, 2, &[7.0, 8.0]));
+    }
+
+    #[test]
+    fn add_assign_checked_matches_checked_add() {
+        let a = scrambled(9, 9, 5);
+        let b = scrambled(9, 9, 6);
+        let mut c = a.clone();
+        c.add_assign_checked(&b).unwrap();
+        assert_eq!(c, a.checked_add(&b).unwrap());
+        assert!(c.add_assign_checked(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn workspace_series_is_bitwise_equal_and_reusable() {
+        let mut ws = Workspace::new();
+        for n in [3usize, 17, 66] {
+            // Keep entries small so the series converges.
+            let mut p = scrambled(n, n, 7 + n as u64);
+            for v in &mut p.data {
+                *v *= 0.2;
+            }
+            let fresh = p.walk_series(6, 1e-9);
+            let reused = p.walk_series_with(6, 1e-9, &mut ws);
+            assert_eq!(fresh, reused, "n={n}");
+            let mut acc = Matrix::zeros(0, 0);
+            p.walk_series_into(6, 1e-9, &mut ws, &mut acc);
+            assert_eq!(fresh, acc, "n={n} (into)");
+        }
     }
 
     #[test]

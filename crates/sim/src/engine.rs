@@ -227,9 +227,9 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                     .push(TraceEvent::FailureDetected { node, at: now });
                 if let Some(rp) = spec.retry {
                     if rp.max_retries > 0 {
-                        for idx in 0..killed.len() {
-                            if killed[idx].node == node && !killed[idx].scheduled {
-                                killed[idx].scheduled = true;
+                        for (idx, k) in killed.iter_mut().enumerate() {
+                            if k.node == node && !k.scheduled {
+                                k.scheduled = true;
                                 let jitter = rng.gen_range(0..rp.backoff_base);
                                 push(
                                     &mut heap,

@@ -73,7 +73,26 @@ impl<T> Mutex<T> {
 /// here after all workers have joined. The pool is not poisoned: a later
 /// `par_map` on the same inputs works normally.
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = worker_count();
+    par_map_threads(items, worker_count(), f)
+}
+
+/// [`par_map`] with an explicit worker-thread cap (clamped to ≥ 1).
+///
+/// Results are returned in input order whatever the cap, so the output
+/// is byte-for-byte independent of `threads` — the cap only changes how
+/// many workers race over the chunk cursor. This is the lever the sweep
+/// determinism checks use: a run with `threads = 1` must equal a run
+/// with `threads = N`.
+///
+/// # Panics
+///
+/// Same contract as [`par_map`].
+pub fn par_map_threads<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1);
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -180,6 +199,16 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let doubled = par_map(&items, |&x| x * 2);
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_threads_output_is_independent_of_the_cap() {
+        let items: Vec<u64> = (0..777).collect();
+        let reference = par_map_threads(&items, 1, |&x| x.wrapping_mul(x) ^ 0xD6E8);
+        for threads in [2, 3, 8, 64] {
+            let out = par_map_threads(&items, threads, |&x| x.wrapping_mul(x) ^ 0xD6E8);
+            assert_eq!(out, reference, "threads={threads}");
+        }
     }
 
     #[test]
@@ -314,6 +343,6 @@ mod tests {
     #[test]
     fn worker_count_is_positive_and_capped() {
         let w = worker_count();
-        assert!(w >= 1 && w <= 8);
+        assert!((1..=8).contains(&w));
     }
 }

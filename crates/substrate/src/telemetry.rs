@@ -1,0 +1,296 @@
+//! Stage telemetry: monotonic stage timers and counters.
+//!
+//! De Florio's survey of application-level fault tolerance argues that a
+//! dependability mechanism you cannot observe is one you cannot tune;
+//! this module gives the analysis engine that observability without
+//! perturbing it. A [`Telemetry`] sink accumulates, per named stage,
+//! wall-clock spans (measured with the monotonic [`Instant`] clock) and
+//! plain counters. Stages live in a `BTreeMap`, so every rendering —
+//! [`summary_lines`](Telemetry::summary_lines) and [`ToJson`] — is in
+//! deterministic (lexicographic) stage order even though the *numbers*
+//! are wall-clock measurements.
+//!
+//! Two recording styles:
+//!
+//! * [`Telemetry::time`] — wrap a closure;
+//! * [`Telemetry::start`] — an RAII [`SpanGuard`] for spans that cross
+//!   a scope boundary (recorded on drop).
+//!
+//! The process-wide sink is [`global`]; `repro` resets it per
+//! experiment and prints its summary, and bench suites embed a snapshot
+//! in their `BENCH_*.json` artefact via
+//! [`Suite::embed_telemetry`](crate::bench::Suite::embed_telemetry).
+//! Timing numbers are *observations*, never inputs: no analysis result
+//! may depend on them, which is what keeps the experiments reproducible
+//! from their seeds alone.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::json::{Json, ToJson};
+use crate::pool::Mutex;
+
+/// Accumulated statistics for one named stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Spans recorded (calls to `time` / guard drops / `record`).
+    pub spans: u64,
+    /// Total wall-clock nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Counter total (from [`Telemetry::add`]); 0 for pure timers.
+    pub count: u64,
+}
+
+/// A thread-safe sink of per-stage timers and counters.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    stages: Mutex<BTreeMap<String, StageStat>>,
+}
+
+impl Telemetry {
+    /// Creates an empty sink. `const`, so a `static` sink needs no
+    /// lazy-init machinery.
+    #[must_use]
+    pub const fn new() -> Telemetry {
+        Telemetry {
+            stages: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Times `f` as one span of `stage`.
+    pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(stage, t0.elapsed());
+        out
+    }
+
+    /// Starts a span of `stage`; the span is recorded when the returned
+    /// guard drops.
+    #[must_use]
+    pub fn start<'a>(&'a self, stage: &str) -> SpanGuard<'a> {
+        SpanGuard {
+            sink: self,
+            stage: stage.to_string(),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Records one finished span of `stage`.
+    pub fn record(&self, stage: &str, elapsed: Duration) {
+        let mut stages = self.stages.lock();
+        let stat = stages.entry(stage.to_string()).or_default();
+        stat.spans += 1;
+        stat.total_ns = stat
+            .total_ns
+            .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds `n` to the counter of `stage` (creating it if absent).
+    pub fn add(&self, stage: &str, n: u64) {
+        let mut stages = self.stages.lock();
+        let stat = stages.entry(stage.to_string()).or_default();
+        stat.count = stat.count.saturating_add(n);
+    }
+
+    /// A snapshot of every stage, in lexicographic stage order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, StageStat)> {
+        self.stages
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// True when nothing has been recorded since the last reset.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.lock().is_empty()
+    }
+
+    /// Clears all stages.
+    pub fn reset(&self) {
+        self.stages.lock().clear();
+    }
+
+    /// One human-readable line per stage, in deterministic stage order:
+    /// `<stage>  spans=<n>  total=<t>  count=<c>` (count omitted when 0,
+    /// total omitted for pure counters).
+    #[must_use]
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.snapshot()
+            .into_iter()
+            .map(|(stage, s)| {
+                let mut line = format!("{stage}  spans={}", s.spans);
+                if s.spans > 0 {
+                    line.push_str(&format!("  total={}", fmt_ns(s.total_ns)));
+                }
+                if s.count > 0 {
+                    line.push_str(&format!("  count={}", s.count));
+                }
+                line
+            })
+            .collect()
+    }
+}
+
+impl ToJson for Telemetry {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.snapshot()
+                .into_iter()
+                .map(|(stage, s)| {
+                    Json::object()
+                        .set("stage", stage.as_str())
+                        .set("spans", s.spans)
+                        .set("total_ns", s.total_ns)
+                        .set("count", s.count)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// RAII span: records its stage on drop. Obtained from
+/// [`Telemetry::start`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    sink: &'a Telemetry,
+    stage: String,
+    t0: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.record(&self.stage, self.t0.elapsed());
+    }
+}
+
+/// The process-wide telemetry sink.
+#[must_use]
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: Telemetry = Telemetry::new();
+    &GLOBAL
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_spans() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        t.time("work", || ());
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "work");
+        assert_eq!(snap[0].1.spans, 2);
+    }
+
+    #[test]
+    fn guard_records_on_drop() {
+        let t = Telemetry::new();
+        {
+            let _g = t.start("span");
+            assert!(t.is_empty(), "not recorded until drop");
+        }
+        assert_eq!(t.snapshot()[0].1.spans, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_independently_of_timers() {
+        let t = Telemetry::new();
+        t.add("merges", 3);
+        t.add("merges", 4);
+        let (name, s) = &t.snapshot()[0];
+        assert_eq!(name, "merges");
+        assert_eq!(s.count, 7);
+        assert_eq!(s.spans, 0);
+    }
+
+    #[test]
+    fn snapshot_and_lines_are_in_lexicographic_order() {
+        let t = Telemetry::new();
+        t.add("zeta", 1);
+        t.add("alpha", 1);
+        t.time("mid", || ());
+        let names: Vec<String> = t.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        let lines = t.summary_lines();
+        assert!(lines[0].starts_with("alpha"));
+        assert!(lines[2].starts_with("zeta"));
+        assert!(lines[0].contains("count=1"));
+        assert!(!lines[0].contains("total="), "pure counter has no time");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.time("x", || ());
+        t.reset();
+        assert!(t.is_empty());
+        assert!(t.summary_lines().is_empty());
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        let t = Telemetry::new();
+        t.time("stage_a", || ());
+        t.add("stage_a", 5);
+        let j = t.to_json();
+        let back = Json::parse(&j.to_string_pretty()).expect("parses");
+        assert_eq!(back, j);
+        let arr = back.as_array().unwrap();
+        assert_eq!(arr[0].get("stage").and_then(Json::as_str), Some("stage_a"));
+        assert_eq!(arr[0].get("count").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn global_sink_is_shared_and_resettable() {
+        // Serialise against other tests touching the global sink by
+        // using a stage name unique to this test.
+        global().add("telemetry_test_unique_stage", 2);
+        let found = global()
+            .snapshot()
+            .into_iter()
+            .any(|(n, s)| n == "telemetry_test_unique_stage" && s.count == 2);
+        assert!(found);
+    }
+
+    #[test]
+    fn recording_is_thread_safe() {
+        let t = Telemetry::new();
+        crate::pool::par_for(64, |_| {
+            t.time("par", || std::hint::black_box(1 + 1));
+            t.add("par", 1);
+        });
+        let (_, s) = t.snapshot().pop().unwrap();
+        assert_eq!(s.spans, 64);
+        assert_eq!(s.count, 64);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sensible_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(12_500), "12.500µs");
+        assert_eq!(fmt_ns(12_500_000), "12.500ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.500s");
+    }
+}

@@ -16,6 +16,9 @@ cargo build --release --offline
 echo "== cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== repro smoke (T1)"
 out=$(cargo run --release --offline -q -p fcm-bench --bin repro -- t1)
 echo "$out" | grep -q "Table 1" || {
@@ -33,10 +36,22 @@ echo "$e14_a" | grep -q "failover+shedding" || {
     echo "FAIL: repro e14 is missing the shedding policy rows" >&2
     exit 1
 }
-# Determinism: two same-seed runs must be byte-identical.
+# Determinism: two same-seed runs must be byte-identical. The `# `
+# lines are wall-clock telemetry — the one intentionally
+# non-deterministic part of the output — so strip them first.
 e14_b=$(cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e14)
-if [ "$e14_a" != "$e14_b" ]; then
+if [ "$(echo "$e14_a" | grep -v '^# ')" != "$(echo "$e14_b" | grep -v '^# ')" ]; then
     echo "FAIL: repro e14 is not deterministic across same-seed runs" >&2
+    exit 1
+fi
+
+echo "== parallel sweep determinism (E1 + E14, 1 thread vs 4)"
+# The SweepDriver contract: cell RNG streams are split per cell, so the
+# experiment tables must be byte-identical whatever FCM_SWEEP_THREADS is.
+sweep_seq=$(FCM_SWEEP_THREADS=1 cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e1 e14 | grep -v '^# ')
+sweep_par=$(FCM_SWEEP_THREADS=4 cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e1 e14 | grep -v '^# ')
+if [ "$sweep_seq" != "$sweep_par" ]; then
+    echo "FAIL: parallel sweep output differs from sequential" >&2
     exit 1
 fi
 
