@@ -179,6 +179,7 @@ impl<'g> CondensePipeline<'g> {
     /// * [`AllocError::ReplicaConflict`] / [`AllocError::Unschedulable`] —
     ///   the union violates a combination constraint.
     pub fn merge(&mut self, i: usize, j: usize) -> Result<(), AllocError> {
+        let _span = fcm_obs::span("alloc.pipeline.merge");
         if i >= self.groups.len() || j >= self.groups.len() || i == j {
             return Err(AllocError::UnknownSwNode { index: i.max(j) });
         }
@@ -208,6 +209,7 @@ impl<'g> CondensePipeline<'g> {
         self.recombine_row_col(lo);
         self.merges += 1;
         telemetry::global().add("alloc.pipeline.merges", 1);
+        fcm_obs::counter_add("alloc.pipeline.merges", 1);
         Ok(())
     }
 

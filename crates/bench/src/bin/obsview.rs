@@ -1,0 +1,247 @@
+//! `obsview` — offline inspector for `fcm-obs` JSONL event logs.
+//!
+//! ```text
+//! cargo run --release -p fcm-bench --bin repro -- e14 --obs-out trace.jsonl
+//! cargo run --release -p fcm-bench --bin obsview -- trace.jsonl
+//! ```
+//!
+//! Renders, from a log written by `repro --obs-out` (or any
+//! [`fcm_obs::export`] producer):
+//!
+//! * the **span tree** — every root span with its children indented
+//!   beneath it, each line showing total wall time and *self* time
+//!   (total minus direct children); sibling lists are capped so a
+//!   100k-cell sweep stays readable;
+//! * a **flamegraph** in collapsed-stack format (`root;child;leaf
+//!   <self_ns>`), one line per distinct stack, ready for any external
+//!   flamegraph renderer and aggregated across spans with equal stacks;
+//! * **histogram summaries** — count/mean/p50/p90/p99/max per recorded
+//!   latency distribution;
+//! * **counters and gauges** in lexicographic order.
+//!
+//! Exit codes: 0 on success, 2 on usage or parse errors (obsview never
+//! panics on malformed input — `EventLog::parse` reports the line).
+
+use std::collections::BTreeMap;
+
+use fcm_obs::{EventLog, LoggedSpan};
+
+/// Sibling spans rendered per parent before eliding the rest.
+const MAX_CHILDREN: usize = 12;
+/// Tree depth bound (cycle guard for corrupt parent links).
+const MAX_DEPTH: usize = 64;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "--help" && p != "-h" => p.clone(),
+        _ => {
+            eprintln!("usage: obsview <log.jsonl>");
+            eprintln!("  renders the span tree, collapsed-stack flamegraph, and");
+            eprintln!("  histogram summaries of an fcm-obs event log");
+            eprintln!("  (produce one with: repro --obs-out <log.jsonl>)");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obsview: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let log = match EventLog::parse(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("obsview: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render(&log));
+}
+
+/// The full report for one parsed log.
+fn render(log: &EventLog) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "event log: schema {}, {} spans, {} counters, {} gauges, {} histograms\n",
+        log.schema,
+        log.spans.len(),
+        log.counters.len(),
+        log.gauges.len(),
+        log.hists.len()
+    ));
+    if log.spans_dropped > 0 {
+        out.push_str(&format!(
+            "warning: {} spans dropped to ring overflow (raise the ring capacity)\n",
+            log.spans_dropped
+        ));
+    }
+    let tree = SpanTree::build(&log.spans);
+    if !log.spans.is_empty() {
+        out.push_str("\n== span tree ==\n");
+        for &root in &tree.roots {
+            render_subtree(&mut out, &tree, root, 0);
+        }
+        out.push_str("\n== flamegraph (collapsed stacks) ==\n");
+        for (stack, self_ns) in tree.collapsed_stacks() {
+            out.push_str(&format!("{stack} {self_ns}\n"));
+        }
+    }
+    if !log.hists.is_empty() {
+        out.push_str("\n== histograms ==\n");
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &log.hists {
+            // Only `*_ns` histograms hold nanoseconds; the rest (e.g.
+            // simulated-time latencies) are plain numbers.
+            let unit: fn(u64) -> String = if name.ends_with("_ns") {
+                fmt_ns
+            } else {
+                |v| v.to_string()
+            };
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count(),
+                h.mean().map_or_else(|| "-".into(), |m| unit(m.round() as u64)),
+                quant(h, 0.5, unit),
+                quant(h, 0.9, unit),
+                quant(h, 0.99, unit),
+                h.max().map_or_else(|| "-".into(), unit),
+            ));
+        }
+    }
+    if !log.counters.is_empty() {
+        out.push_str("\n== counters ==\n");
+        for (name, v) in &log.counters {
+            out.push_str(&format!("{name:<40} {v}\n"));
+        }
+    }
+    if !log.gauges.is_empty() {
+        out.push_str("\n== gauges ==\n");
+        for (name, v) in &log.gauges {
+            out.push_str(&format!("{name:<40} {v}\n"));
+        }
+    }
+    out
+}
+
+fn quant(h: &fcm_obs::Histogram, q: f64, unit: fn(u64) -> String) -> String {
+    h.quantile(q).map_or_else(|| "-".into(), unit)
+}
+
+/// Parent/child index over a span list.
+struct SpanTree<'a> {
+    spans: &'a [LoggedSpan],
+    /// Indices of root spans (parent 0 or unknown), in file order.
+    roots: Vec<usize>,
+    /// Direct children (indices) per span index, in file order.
+    children: Vec<Vec<usize>>,
+}
+
+impl<'a> SpanTree<'a> {
+    fn build(spans: &'a [LoggedSpan]) -> SpanTree<'a> {
+        let by_id: BTreeMap<u64, usize> =
+            spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        let mut roots = Vec::new();
+        let mut children = vec![Vec::new(); spans.len()];
+        for (i, s) in spans.iter().enumerate() {
+            match by_id.get(&s.parent) {
+                // A self-parent (corrupt link) still counts as a root.
+                Some(&p) if s.parent != 0 && p != i => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        SpanTree {
+            spans,
+            roots,
+            children,
+        }
+    }
+
+    /// Total minus direct children (clamped at 0 for clock skew).
+    fn self_ns(&self, i: usize) -> u64 {
+        let kids: u64 = self.children[i]
+            .iter()
+            .map(|&c| self.spans[c].total_ns())
+            .sum();
+        self.spans[i].total_ns().saturating_sub(kids)
+    }
+
+    /// `root;child;leaf -> self_ns` aggregated over equal stacks, in
+    /// lexicographic stack order.
+    fn collapsed_stacks(&self) -> BTreeMap<String, u64> {
+        let mut stacks = BTreeMap::new();
+        for &root in &self.roots {
+            self.collect_stacks(root, String::new(), 0, &mut stacks);
+        }
+        stacks
+    }
+
+    fn collect_stacks(&self, i: usize, prefix: String, depth: usize, out: &mut BTreeMap<String, u64>) {
+        if depth >= MAX_DEPTH {
+            return;
+        }
+        let stack = if prefix.is_empty() {
+            self.spans[i].name.clone()
+        } else {
+            format!("{prefix};{}", self.spans[i].name)
+        };
+        *out.entry(stack.clone()).or_insert(0) += self.self_ns(i);
+        for &c in &self.children[i] {
+            self.collect_stacks(c, stack.clone(), depth + 1, out);
+        }
+    }
+}
+
+fn render_subtree(out: &mut String, tree: &SpanTree<'_>, i: usize, depth: usize) {
+    if depth >= MAX_DEPTH {
+        return;
+    }
+    let s = &tree.spans[i];
+    let label = match s.idx {
+        Some(idx) => format!("{}#{idx}", s.name),
+        None => s.name.clone(),
+    };
+    out.push_str(&format!(
+        "{:indent$}{label}  total={} self={} (thread {})\n",
+        "",
+        fmt_ns(s.total_ns()),
+        fmt_ns(tree.self_ns(i)),
+        s.thread,
+        indent = depth * 2,
+    ));
+    let kids = &tree.children[i];
+    for &c in kids.iter().take(MAX_CHILDREN) {
+        render_subtree(out, tree, c, depth + 1);
+    }
+    if kids.len() > MAX_CHILDREN {
+        let elided = &kids[MAX_CHILDREN..];
+        let total: u64 = elided.iter().map(|&c| tree.spans[c].total_ns()).sum();
+        out.push_str(&format!(
+            "{:indent$}… {} more siblings  total={}\n",
+            "",
+            elided.len(),
+            fmt_ns(total),
+            indent = (depth + 1) * 2,
+        ));
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}

@@ -7,6 +7,7 @@
 //! cargo run --release -p fcm-bench --bin repro -- --quick # reduced scale
 //! cargo run --release -p fcm-bench --bin repro -- f3 --dot # Graphviz output
 //! cargo run --release -p fcm-bench --bin repro -- --seed 7 # reseed streams
+//! cargo run --release -p fcm-bench --bin repro -- e14 --obs-out trace.jsonl
 //! ```
 //!
 //! Every run is deterministic: the default base seed is fixed, so two
@@ -15,11 +16,31 @@
 //! summary are printed with a `# ` prefix — those lines carry
 //! wall-clock measurements, so byte-comparisons (`scripts/verify.sh`)
 //! strip them with `grep -v '^# '`.
+//!
+//! `--obs-out <path>` (or the `FCM_OBS_OUT` environment variable)
+//! enables the `fcm-obs` observability layer and writes its JSONL
+//! event log to `path` at exit; render it with the `obsview` binary.
+//! The experiment tables stay byte-identical with observability on or
+//! off — only the `# ` lines and the event log differ.
 
 use std::time::Instant;
 
 use fcm_bench::experiments::{self, Scale};
 use fcm_substrate::telemetry;
+
+/// One line per flag — the single source of truth for `--help` and the
+/// unknown-flag error text.
+const FLAG_HELP: [(&str, &str); 6] = [
+    ("--quick", "reduced experiment scale (fast smoke run)"),
+    ("--dot", "Graphviz output for f3/f4"),
+    ("--list", "list experiment ids and exit"),
+    ("--seed <n>", "override the base seed (default 0)"),
+    (
+        "--obs-out <path>",
+        "write the fcm-obs JSONL event log to <path> (env: FCM_OBS_OUT)",
+    ),
+    ("--help", "this text"),
+];
 
 /// Every valid experiment id with its one-line description — the single
 /// source of truth for `--list` and for unknown-id rejection.
@@ -49,6 +70,11 @@ const EXPERIMENTS: [(&str, &str); 21] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    reject_unknown_flags(&args);
     let quick = args.iter().any(|a| a == "--quick");
     let dot = args.iter().any(|a| a == "--dot");
     let seed = parse_seed(&args);
@@ -59,6 +85,15 @@ fn main() {
         }
         return;
     }
+    let obs_out = parse_obs_out(&args);
+    if let Some(path) = &obs_out {
+        // Fail fast on an unwritable path, before hours of experiments.
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("cannot write obs log {path}: {e}");
+            std::process::exit(2);
+        }
+        fcm_obs::init(fcm_obs::ObsConfig::default());
+    }
     let mut selected: Vec<&str> = Vec::new();
     let mut skip_value = false;
     for a in &args {
@@ -66,7 +101,7 @@ fn main() {
             skip_value = false;
             continue;
         }
-        if a == "--seed" {
+        if a == "--seed" || a == "--obs-out" {
             skip_value = true;
         } else if !a.starts_with("--") {
             selected.push(a.as_str());
@@ -209,6 +244,92 @@ fn main() {
             experiments::e14(scale).to_string()
         });
     }
+
+    if let Some(path) = &obs_out {
+        if let Err(e) = fcm_obs::export::export_to(std::path::Path::new(path)) {
+            eprintln!("cannot write obs log {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("# obs log written to {path}");
+    }
+}
+
+/// Prints the usage text (every flag, experiment selection, env vars).
+fn print_help() {
+    println!("repro — regenerate every table and figure of the paper plus E1-E14");
+    println!();
+    println!("usage: repro [FLAGS] [EXPERIMENT_ID ...]");
+    println!();
+    println!("flags:");
+    for (flag, what) in FLAG_HELP {
+        println!("  {flag:<18} {what}");
+    }
+    println!();
+    println!("environment:");
+    println!("  FCM_OBS_OUT        like --obs-out (the flag wins when both are set)");
+    println!("  FCM_SWEEP_THREADS  sweep thread count (1 forces sequential)");
+    println!();
+    println!("experiment ids (default: all, see --list):");
+    println!(
+        "  {}",
+        EXPERIMENTS
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}
+
+/// Rejects any `--flag` that is not in [`FLAG_HELP`], exit code 2 — a
+/// typo like `--obsout` must not silently run without observability.
+fn reject_unknown_flags(args: &[String]) {
+    let known = ["--quick", "--dot", "--list", "--seed", "--obs-out"];
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if !a.starts_with("--") {
+            continue;
+        }
+        let name = a.split('=').next().unwrap_or(a);
+        if !known.contains(&name) {
+            eprintln!("unknown flag: {a}");
+            eprintln!("valid flags:");
+            for (flag, what) in FLAG_HELP {
+                eprintln!("  {flag:<18} {what}");
+            }
+            std::process::exit(2);
+        }
+        if (name == "--seed" || name == "--obs-out") && !a.contains('=') {
+            skip_value = true;
+        }
+    }
+}
+
+/// Resolves the obs event-log path: `--obs-out <path>` / `--obs-out=`
+/// beats the `FCM_OBS_OUT` environment variable; `None` disables
+/// observability entirely.
+fn parse_obs_out(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--obs-out" {
+            match it.next() {
+                Some(v) => return Some(v.clone()),
+                None => {
+                    eprintln!("--obs-out requires a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(v) = a.strip_prefix("--obs-out=") {
+            return Some(v.to_string());
+        }
+    }
+    std::env::var(fcm_obs::OBS_OUT_ENV)
+        .ok()
+        .filter(|v| !v.is_empty())
 }
 
 /// Runs one experiment: section header, the experiment's own output,
@@ -216,9 +337,15 @@ fn main() {
 /// (the global sink is reset first, so the stages belong to this
 /// experiment alone). The `# ` lines are the only non-deterministic
 /// output — byte comparisons must strip them.
-fn emit(title: &str, body: impl FnOnce() -> String) {
+///
+/// When observability is enabled the whole experiment runs under a
+/// root span named by its id (the title's first word), so `obsview`
+/// renders one tree per experiment.
+fn emit(title: &'static str, body: impl FnOnce() -> String) {
     println!("\n=== {title} ===");
     telemetry::global().reset();
+    let root = title.split_whitespace().next().unwrap_or("repro");
+    let _root_span = fcm_obs::span(root);
     let t0 = Instant::now();
     let out = body();
     let wall = t0.elapsed();

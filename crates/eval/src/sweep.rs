@@ -67,6 +67,11 @@ impl SweepDriver {
     /// Evaluates `f` on every cell, in parallel, returning results in
     /// cell order. Cell `i` receives `Rng::stream(base_seed, i)`, so the
     /// result vector is identical whatever the thread count.
+    ///
+    /// When observability is enabled ([`fcm_obs::init`]) each cell runs
+    /// under its own `eval.sweep.cell` span, explicitly parented under
+    /// the caller's current span so the fan-out renders as one tree in
+    /// `obsview` even though cells execute on pool worker threads.
     pub fn run<T, R, F>(&self, cells: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -75,11 +80,23 @@ impl SweepDriver {
     {
         let t = telemetry::global();
         t.add("eval.sweep.cells", cells.len() as u64);
+        fcm_obs::counter_add("eval.sweep.cells", cells.len() as u64);
+        #[allow(clippy::cast_precision_loss)]
+        fcm_obs::gauge_set("eval.sweep.threads", self.threads as f64);
+        let sweep_span = fcm_obs::span("eval.sweep");
+        let parent = sweep_span.id();
         t.time("eval.sweep", || {
             let indices: Vec<usize> = (0..cells.len()).collect();
             par_map_threads(&indices, self.threads, |&i| {
+                let _cell = fcm_obs::span_under("eval.sweep.cell", parent, Some(i as u64));
+                let t0 = fcm_obs::enabled().then(fcm_obs::span::now_ns);
                 let mut rng = Rng::stream(self.base_seed, i as u64);
-                f(&cells[i], &mut rng)
+                let out = f(&cells[i], &mut rng);
+                if let Some(t0) = t0 {
+                    let elapsed = fcm_obs::span::now_ns().saturating_sub(t0);
+                    fcm_obs::hist_record("eval.sweep.cell_ns", elapsed);
+                }
+                out
             })
         })
     }
@@ -134,6 +151,22 @@ mod tests {
         // A different base seed changes every stream.
         let other = SweepDriver::new(100).with_threads(4);
         assert_ne!(draws, other.run(&full, |_, rng| rng.gen::<u64>()));
+    }
+
+    #[test]
+    fn results_are_identical_with_observability_enabled() {
+        // The observation contract: recording spans/metrics must not
+        // perturb a single drawn value.
+        let cells: Vec<u64> = (0..50).collect();
+        let eval = |&c: &u64, rng: &mut Rng| (rng.gen::<u64>() ^ c, rng.gen::<f64>().to_bits());
+        let off = SweepDriver::new(3).with_threads(4).run(&cells, eval);
+        fcm_obs::init(fcm_obs::ObsConfig::default());
+        let on = SweepDriver::new(3).with_threads(4).run(&cells, eval);
+        fcm_obs::set_enabled(false);
+        assert_eq!(off, on);
+        // And the sweep did leave a trace behind.
+        let snap = fcm_obs::metrics::drain();
+        assert!(snap.counters.get("eval.sweep.cells").copied().unwrap_or(0) >= 50);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Property tests pinning the [`fcm_obs::Histogram`] contract on the
+//! substrate prop harness (replay failures with
+//! `FCM_PROP_SEED=<seed> FCM_PROP_SIZE=<size> cargo test -q <name>`).
+
+use fcm_obs::hist::{Histogram, BUCKETS};
+use fcm_substrate::prop::{check, Config};
+use fcm_substrate::rng::Rng;
+use fcm_substrate::{prop_assert, prop_assert_eq, Json, ToJson};
+
+/// A sample stream spanning many orders of magnitude: mixes small exact
+/// values, mid-range, and huge samples so every bucket regime is hit.
+/// Samples stay below 2⁴⁶ so that even a full stream's *sum* is under
+/// 2⁵³ — the exact-integer range of the substrate JSON number model,
+/// which is the histogram's documented round-trip domain (nanosecond
+/// observations sit orders of magnitude below it).
+fn gen_samples(rng: &mut Rng, size: usize) -> Vec<u64> {
+    let n = rng.gen_range(0..size.max(1) + 1);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => rng.gen_range(0u64..16),
+            1 => rng.gen_range(0u64..1_000),
+            2 => rng.gen_range(0u64..1_000_000),
+            _ => rng.gen::<u64>() >> rng.gen_range(18u32..40),
+        })
+        .collect()
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn quantiles_are_monotone_in_q_and_bounded_by_extremes() {
+    check(
+        "quantiles_monotone",
+        Config::default(),
+        gen_samples,
+        |samples| {
+            let h = hist_of(samples);
+            if samples.is_empty() {
+                prop_assert!(h.quantile(0.5).is_none());
+                return Ok(());
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0u64;
+            for (i, &q) in qs.iter().enumerate() {
+                let v = h.quantile(q).expect("non-empty");
+                if i > 0 {
+                    prop_assert!(
+                        v >= prev,
+                        "quantile({q}) = {v} < quantile({}) = {prev}",
+                        qs[i - 1]
+                    );
+                }
+                prev = v;
+            }
+            // Every quantile lies within the recorded value range
+            // (lower-bounded by the min's bucket floor).
+            let min = h.min().unwrap();
+            let max = h.max().unwrap();
+            let floor = Histogram::bucket_low(Histogram::bucket_of(min));
+            prop_assert!(h.quantile(0.0).unwrap() >= floor);
+            prop_assert!(h.quantile(1.0).unwrap() <= max);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn merge_equals_recording_the_union() {
+    check(
+        "merge_is_union",
+        Config::default(),
+        |rng, size| (gen_samples(rng, size), gen_samples(rng, size)),
+        |(a, b)| {
+            let mut merged = hist_of(a);
+            merged.merge(&hist_of(b));
+            let union: Vec<u64> = a.iter().chain(b).copied().collect();
+            prop_assert_eq!(merged, hist_of(&union));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bucket_boundaries_round_trip_through_json() {
+    check(
+        "hist_json_round_trip",
+        Config::default(),
+        gen_samples,
+        |samples| {
+            let h = hist_of(samples);
+            let text = h.to_json().to_string_compact();
+            let back = Histogram::from_json(&Json::parse(&text).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            prop_assert_eq!(&back, &h);
+            // The sparse bucket encoding preserved every boundary: each
+            // recorded value still falls in a bucket whose bounds
+            // contain it after the round trip.
+            for (idx, count) in back.nonzero_buckets() {
+                prop_assert!(count > 0);
+                prop_assert!(idx < BUCKETS);
+                let low = Histogram::bucket_low(idx);
+                prop_assert_eq!(Histogram::bucket_of(low), idx);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn count_sum_and_extremes_match_the_stream_exactly() {
+    check(
+        "exact_aggregates",
+        Config::default(),
+        gen_samples,
+        |samples| {
+            let h = hist_of(samples);
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            let sum: u64 = samples.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+            prop_assert_eq!(h.sum(), sum);
+            prop_assert_eq!(h.min(), samples.iter().min().copied());
+            prop_assert_eq!(h.max(), samples.iter().max().copied());
+            Ok(())
+        },
+    );
+}

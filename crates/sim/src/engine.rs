@@ -119,6 +119,8 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
     let mut dead = vec![false; spec.processors];
     // Jobs killed by node failures, indexed by Retry events.
     let mut killed: Vec<KilledJob> = Vec::new();
+    // Most recent failure instant per node (detection-latency histogram).
+    let mut last_failure: Vec<Option<Time>> = vec![None; spec.processors];
 
     let mut seq: u64 = 0;
     let mut heap: BinaryHeap<Reverse<(Time, EventKind, u64)>> = BinaryHeap::new();
@@ -161,6 +163,7 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                     FaultKind::ValueCorruption => {
                         if !trace.value_faulty[inj.target] {
                             trace.value_faulty[inj.target] = true;
+                            fcm_obs::hist_record("sim.fault_latch_at", now);
                             trace.events.push(TraceEvent::FaultLatched {
                                 task: inj.target,
                                 at: now,
@@ -175,6 +178,7 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                             continue; // already down: no double failure
                         }
                         down[node] = true;
+                        last_failure[node] = Some(now);
                         trace.events.push(TraceEvent::NodeFailed { node, at: now });
                         if let FaultKind::NodeTransient { downtime } = inj.kind {
                             push(
@@ -222,6 +226,9 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
             }
             EventKind::Detect { node } => {
                 trace.detections += 1;
+                if let Some(failed_at) = last_failure[node].take() {
+                    fcm_obs::hist_record("sim.detect_latency", now - failed_at);
+                }
                 trace
                     .events
                     .push(TraceEvent::FailureDetected { node, at: now });
@@ -231,12 +238,9 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                             if k.node == node && !k.scheduled {
                                 k.scheduled = true;
                                 let jitter = rng.gen_range(0..rp.backoff_base);
-                                push(
-                                    &mut heap,
-                                    now + rp.backoff(0) + jitter,
-                                    EventKind::Retry(idx),
-                                    &mut seq,
-                                );
+                                let delay = rp.backoff(0) + jitter;
+                                fcm_obs::hist_record("sim.retry_backoff", delay);
+                                push(&mut heap, now + delay, EventKind::Retry(idx), &mut seq);
                             }
                         }
                     }
@@ -259,6 +263,9 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                     Some(proc) => {
                         if proc != home {
                             trace.failovers += 1;
+                            if let Some(failed_at) = entry.job.failed_at {
+                                fcm_obs::hist_record("sim.failover_latency", now - failed_at);
+                            }
                         }
                         trace.restarts += 1;
                         trace.events.push(TraceEvent::JobRestarted {
@@ -276,12 +283,9 @@ pub fn run(spec: &SystemSpec, injections: &[Injection], seed: u64, horizon: Time
                         if next < rp.max_retries {
                             killed[idx].attempt = next;
                             let jitter = rng.gen_range(0..rp.backoff_base);
-                            push(
-                                &mut heap,
-                                now + rp.backoff(next) + jitter,
-                                EventKind::Retry(idx),
-                                &mut seq,
-                            );
+                            let delay = rp.backoff(next) + jitter;
+                            fcm_obs::hist_record("sim.retry_backoff", delay);
+                            push(&mut heap, now + delay, EventKind::Retry(idx), &mut seq);
                         }
                         // Retries exhausted: the job stays outstanding
                         // and the starvation sweep counts the miss.
@@ -465,6 +469,7 @@ fn complete_job(
         // A checkpoint-restarted job ran to completion: the recovery
         // interval spans from the killing node failure to now.
         trace.recovery_times.push(now - failed_at);
+        fcm_obs::hist_record("sim.recovery_time", now - failed_at);
     }
     if now > job.abs_deadline {
         trace.deadline_misses[job.task] += 1;
@@ -494,6 +499,7 @@ fn complete_job(
                 trace.recoveries[job.task] += 1;
             } else if rng.gen::<f64>() < task.vulnerability.value() {
                 trace.value_faulty[job.task] = true;
+                fcm_obs::hist_record("sim.fault_latch_at", now);
                 trace.events.push(TraceEvent::FaultLatched {
                     task: job.task,
                     at: now,
@@ -510,6 +516,7 @@ fn complete_job(
                 let p3 = task.vulnerability.value();
                 if rng.gen::<f64>() < p3 {
                     trace.value_faulty[job.task] = true;
+                    fcm_obs::hist_record("sim.fault_latch_at", now);
                     trace.events.push(TraceEvent::FaultLatched {
                         task: job.task,
                         at: now,
@@ -524,6 +531,7 @@ fn complete_job(
         && rng.gen::<f64>() < task.fault_rate.value()
     {
         trace.value_faulty[job.task] = true;
+        fcm_obs::hist_record("sim.fault_latch_at", now);
         trace.events.push(TraceEvent::FaultLatched {
             task: job.task,
             at: now,
@@ -861,6 +869,31 @@ mod tests {
         assert_eq!(t.restarts, 0);
         assert_eq!(t.completions[0], 0);
         assert!(t.missed_deadline(0));
+    }
+
+    #[test]
+    fn observability_records_recovery_histograms_without_perturbing_the_run() {
+        let mut b = SystemSpecBuilder::new(2);
+        b.watchdog(5, 0).unwrap();
+        b.retry(2, 4).unwrap();
+        b.task("t", 0).one_shot(0, 100, 10).checkpoint(1).build().unwrap();
+        let spec = b.build().unwrap();
+        let inj = [Injection::node_crash(3, 0)];
+        let off = run(&spec, &inj, 11, 200);
+        fcm_obs::init(fcm_obs::ObsConfig::default());
+        let on = run(&spec, &inj, 11, 200);
+        fcm_obs::set_enabled(false);
+        assert_eq!(off, on, "recording must not perturb the simulation");
+        let snap = fcm_obs::metrics::drain();
+        for name in [
+            "sim.detect_latency",
+            "sim.retry_backoff",
+            "sim.failover_latency",
+            "sim.recovery_time",
+        ] {
+            let h = snap.hists.get(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(h.count() >= 1, "{name} recorded");
+        }
     }
 
     #[test]

@@ -33,6 +33,33 @@ pub fn worker_count() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
+/// A hook receiving `(counter name, worker index, delta)` for the pool's
+/// per-worker counters. Observability layers above the substrate install
+/// one (see [`set_counter_hook`]); the substrate itself depends on
+/// nothing, so the hook is how pool counters reach a metrics registry
+/// without inverting the crate layering.
+pub type PoolCounterHook = fn(name: &'static str, worker: usize, n: u64);
+
+static HOOK_ON: AtomicBool = AtomicBool::new(false);
+static HOOK: Mutex<Option<PoolCounterHook>> = Mutex::new(None);
+
+/// Installs (or removes, with `None`) the process-wide pool counter
+/// hook. While no hook is installed the per-worker accounting costs one
+/// relaxed atomic load per `par_map` worker.
+pub fn set_counter_hook(hook: Option<PoolCounterHook>) {
+    *HOOK.lock() = hook;
+    HOOK_ON.store(hook.is_some(), Ordering::Release);
+}
+
+/// Emits one per-worker counter through the installed hook, if any.
+fn emit_counter(name: &'static str, worker: usize, n: u64) {
+    if HOOK_ON.load(Ordering::Acquire) {
+        if let Some(hook) = *HOOK.lock() {
+            hook(name, worker, n);
+        }
+    }
+}
+
 /// A mutual-exclusion lock with `parking_lot`'s ergonomic surface over
 /// `std::sync::Mutex`: `lock()` returns the guard directly. A poisoned
 /// lock (a worker panicked while holding it) is recovered rather than
@@ -107,31 +134,50 @@ pub fn par_map_threads<T: Sync, R: Send>(
     // panic while cancellation propagates, so keep the smallest.
     let panicked: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
     std::thread::scope(|s| {
-        for _ in 0..threads.min(n_chunks) {
-            s.spawn(|| loop {
-                if cancelled.load(Ordering::Relaxed) {
-                    break;
-                }
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let lo = c * chunk;
-                let hi = (lo + chunk).min(items.len());
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    items[lo..hi].iter().map(&f).collect::<Vec<R>>()
-                }));
-                match outcome {
-                    Ok(out) => collected.lock().push((c, out)),
-                    Err(payload) => {
-                        cancelled.store(true, Ordering::Relaxed);
-                        let mut slot = panicked.lock();
-                        if slot.as_ref().is_none_or(|(pc, _)| c < *pc) {
-                            *slot = Some((c, payload));
-                        }
+        // Shadow the shared state with references so the `move` below
+        // captures only those references plus each worker's own index.
+        let (f, cursor, cancelled, collected, panicked) =
+            (&f, &cursor, &cancelled, &collected, &panicked);
+        for worker in 0..threads.min(n_chunks) {
+            s.spawn(move || {
+                // Per-worker accounting, reported once at park time so
+                // the hot claim loop pays nothing for it: items
+                // executed, chunks stolen from the shared cursor beyond
+                // the first claim, and the final park itself.
+                let mut executed: u64 = 0;
+                let mut claimed: u64 = 0;
+                loop {
+                    if cancelled.load(Ordering::Relaxed) {
                         break;
                     }
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    claimed += 1;
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(items.len());
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        items[lo..hi].iter().map(&f).collect::<Vec<R>>()
+                    }));
+                    match outcome {
+                        Ok(out) => {
+                            executed += (hi - lo) as u64;
+                            collected.lock().push((c, out));
+                        }
+                        Err(payload) => {
+                            cancelled.store(true, Ordering::Relaxed);
+                            let mut slot = panicked.lock();
+                            if slot.as_ref().is_none_or(|(pc, _)| c < *pc) {
+                                *slot = Some((c, payload));
+                            }
+                            break;
+                        }
+                    }
                 }
+                emit_counter("pool.execute", worker, executed);
+                emit_counter("pool.steal", worker, claimed.saturating_sub(1));
+                emit_counter("pool.park", worker, 1);
             });
         }
     });

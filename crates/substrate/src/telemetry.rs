@@ -58,11 +58,14 @@ impl Telemetry {
     }
 
     /// Times `f` as one span of `stage`.
+    ///
+    /// Panic-safe: the span is recorded by an RAII guard, so a
+    /// panicking closure still contributes its elapsed time before the
+    /// unwind continues — a stage cannot silently lose spans to the
+    /// pool's panic-containment path.
     pub fn time<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
-        let t0 = Instant::now();
-        let out = f();
-        self.record(stage, t0.elapsed());
-        out
+        let _guard = self.start(stage);
+        f()
     }
 
     /// Starts a span of `stage`; the span is recorded when the returned
@@ -212,6 +215,40 @@ mod tests {
             assert!(t.is_empty(), "not recorded until drop");
         }
         assert_eq!(t.snapshot()[0].1.spans, 1);
+    }
+
+    #[test]
+    fn time_records_the_span_even_when_the_closure_panics() {
+        // Regression companion to the pool's panic-containment tests:
+        // a worker chunk that panics under `Telemetry::time` must still
+        // record its span before the pool re-raises the panic.
+        let t = Telemetry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.time("exploding_stage", || -> u32 { panic!("injected failure") })
+        }));
+        assert!(result.is_err(), "the panic still propagates");
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, "exploding_stage");
+        assert_eq!(snap[0].1.spans, 1, "span recorded despite the unwind");
+    }
+
+    #[test]
+    fn time_records_spans_across_pool_panic_containment() {
+        // End to end with the pool: one chunk panics, the panic is
+        // re-raised after join, and every chunk that ran — including
+        // the panicking one — recorded its span.
+        let t = Telemetry::new();
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::pool::par_map(&items, |&x| {
+                t.time("chunk", || assert!(x != 13, "injected failure"));
+                x
+            })
+        }));
+        assert!(result.is_err());
+        let spans = t.snapshot()[0].1.spans;
+        assert!(spans >= 1, "panicking chunk still recorded");
     }
 
     #[test]

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Validates every committed BENCH_*.json artefact against the
+# fcm-bench/v1 schema (see DESIGN.md §Observability). Thin wrapper over
+# the check_bench_schema binary so CI and humans run the same check;
+# wired into scripts/verify.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+artefacts=(BENCH_*.json)
+if [ ${#artefacts[@]} -eq 0 ]; then
+    echo "check_bench_schema: no BENCH_*.json artefacts found" >&2
+    exit 1
+fi
+
+cargo run --release --offline -q -p fcm-bench --bin check_bench_schema -- "${artefacts[@]}"

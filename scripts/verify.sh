@@ -61,6 +61,42 @@ if cargo run --release --offline -q -p fcm-bench --bin repro -- e99 2>/dev/null;
     exit 1
 fi
 
+echo "== repro rejects unknown flags"
+if cargo run --release --offline -q -p fcm-bench --bin repro -- --obsout x 2>/dev/null; then
+    echo "FAIL: repro accepted an unknown flag" >&2
+    exit 1
+fi
+
+echo "== observability: tables byte-identical obs on vs off (E1)"
+# The observation contract (DESIGN.md §Observability): enabling span
+# tracing and metrics must not change a single table byte. The obs log
+# itself goes to a repo-internal scratch path.
+mkdir -p target/verify
+obs_off=$(cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e1 | grep -v '^# ')
+obs_on=$(cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e1 --obs-out target/verify/obs_e1.jsonl | grep -v '^# ')
+if [ "$obs_off" != "$obs_on" ]; then
+    echo "FAIL: E1 output differs with observability enabled" >&2
+    exit 1
+fi
+
+echo "== observability: obsview renders the event log"
+view=$(cargo run --release --offline -q -p fcm-bench --bin obsview -- target/verify/obs_e1.jsonl)
+echo "$view" | grep -q "span tree" || {
+    echo "FAIL: obsview did not render a span tree" >&2
+    exit 1
+}
+echo "$view" | grep -q "eval.sweep.cell" || {
+    echo "FAIL: obsview is missing the sweep cell spans" >&2
+    exit 1
+}
+if cargo run --release --offline -q -p fcm-bench --bin obsview -- scripts/verify.sh 2>/dev/null; then
+    echo "FAIL: obsview accepted a non-JSONL file" >&2
+    exit 1
+fi
+
+echo "== bench artefact schema (scripts/check_bench_schema.sh)"
+scripts/check_bench_schema.sh
+
 echo "== pool panic containment"
 cargo test -q -p fcm-substrate --offline pool_survives_a_panicking_job
 
