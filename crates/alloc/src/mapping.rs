@@ -34,6 +34,17 @@ pub struct Mapping {
 }
 
 impl Mapping {
+    /// Wraps a raw `assignment[cluster] = hw node` vector **without
+    /// validation** — the constructor for analysis tooling and tests
+    /// that must represent infeasible or degraded placements (the
+    /// approach-A/B solvers only ever return validated mappings).
+    /// Feasibility judgement stays with [`Mapping::validate`] and the
+    /// `fcm-check` rule catalog.
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<NodeIdx>) -> Mapping {
+        Mapping { assignment }
+    }
+
     /// The HW node hosting cluster `i`.
     pub fn hw_of(&self, cluster: usize) -> Option<NodeIdx> {
         self.assignment.get(cluster).copied()

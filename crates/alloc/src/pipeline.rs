@@ -30,13 +30,45 @@
 //! heuristic's merge path flows through the same engine.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use fcm_graph::{condense, CombineRule, GraphError, Matrix, NodeIdx};
-use fcm_substrate::telemetry;
+use fcm_substrate::{telemetry, Mutex};
 
 use crate::cluster::{is_schedulable, member_names, replica_conflict, Clustering};
 use crate::error::AllocError;
 use crate::sw::SwGraph;
+
+/// A pre-flight hook validating a SW graph before a pipeline run.
+///
+/// Static-analysis layers above this crate install one (see
+/// [`set_preflight`]); the allocation layer itself depends on nothing
+/// above it, so the hook is how design-time model checking guards
+/// [`CondensePipeline::run_policy`] without inverting the crate
+/// layering (the same pattern as the substrate pool's counter hook).
+/// The `Err` payload is the rendered diagnostic list.
+pub type Preflight = fn(&SwGraph) -> Result<(), String>;
+
+static PREFLIGHT_ON: AtomicBool = AtomicBool::new(false);
+static PREFLIGHT: Mutex<Option<Preflight>> = Mutex::new(None);
+
+/// Installs (or removes, with `None`) the process-wide pre-flight hook.
+/// While no hook is installed a pipeline run costs one relaxed atomic
+/// load extra.
+pub fn set_preflight(hook: Option<Preflight>) {
+    *PREFLIGHT.lock() = hook;
+    PREFLIGHT_ON.store(hook.is_some(), Ordering::Release);
+}
+
+/// Runs the installed pre-flight hook, if any.
+fn run_preflight(g: &SwGraph) -> Result<(), AllocError> {
+    if PREFLIGHT_ON.load(Ordering::Acquire) {
+        if let Some(hook) = *PREFLIGHT.lock() {
+            hook(g).map_err(|summary| AllocError::PreflightFailed { summary })?;
+        }
+    }
+    Ok(())
+}
 
 /// A merge-step planner driving a [`CondensePipeline`].
 ///
@@ -218,12 +250,15 @@ impl<'g> CondensePipeline<'g> {
     /// # Errors
     ///
     /// [`AllocError::NoFeasibleClustering`] when the policy plans nothing
-    /// or no planned merge is feasible (no progress in a round).
+    /// or no planned merge is feasible (no progress in a round);
+    /// [`AllocError::PreflightFailed`] when an installed pre-flight hook
+    /// (see [`set_preflight`]) rejects the SW graph before any merge.
     pub fn run_policy(
         &mut self,
         target: usize,
         policy: &mut dyn CondensePolicy,
     ) -> Result<(), AllocError> {
+        run_preflight(self.g)?;
         while self.len() > target {
             let before = self.len();
             let mut batch = policy.plan_round(self, target);

@@ -15,7 +15,8 @@
 //!   `total_ns`, `count`.
 //!
 //! Usage: `check_bench_schema <file.json>...` — prints one line per
-//! problem and exits 1 when any file fails, 2 on usage errors.
+//! problem; exit codes follow the repo-wide contract (DESIGN.md):
+//! 0 = all files pass (or `--help`), 1 = a file fails, 2 = usage error.
 //! `scripts/check_bench_schema.sh` runs it over every artefact in the
 //! repo root; `scripts/verify.sh` runs that before merging.
 
@@ -23,7 +24,11 @@ use fcm_substrate::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: check_bench_schema <BENCH_file.json> ...");
+        std::process::exit(0);
+    }
+    if args.is_empty() {
         eprintln!("usage: check_bench_schema <BENCH_file.json> ...");
         std::process::exit(2);
     }

@@ -1,0 +1,85 @@
+//! Design-time static analysis over the committed workload models.
+//!
+//! ```text
+//! checktool [--json] [--broken-e14] [model...]
+//! ```
+//!
+//! Runs the full `fcm-check` catalog over the named workload models
+//! (default: all of them) and prints one report per model, human
+//! readable or as a `fcm-check/v1` JSON document with `--json`.
+//! `--broken-e14` appends the deliberately damaged avionics model from
+//! EXPERIMENTS.md so the failure path is demonstrable.
+//!
+//! Exit codes follow the repo-wide contract (DESIGN.md): 0 = every
+//! model clean of errors, 1 = at least one error diagnostic, 2 = usage
+//! error (unknown flag or model name).
+
+use std::process::ExitCode;
+
+use fcm_bench::models;
+use fcm_check::{run_checks, Severity};
+use fcm_substrate::{Json, ToJson};
+
+const USAGE: &str = "usage: checktool [--json] [--broken-e14] [model...]
+  models: paper avionics        (default: all)
+  --json        emit one fcm-check/v1 JSON document instead of text
+  --broken-e14  also analyse the deliberately broken avionics model
+exit codes: 0 = clean, 1 = error diagnostics found, 2 = usage error";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut broken = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            "--broken-e14" => broken = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("checktool: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = models::MODEL_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+
+    fcm_check::gates::install();
+    let mut selected = Vec::new();
+    for name in &names {
+        match models::model_by_name(name) {
+            Some(m) => selected.push(m),
+            None => {
+                eprintln!(
+                    "checktool: unknown model {name} (expected one of: {})",
+                    models::MODEL_NAMES.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if broken {
+        selected.push(models::broken_e14_model());
+    }
+
+    let reports: Vec<_> = selected.iter().map(run_checks).collect();
+    let failed = reports.iter().any(fcm_check::Report::has_errors);
+
+    if json {
+        let doc = Json::object()
+            .set("schema", "fcm-check/v1")
+            .set("errors", reports.iter().map(|r| r.count(Severity::Error)).sum::<usize>() as f64)
+            .set("reports", Json::Arr(reports.iter().map(ToJson::to_json).collect()));
+        println!("{}", doc.to_string_pretty());
+    } else {
+        for report in &reports {
+            println!("{}", report.render());
+        }
+    }
+    ExitCode::from(u8::from(failed))
+}

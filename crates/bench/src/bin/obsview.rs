@@ -19,7 +19,8 @@
 //!   latency distribution;
 //! * **counters and gauges** in lexicographic order.
 //!
-//! Exit codes: 0 on success, 2 on usage or parse errors (obsview never
+//! Exit codes follow the repo-wide contract (DESIGN.md): 0 on success
+//! (or `--help`), 2 on usage, IO, or parse errors (obsview never
 //! panics on malformed input — `EventLog::parse` reports the line).
 
 use std::collections::BTreeMap;
@@ -33,13 +34,20 @@ const MAX_DEPTH: usize = 64;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = |out: &mut dyn std::io::Write| {
+        let _ = writeln!(out, "usage: obsview <log.jsonl>");
+        let _ = writeln!(out, "  renders the span tree, collapsed-stack flamegraph, and");
+        let _ = writeln!(out, "  histogram summaries of an fcm-obs event log");
+        let _ = writeln!(out, "  (produce one with: repro --obs-out <log.jsonl>)");
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(&mut std::io::stdout());
+        std::process::exit(0);
+    }
     let path = match args.as_slice() {
-        [p] if p != "--help" && p != "-h" => p.clone(),
+        [p] => p.clone(),
         _ => {
-            eprintln!("usage: obsview <log.jsonl>");
-            eprintln!("  renders the span tree, collapsed-stack flamegraph, and");
-            eprintln!("  histogram summaries of an fcm-obs event log");
-            eprintln!("  (produce one with: repro --obs-out <log.jsonl>)");
+            usage(&mut std::io::stderr());
             std::process::exit(2);
         }
     };

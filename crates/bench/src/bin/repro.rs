@@ -8,6 +8,7 @@
 //! cargo run --release -p fcm-bench --bin repro -- f3 --dot # Graphviz output
 //! cargo run --release -p fcm-bench --bin repro -- --seed 7 # reseed streams
 //! cargo run --release -p fcm-bench --bin repro -- e14 --obs-out trace.jsonl
+//! cargo run --release -p fcm-bench --bin repro -- --check e5 e14
 //! ```
 //!
 //! Every run is deterministic: the default base seed is fixed, so two
@@ -30,10 +31,14 @@ use fcm_substrate::telemetry;
 
 /// One line per flag — the single source of truth for `--help` and the
 /// unknown-flag error text.
-const FLAG_HELP: [(&str, &str); 6] = [
+const FLAG_HELP: [(&str, &str); 7] = [
     ("--quick", "reduced experiment scale (fast smoke run)"),
     ("--dot", "Graphviz output for f3/f4"),
     ("--list", "list experiment ids and exit"),
+    (
+        "--check",
+        "static-analyse the selected experiments' workload models and exit",
+    ),
     ("--seed <n>", "override the base seed (default 0)"),
     (
         "--obs-out <path>",
@@ -124,6 +129,9 @@ fn main() {
                 .join(" ")
         );
         std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--check") {
+        run_check_mode(&selected);
     }
     let want =
         |id: &str| selected.is_empty() || selected.iter().any(|s| s.eq_ignore_ascii_case(id));
@@ -254,6 +262,40 @@ fn main() {
     }
 }
 
+/// `--check`: static-analyse the workload models behind the selected
+/// experiment ids (default: all) and exit without running anything.
+/// This is the pre-flight gate of `scripts/verify.sh` — a model with
+/// error diagnostics must never reach the experiment drivers, so a
+/// failed check exits 2 (the run is rejected before it starts).
+fn run_check_mode(selected: &[&str]) -> ! {
+    fcm_check::gates::install();
+    let ids: Vec<String> = if selected.is_empty() {
+        EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        selected.iter().map(|s| s.to_ascii_lowercase()).collect()
+    };
+    let wanted: Vec<&str> = fcm_bench::models::MODEL_NAMES
+        .iter()
+        .copied()
+        .filter(|name| {
+            ids.iter()
+                .any(|id| fcm_bench::models::models_for_experiment(id).contains(name))
+        })
+        .collect();
+    let mut failed = false;
+    for name in wanted {
+        let model = fcm_bench::models::model_by_name(name).expect("MODEL_NAMES entries resolve");
+        let report = fcm_check::run_checks(&model);
+        println!("{}", report.render());
+        failed |= report.has_errors();
+    }
+    if failed {
+        eprintln!("pre-flight model check failed: experiments were not run");
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
 /// Prints the usage text (every flag, experiment selection, env vars).
 fn print_help() {
     println!("repro — regenerate every table and figure of the paper plus E1-E14");
@@ -283,7 +325,7 @@ fn print_help() {
 /// Rejects any `--flag` that is not in [`FLAG_HELP`], exit code 2 — a
 /// typo like `--obsout` must not silently run without observability.
 fn reject_unknown_flags(args: &[String]) {
-    let known = ["--quick", "--dot", "--list", "--seed", "--obs-out"];
+    let known = ["--quick", "--dot", "--list", "--check", "--seed", "--obs-out"];
     let mut skip_value = false;
     for a in args {
         if skip_value {

@@ -1,0 +1,154 @@
+//! Source-invariant lint gate: a plain-text scan keeping the repo
+//! hermetic.
+//!
+//! ```text
+//! srclint [root]
+//! ```
+//!
+//! Walks every `.rs` file under `root/crates` (default `.`) and
+//! enforces the invariants the substrate exists to guarantee:
+//!
+//! * no `std::time` wall-clock reads outside `crates/substrate` — all
+//!   timing flows through the substrate so runs stay reproducible;
+//! * no `rand` / `serde` imports anywhere (the substrate's PRNG and
+//!   JSON emitter are the only allowed sources of randomness and
+//!   serialisation);
+//! * no monotonic-clock reads (`Instant::now`) outside the substrate,
+//!   the observability layer, and the bench harness;
+//! * diagnostic codes declared in `crates/check/src/rules.rs` are
+//!   unique.
+//!
+//! Exit codes follow the repo-wide contract (DESIGN.md): 0 = clean,
+//! 1 = findings, 2 = usage or IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: srclint [root]
+exit codes: 0 = clean, 1 = findings, 2 = usage or IO error";
+
+/// Crate-directory names (under `crates/`) allowed to read clocks.
+const INSTANT_ALLOWED: [&str; 3] = ["substrate", "obs", "bench"];
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// The crate-directory name a file belongs to (`crates/<name>/...`).
+fn crate_of(rel: &Path) -> Option<&str> {
+    let mut parts = rel.components().map(|c| c.as_os_str().to_str().unwrap_or(""));
+    if parts.next() == Some("crates") {
+        parts.next()
+    } else {
+        None
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = ".".to_string();
+    let mut seen_root = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("srclint: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            r if !seen_root => {
+                root = r.to_string();
+                seen_root = true;
+            }
+            extra => {
+                eprintln!("srclint: unexpected argument {extra}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let crates_dir = Path::new(&root).join("crates");
+    let mut files = Vec::new();
+    if let Err(e) = rs_files(&crates_dir, &mut files) {
+        eprintln!("srclint: cannot scan {}: {e}", crates_dir.display());
+        return ExitCode::from(2);
+    }
+
+    // Needles are assembled at runtime so this scanner never matches
+    // its own source text.
+    let wall_clock = format!("System{}", "Time");
+    let monotonic = format!("Instant::{}", "now");
+    let use_rand = format!("use {}", "rand");
+    let extern_rand = format!("extern crate {}", "rand");
+    let use_serde = format!("use {}", "serde");
+    let extern_serde = format!("extern crate {}", "serde");
+    let code_decl = format!("code: {}(", "Code");
+
+    let mut findings = Vec::new();
+    let mut codes: Vec<(u16, String)> = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let krate = crate_of(rel).unwrap_or("");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("srclint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let in_rules = rel.ends_with("check/src/rules.rs");
+        for (i, line) in text.lines().enumerate() {
+            let loc = format!("{}:{}", rel.display(), i + 1);
+            let trimmed = line.trim_start();
+            if krate != "substrate" {
+                if line.contains(&wall_clock) {
+                    findings.push(format!("{loc}: wall-clock ({wall_clock}) outside crates/substrate"));
+                }
+                if trimmed.starts_with(&use_rand) || trimmed.starts_with(&extern_rand) {
+                    findings.push(format!("{loc}: external randomness import outside crates/substrate"));
+                }
+                if trimmed.starts_with(&use_serde) || trimmed.starts_with(&extern_serde) {
+                    findings.push(format!("{loc}: external serialisation import outside crates/substrate"));
+                }
+            }
+            if line.contains(&monotonic) && !INSTANT_ALLOWED.contains(&krate) {
+                findings.push(format!("{loc}: monotonic clock read outside substrate/obs/bench"));
+            }
+            if in_rules {
+                if let Some(rest) = trimmed.strip_prefix(&code_decl) {
+                    if let Ok(n) = rest.trim_end_matches("),").trim_end_matches(')').parse::<u16>() {
+                        if let Some((_, first)) = codes.iter().find(|(c, _)| *c == n) {
+                            findings.push(format!("{loc}: duplicate diagnostic code C{n:03} (first declared at {first})"));
+                        } else {
+                            codes.push((n, loc.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for f in &findings {
+        println!("srclint: {f}");
+    }
+    println!(
+        "srclint: scanned {} files, {} finding(s), {} diagnostic codes",
+        files.len(),
+        findings.len(),
+        codes.len()
+    );
+    ExitCode::from(u8::from(!findings.is_empty()))
+}

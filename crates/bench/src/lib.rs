@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod models;
 pub mod report;
 
 pub use report::Table;

@@ -1,0 +1,92 @@
+//! Pins the repo-wide exit-code contract (DESIGN.md): every fallible
+//! binary agrees on 0 = success / clean, 1 = findings, 2 = usage or IO
+//! error, and `--help` always succeeds.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .env_remove("FCM_OBS_OUT")
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"))
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("binary exited without a signal")
+}
+
+#[test]
+fn help_exits_zero_everywhere() {
+    for bin in [
+        env!("CARGO_BIN_EXE_repro"),
+        env!("CARGO_BIN_EXE_obsview"),
+        env!("CARGO_BIN_EXE_check_bench_schema"),
+        env!("CARGO_BIN_EXE_checktool"),
+        env!("CARGO_BIN_EXE_srclint"),
+    ] {
+        let out = run(bin, &["--help"]);
+        assert_eq!(code(&out), 0, "{bin} --help must exit 0");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let cases: [(&str, &[&str]); 5] = [
+        (env!("CARGO_BIN_EXE_repro"), &["--no-such-flag"]),
+        (env!("CARGO_BIN_EXE_repro"), &["nonsense-id"]),
+        (env!("CARGO_BIN_EXE_obsview"), &[]),
+        (env!("CARGO_BIN_EXE_check_bench_schema"), &[]),
+        (env!("CARGO_BIN_EXE_checktool"), &["no-such-model"]),
+    ];
+    for (bin, args) in cases {
+        let out = run(bin, args);
+        assert_eq!(code(&out), 2, "{bin} {args:?} must exit 2");
+    }
+}
+
+#[test]
+fn io_errors_exit_two() {
+    let out = run(env!("CARGO_BIN_EXE_obsview"), &["/no/such/log.jsonl"]);
+    assert_eq!(code(&out), 2, "obsview on a missing file must exit 2");
+}
+
+#[test]
+fn checktool_clean_models_exit_zero() {
+    let out = run(env!("CARGO_BIN_EXE_checktool"), &[]);
+    assert_eq!(code(&out), 0, "committed workloads must be clean of errors");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("paper:"), "report summary for the paper model:\n{text}");
+    assert!(text.contains("avionics:"), "report summary for the avionics model:\n{text}");
+}
+
+#[test]
+fn checktool_findings_exit_one_and_json_carries_schema() {
+    let out = run(env!("CARGO_BIN_EXE_checktool"), &["--json", "--broken-e14"]);
+    assert_eq!(code(&out), 1, "the broken model must produce error findings");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"fcm-check/v1\""), "JSON schema tag missing:\n{text}");
+    for expected in ["C008", "C012", "C016"] {
+        assert!(text.contains(expected), "missing {expected} in:\n{text}");
+    }
+}
+
+#[test]
+fn repro_check_gate_passes_on_committed_workloads() {
+    let out = run(env!("CARGO_BIN_EXE_repro"), &["--check", "e1", "e14"]);
+    assert_eq!(code(&out), 0, "pre-flight over committed workloads must pass");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("paper:"), "{text}");
+    assert!(text.contains("avionics:"), "{text}");
+}
+
+#[test]
+fn srclint_is_clean_on_this_repo() {
+    // The test binary runs from the crate directory; point srclint at
+    // the workspace root two levels up.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = run(env!("CARGO_BIN_EXE_srclint"), &[root]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(code(&out), 0, "srclint findings:\n{text}");
+    assert!(text.contains("0 finding(s)"), "{text}");
+}

@@ -94,6 +94,56 @@ if cargo run --release --offline -q -p fcm-bench --bin obsview -- scripts/verify
     exit 1
 fi
 
+echo "== static analysis: repro --check over every experiment id"
+# The pre-flight gate: every committed workload model must be clean of
+# error diagnostics before any experiment driver will touch it.
+cargo run --release --offline -q -p fcm-bench --bin repro -- --check > target/verify/check_all.txt
+grep -q "paper: 0 error" target/verify/check_all.txt || {
+    echo "FAIL: repro --check did not report a clean paper model" >&2
+    exit 1
+}
+grep -q "avionics: 0 error" target/verify/check_all.txt || {
+    echo "FAIL: repro --check did not report a clean avionics model" >&2
+    exit 1
+}
+
+echo "== static analysis: checktool JSON schema + determinism"
+set +e
+FCM_SWEEP_THREADS=1 cargo run --release --offline -q -p fcm-bench --bin checktool -- --json > target/verify/check_seq.json
+seq_rc=$?
+FCM_SWEEP_THREADS=4 cargo run --release --offline -q -p fcm-bench --bin checktool -- --json > target/verify/check_par.json
+par_rc=$?
+set -e
+if [ "$seq_rc" -ne 0 ] || [ "$par_rc" -ne 0 ]; then
+    echo "FAIL: checktool found errors in a committed workload model" >&2
+    exit 1
+fi
+grep -q '"schema": "fcm-check/v1"' target/verify/check_seq.json || {
+    echo "FAIL: checktool JSON is missing the schema tag" >&2
+    exit 1
+}
+if ! cmp -s target/verify/check_seq.json target/verify/check_par.json; then
+    echo "FAIL: checktool output differs across FCM_SWEEP_THREADS" >&2
+    exit 1
+fi
+
+echo "== static analysis: the broken model is caught (exit 1)"
+set +e
+cargo run --release --offline -q -p fcm-bench --bin checktool -- --broken-e14 > target/verify/check_broken.txt
+broken_rc=$?
+set -e
+if [ "$broken_rc" -ne 1 ]; then
+    echo "FAIL: checktool --broken-e14 exited $broken_rc, expected 1" >&2
+    exit 1
+fi
+grep -q "C012" target/verify/check_broken.txt || {
+    echo "FAIL: the broken model did not trip the anti-affinity check" >&2
+    exit 1
+}
+
+echo "== source-invariant lint gate (srclint)"
+cargo run --release --offline -q -p fcm-bench --bin srclint
+
 echo "== bench artefact schema (scripts/check_bench_schema.sh)"
 scripts/check_bench_schema.sh
 
