@@ -308,7 +308,7 @@ fn separated(g: &SwGraph, a: NodeIdx, b: NodeIdx) -> bool {
 
 fn admits(admission: &Admission, job: Option<Job>) -> bool {
     match job {
-        Some(job) => admission.clone().try_admit(job),
+        Some(job) => admission.would_admit(job),
         None => true, // no timing constraint: always schedulable
     }
 }

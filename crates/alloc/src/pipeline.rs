@@ -30,7 +30,7 @@
 //! heuristic's merge path flows through the same engine.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use fcm_graph::{condense, CombineRule, GraphError, Matrix, NodeIdx};
 use fcm_substrate::{telemetry, Mutex};
@@ -70,6 +70,90 @@ fn run_preflight(g: &SwGraph) -> Result<(), AllocError> {
     Ok(())
 }
 
+/// Process-wide count of *full* condensations (the O(E + k²) rebuild a
+/// [`CondensePipeline`] performs once at construction). Long-running
+/// layers above this crate (the `fcm-serve` daemon) assert that after
+/// startup every edit flows through the incremental Eq. 4 path — i.e.
+/// this counter stays put while they mutate.
+static FULL_CONDENSES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one full condensation (called by the pipeline constructors
+/// and by anything else that rebuilds a cluster matrix from scratch).
+pub fn note_full_condense() {
+    FULL_CONDENSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Full condensations performed by this process so far.
+#[must_use]
+pub fn full_condense_count() -> u64 {
+    FULL_CONDENSES.load(Ordering::Relaxed)
+}
+
+/// Returns `m` without row and column `hi` (O(k²) copy; surviving
+/// entries are carried over bitwise). The matrix-shrink half of an
+/// incremental cluster removal or merge.
+#[must_use]
+pub fn shrink_row_col(m: &Matrix, hi: usize) -> Matrix {
+    let k = m.rows();
+    let mut next = Matrix::zeros(k - 1, k - 1);
+    for a in 0..k - 1 {
+        let sa = a + usize::from(a >= hi);
+        for b in 0..k - 1 {
+            let sb = b + usize::from(b >= hi);
+            next[(a, b)] = m[(sa, sb)];
+        }
+    }
+    next
+}
+
+/// Returns `m` with one zero row and column appended — the matrix-grow
+/// half of an incremental cluster (or node) addition; the new row and
+/// column are then filled by [`eq4_recombine_row_col`].
+#[must_use]
+pub fn grow_row_col(m: &Matrix) -> Matrix {
+    let k = m.rows();
+    let mut next = Matrix::zeros(k + 1, k + 1);
+    for a in 0..k {
+        for b in 0..k {
+            next[(a, b)] = m[(a, b)];
+        }
+    }
+    next
+}
+
+/// Recombines row and column `gi` of `influence` via the paper's Eq. 4
+/// (`infl(C→t) = 1 − Π(1 − infl(i→t))`) from `edges` — cluster-level
+/// `(from, to, weight)` triples **iterated in global edge-id order**
+/// with intra-cluster edges already skipped. Folding the complement
+/// products in that exact order is the association `condense` uses,
+/// which is what makes an incrementally-maintained matrix bitwise-equal
+/// to a full recompute (see the module docs).
+pub fn eq4_recombine_row_col(
+    edges: impl Iterator<Item = (usize, usize, f64)>,
+    gi: usize,
+    influence: &mut Matrix,
+) {
+    let k = influence.rows();
+    let mut comp_out = vec![1.0f64; k];
+    let mut comp_in = vec![1.0f64; k];
+    for (gu, gv, w) in edges {
+        if gu == gi {
+            comp_out[gv] *= 1.0 - w;
+        }
+        if gv == gi {
+            comp_in[gu] *= 1.0 - w;
+        }
+    }
+    for t in 0..k {
+        if t == gi {
+            influence[(gi, gi)] = 0.0;
+        } else {
+            influence[(gi, t)] = 1.0 - comp_out[t];
+            influence[(t, gi)] = 1.0 - comp_in[t];
+        }
+    }
+}
+
 /// A merge-step planner driving a [`CondensePipeline`].
 ///
 /// Each round the pipeline asks the policy for a batch of disjoint
@@ -107,6 +191,7 @@ impl<'g> CondensePipeline<'g> {
         let groups: Vec<Vec<NodeIdx>> = g.node_indices().map(|n| vec![n]).collect();
         let cond = condense(g, &groups, CombineRule::Probabilistic)
             .expect("singletons always form a partition");
+        note_full_condense();
         CondensePipeline {
             g,
             membership: (0..groups.len()).collect(),
@@ -122,6 +207,7 @@ impl<'g> CondensePipeline<'g> {
         let groups: Vec<Vec<NodeIdx>> = clustering.clusters().to_vec();
         let cond = condense(g, &groups, CombineRule::Probabilistic)
             .expect("a Clustering is a validated partition");
+        note_full_condense();
         let mut membership = vec![0usize; g.node_count()];
         for (ci, group) in groups.iter().enumerate() {
             for &n in group {
@@ -348,48 +434,21 @@ impl<'g> CondensePipeline<'g> {
     /// Drops row and column `hi` from the influence matrix (O(k²) copy;
     /// surviving entries are carried over bitwise).
     fn shrink_influence(&mut self, hi: usize) {
-        let k = self.influence.rows();
-        let mut next = Matrix::zeros(k - 1, k - 1);
-        for a in 0..k - 1 {
-            let sa = a + usize::from(a >= hi);
-            for b in 0..k - 1 {
-                let sb = b + usize::from(b >= hi);
-                next[(a, b)] = self.influence[(sa, sb)];
-            }
-        }
-        self.influence = next;
+        self.influence = shrink_row_col(&self.influence, hi);
     }
 
     /// Recombines row and column `gi` of the influence matrix from the
-    /// SW edges via Eq. 4, folding complement products in global edge-id
-    /// order — the exact association `condense` uses, which is what
-    /// makes the incremental matrix bitwise-equal to a full recompute.
+    /// SW edges via Eq. 4 (see [`eq4_recombine_row_col`]): intra-cluster
+    /// edges are skipped, everything else is folded in global edge-id
+    /// order.
     fn recombine_row_col(&mut self, gi: usize) {
-        let k = self.groups.len();
-        let mut comp_out = vec![1.0f64; k];
-        let mut comp_in = vec![1.0f64; k];
-        for (_, e) in self.g.edges() {
-            let gu = self.membership[e.from.index()];
-            let gv = self.membership[e.to.index()];
-            if gu == gv {
-                continue;
-            }
-            let w: f64 = e.weight.into();
-            if gu == gi {
-                comp_out[gv] *= 1.0 - w;
-            }
-            if gv == gi {
-                comp_in[gu] *= 1.0 - w;
-            }
-        }
-        for t in 0..k {
-            if t == gi {
-                self.influence[(gi, gi)] = 0.0;
-            } else {
-                self.influence[(gi, t)] = 1.0 - comp_out[t];
-                self.influence[(t, gi)] = 1.0 - comp_in[t];
-            }
-        }
+        let membership = &self.membership;
+        let edges = self.g.edges().filter_map(|(_, e)| {
+            let gu = membership[e.from.index()];
+            let gv = membership[e.to.index()];
+            (gu != gv).then(|| (gu, gv, e.weight.into()))
+        });
+        eq4_recombine_row_col(edges, gi, &mut self.influence);
     }
 }
 

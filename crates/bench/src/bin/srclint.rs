@@ -8,13 +8,18 @@
 //! Walks every `.rs` file under `root/crates` (default `.`) and
 //! enforces the invariants the substrate exists to guarantee:
 //!
-//! * no `std::time` wall-clock reads outside `crates/substrate` — all
-//!   timing flows through the substrate so runs stay reproducible;
+//! * no `std::time` wall-clock reads outside `crates/substrate` (plus
+//!   `crates/serve`, whose snapshot metadata timestamp is a declared
+//!   I/O edge) — all timing flows through the substrate so runs stay
+//!   reproducible;
 //! * no `rand` / `serde` imports anywhere (the substrate's PRNG and
 //!   JSON emitter are the only allowed sources of randomness and
 //!   serialisation);
 //! * no monotonic-clock reads (`Instant::now`) outside the substrate,
-//!   the observability layer, and the bench harness;
+//!   the observability layer, the bench harness, and the serve daemon;
+//! * no socket use (TCP or Unix-domain, via the std networking
+//!   modules) outside `crates/serve` — the online service is the
+//!   single process boundary, everything else stays a pure library;
 //! * diagnostic codes declared in `crates/check/src/rules.rs` are
 //!   unique.
 //!
@@ -28,7 +33,15 @@ const USAGE: &str = "usage: srclint [root]
 exit codes: 0 = clean, 1 = findings, 2 = usage or IO error";
 
 /// Crate-directory names (under `crates/`) allowed to read clocks.
-const INSTANT_ALLOWED: [&str; 3] = ["substrate", "obs", "bench"];
+const INSTANT_ALLOWED: [&str; 4] = ["substrate", "obs", "bench", "serve"];
+
+/// Crate-directory names allowed to read the wall clock (the substrate
+/// owns time; serve's snapshot metadata timestamp is a declared I/O
+/// edge that never feeds an analysis).
+const WALL_CLOCK_ALLOWED: [&str; 2] = ["substrate", "serve"];
+
+/// The only crate allowed to open sockets.
+const NET_ALLOWED: [&str; 1] = ["serve"];
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -96,6 +109,8 @@ fn main() -> ExitCode {
     let use_serde = format!("use {}", "serde");
     let extern_serde = format!("extern crate {}", "serde");
     let code_decl = format!("code: {}(", "Code");
+    let tcp_net = format!("std::{}::", "net");
+    let unix_net = format!("os::unix::{}", "net");
 
     let mut findings = Vec::new();
     let mut codes: Vec<(u16, String)> = Vec::new();
@@ -113,10 +128,10 @@ fn main() -> ExitCode {
         for (i, line) in text.lines().enumerate() {
             let loc = format!("{}:{}", rel.display(), i + 1);
             let trimmed = line.trim_start();
+            if !WALL_CLOCK_ALLOWED.contains(&krate) && line.contains(&wall_clock) {
+                findings.push(format!("{loc}: wall-clock ({wall_clock}) outside substrate/serve"));
+            }
             if krate != "substrate" {
-                if line.contains(&wall_clock) {
-                    findings.push(format!("{loc}: wall-clock ({wall_clock}) outside crates/substrate"));
-                }
                 if trimmed.starts_with(&use_rand) || trimmed.starts_with(&extern_rand) {
                     findings.push(format!("{loc}: external randomness import outside crates/substrate"));
                 }
@@ -125,7 +140,12 @@ fn main() -> ExitCode {
                 }
             }
             if line.contains(&monotonic) && !INSTANT_ALLOWED.contains(&krate) {
-                findings.push(format!("{loc}: monotonic clock read outside substrate/obs/bench"));
+                findings.push(format!("{loc}: monotonic clock read outside substrate/obs/bench/serve"));
+            }
+            if (line.contains(&tcp_net) || line.contains(&unix_net))
+                && !NET_ALLOWED.contains(&krate)
+            {
+                findings.push(format!("{loc}: socket use outside crates/serve"));
             }
             if in_rules {
                 if let Some(rest) = trimmed.strip_prefix(&code_decl) {

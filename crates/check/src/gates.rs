@@ -36,6 +36,28 @@ pub fn check_sw_graph(g: &SwGraph) -> Report {
     run_checks_with_threads(&model, 1)
 }
 
+/// Analyses a fully-placed live model — SW graph plus a concrete
+/// clustering/mapping and shed policy — with the whole allocation rule
+/// set (anti-affinity C012, capacity, shed-line C015, …). The query
+/// adapter behind the serve layer's `check` op: long-running services
+/// assemble the view here instead of duplicating model plumbing.
+#[must_use]
+pub fn check_placed_model(
+    name: &str,
+    g: &SwGraph,
+    clustering: fcm_alloc::Clustering,
+    mapping: fcm_alloc::Mapping,
+    hw: fcm_alloc::HwGraph,
+    shed: fcm_alloc::ShedPolicy,
+) -> Report {
+    let model = SystemModel::new(name)
+        .with_sw(g.clone())
+        .with_clustering(clustering)
+        .with_mapping(mapping, hw)
+        .with_shed(shed);
+    run_checks_with_threads(&model, 1)
+}
+
 /// Analyses a built [`SystemSpec`] (the simulator's input) without
 /// executing it: per-processor utilisation and recovery parameters.
 #[must_use]

@@ -32,6 +32,16 @@ impl Admission {
         })
     }
 
+    /// Whether `job` *would* be admitted, without retaining it — the
+    /// probe half of [`Admission::try_admit`] for callers (failover
+    /// scoring, the serve layer's `admit` query) that compare candidate
+    /// hosts before committing to one.
+    pub fn would_admit(&self, job: Job) -> bool {
+        let mut candidate = self.jobs.clone();
+        candidate.push(job);
+        matches!(JobSet::new(candidate), Ok(set) if edf::feasible(&set))
+    }
+
     /// Tries to admit `job`: accepted (and retained) iff the current
     /// load plus `job` is EDF-feasible. Malformed jobs and duplicate ids
     /// are rejected.
@@ -105,6 +115,18 @@ mod tests {
         let before = adm.jobs().to_vec();
         assert!(!adm.try_admit(Job::new(1, 0, 4, 1)));
         assert_eq!(adm.jobs(), &before[..]);
+    }
+
+    #[test]
+    fn would_admit_probes_without_retaining() {
+        let mut adm = Admission::new();
+        assert!(adm.try_admit(Job::new(0, 0, 6, 3)));
+        // The probe agrees with try_admit but never commits.
+        assert!(adm.would_admit(Job::new(1, 0, 6, 3)));
+        assert!(adm.would_admit(Job::new(1, 0, 6, 3)));
+        assert!(!adm.would_admit(Job::new(1, 0, 6, 4)));
+        assert!(!adm.would_admit(Job::new(0, 10, 20, 1))); // duplicate id
+        assert_eq!(adm.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! `fcm-serve` — the online integration daemon.
+//!
+//! ```text
+//! fcm-serve --model paper --socket /tmp/fcm.sock [--state-dir DIR]
+//!           [--resume] [--snapshot-every N] [--obs-out PATH]
+//! fcm-serve --model avionics --tcp 127.0.0.1:7433
+//! ```
+//!
+//! Exit codes follow the workspace contract: 0 = clean shutdown
+//! (SIGTERM/SIGINT drain), 1 = the startup model failed its pre-flight
+//! checks or could not be placed, 2 = usage or I/O error (bad flags,
+//! bind failure, unwritable state dir).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fcm_serve::server::{start, Listen, ServerConfig};
+use fcm_serve::signal;
+
+const USAGE: &str = "\
+fcm-serve: online integration service (fcm-serve/v1 line-JSON protocol)
+
+USAGE:
+    fcm-serve --model <paper|avionics> (--socket <PATH> | --tcp <ADDR>)
+              [--state-dir <DIR>] [--resume] [--snapshot-every <N>]
+              [--obs-out <PATH>]
+
+OPTIONS:
+    --model <NAME>        Committed workload to serve (paper | avionics)
+    --socket <PATH>       Listen on a Unix-domain socket at PATH
+    --tcp <ADDR>          Listen on TCP at ADDR (host:port; port 0 = ephemeral)
+    --state-dir <DIR>     Durable state: snapshot.json + journal.jsonl in DIR
+    --resume              Recover from --state-dir instead of starting fresh
+    --snapshot-every <N>  Snapshot every N accepted mutations (default 64;
+                          0 = only at shutdown)
+    --obs-out <PATH>      Write an fcm-obs event log on shutdown
+    --help                Show this help
+
+EXIT CODES:
+    0  clean shutdown (SIGTERM/SIGINT drain complete, snapshot written)
+    1  startup model rejected by pre-flight checks or unplaceable
+    2  usage or I/O error
+";
+
+struct Args {
+    config: ServerConfig,
+    obs_out: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut model: Option<String> = None;
+    let mut listen: Option<Listen> = None;
+    let mut state_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut snapshot_every: u64 = 64;
+    let mut obs_out: Option<PathBuf> = None;
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--model" => model = Some(value("--model")?),
+            "--socket" => listen = Some(Listen::Unix(PathBuf::from(value("--socket")?))),
+            "--tcp" => listen = Some(Listen::Tcp(value("--tcp")?)),
+            "--state-dir" => state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--resume" => resume = true,
+            "--snapshot-every" => {
+                snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every requires a non-negative integer".to_string())?;
+            }
+            "--obs-out" => obs_out = Some(PathBuf::from(value("--obs-out")?)),
+            other => return Err(format!("unknown flag \"{other}\"")),
+        }
+    }
+    let model = model.ok_or("--model is required")?;
+    let listen = listen.ok_or("one of --socket or --tcp is required")?;
+    if resume && state_dir.is_none() {
+        return Err("--resume requires --state-dir".to_string());
+    }
+    Ok(Some(Args {
+        config: ServerConfig {
+            listen,
+            model,
+            state_dir,
+            resume,
+            snapshot_every,
+        },
+        obs_out,
+    }))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("fcm-serve: {e}");
+            eprintln!("run with --help for usage");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.obs_out.is_some() || std::env::var_os(fcm_obs::OBS_OUT_ENV).is_some() {
+        fcm_obs::init(fcm_obs::ObsConfig::default());
+        fcm_obs::set_enabled(true);
+    }
+    signal::install();
+
+    let handle = match start(args.config) {
+        Ok(h) => h,
+        Err(e) => {
+            // Model-content failures (pre-flight findings, infeasible
+            // placement) are findings → 1; environment failures → 2.
+            let findings = e.contains("preflight")
+                || e.contains("no feasible")
+                || e.contains("unknown model");
+            eprintln!("fcm-serve: {e}");
+            return ExitCode::from(if findings { 1 } else { 2 });
+        }
+    };
+    println!("fcm-serve: listening on {}", handle.addr());
+    println!("fcm-serve: model ready at seq {}", handle.seq());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+
+    while !signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    eprintln!("fcm-serve: shutdown requested, draining");
+    let rc = match handle.stop() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fcm-serve: shutdown error: {e}");
+            ExitCode::from(2)
+        }
+    };
+    if let Some(path) = args.obs_out {
+        if let Err(e) = fcm_obs::export::export_to(&path) {
+            eprintln!("fcm-serve: obs export failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    rc
+}

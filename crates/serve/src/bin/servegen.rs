@@ -1,0 +1,140 @@
+//! `servegen` — deterministic load generator and script driver for
+//! `fcm-serve`.
+//!
+//! ```text
+//! servegen --socket /tmp/fcm.sock --script session.jsonl   # transcript mode
+//! servegen --tcp 127.0.0.1:7433 --rate 10000 --duration-ms 2000
+//! ```
+//!
+//! Script mode prints the server hello plus one response line per
+//! request — a transcript suitable for golden-file comparison. Load
+//! mode drives a seeded open-loop mix and prints a one-line JSON
+//! summary with p50/p99 round-trip latencies.
+//!
+//! Exit codes: 0 = run completed, 2 = usage or I/O error. (Rejected
+//! requests are data, not failures — they appear in the transcript or
+//! the `errors` count.)
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fcm_serve::gen::{self, LoadConfig};
+use fcm_serve::server::Listen;
+
+const USAGE: &str = "\
+servegen: deterministic load generator for fcm-serve
+
+USAGE:
+    servegen (--socket <PATH> | --tcp <ADDR>) [--script <FILE|->]
+             [--rate <N>] [--clients <N>] [--duration-ms <N>]
+             [--seed <N>] [--mutation-pct <N>]
+
+MODES:
+    --script <FILE|->     Replay requests from FILE (or stdin with \"-\"),
+                          printing the hello and every response verbatim
+    (no --script)         Open-loop load: seeded mutation/query mix
+
+OPTIONS:
+    --rate <N>            Offered requests/second, all clients (default 1000)
+    --clients <N>         Concurrent connections (default 4)
+    --duration-ms <N>     Load run length (default 2000)
+    --seed <N>            Base RNG seed (default 42)
+    --mutation-pct <N>    Percent of requests that mutate (default 20)
+    --help                Show this help
+
+EXIT CODES:
+    0  run completed
+    2  usage or I/O error
+";
+
+enum Mode {
+    Script(String),
+    Load(LoadConfig),
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode)>, String> {
+    let mut target: Option<Listen> = None;
+    let mut script: Option<String> = None;
+    let mut config = LoadConfig::default();
+
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let uint = |flag: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{flag} requires a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--socket" => target = Some(Listen::Unix(PathBuf::from(value("--socket")?))),
+            "--tcp" => target = Some(Listen::Tcp(value("--tcp")?)),
+            "--script" => script = Some(value("--script")?),
+            "--rate" => config.rate = uint("--rate", value("--rate")?)?,
+            "--clients" => config.clients = uint("--clients", value("--clients")?)? as usize,
+            "--duration-ms" => config.duration_ms = uint("--duration-ms", value("--duration-ms")?)?,
+            "--seed" => config.seed = uint("--seed", value("--seed")?)?,
+            "--mutation-pct" => {
+                let pct = uint("--mutation-pct", value("--mutation-pct")?)?;
+                if pct > 100 {
+                    return Err("--mutation-pct must be in 0..=100".to_string());
+                }
+                config.mutation_pct = pct as u8;
+            }
+            other => return Err(format!("unknown flag \"{other}\"")),
+        }
+    }
+    let target = target.ok_or("one of --socket or --tcp is required")?;
+    let mode = match script {
+        Some(path) => {
+            let text = if path == "-" {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("read stdin: {e}"))?;
+                buf
+            } else {
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?
+            };
+            Mode::Script(text)
+        }
+        None => Mode::Load(config),
+    };
+    Ok(Some((target, mode)))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (target, mode) = match parse_args(&argv) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("servegen: {e}");
+            eprintln!("run with --help for usage");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match mode {
+        Mode::Script(text) => {
+            let mut stdout = std::io::stdout().lock();
+            gen::run_script(&target, &text, &mut stdout)
+        }
+        Mode::Load(config) => gen::run_load(&target, &config).map(|report| {
+            println!("{}", gen::report_json(&config, &report).to_string_compact());
+        }),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("servegen: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

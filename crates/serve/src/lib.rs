@@ -1,0 +1,43 @@
+//! `fcm-serve`: the online integration service.
+//!
+//! The paper's framework is interactive by nature — influence (Eq. 2/4),
+//! separation (Eq. 3), admission, and placement are meant to be
+//! re-evaluated as the system under design evolves. This crate turns the
+//! batch analyses of the lower layers into a long-running daemon holding
+//! a [`model::LiveModel`]: a mutable SW graph whose node-level Eq. 4
+//! influence matrix is maintained *incrementally* (via the
+//! `fcm_alloc::pipeline` helpers — never a full recondense after
+//! startup), plus a concrete placement kept feasible per edit through
+//! the same admission/anti-affinity machinery the failover path uses.
+//!
+//! The pieces:
+//!
+//! * [`proto`] — the line-JSON wire protocol (`fcm-serve/v1`): five
+//!   mutations, a read-only query surface, structured error responses;
+//! * [`model`] — the live model: gate-checked mutation application and
+//!   bounded-latency queries;
+//! * [`store`] — durability: an append-only mutation journal plus
+//!   periodic/on-shutdown snapshots (atomic rename), replayed by
+//!   `fcm-serve --resume` to a byte-identical model;
+//! * [`server`] — the daemon: one writer thread serializes mutations
+//!   ahead of a read-mostly query pool (one thread per connection);
+//! * [`gen`] — the deterministic seeded load generator behind the
+//!   `servegen` bin and the `serve_latency` bench;
+//! * [`signal`] — the SIGTERM/SIGINT drain flag (the one `unsafe` block
+//!   in the crate; no libc crate, a raw `signal(2)` binding).
+//!
+//! I/O-edge exemptions: this is the only crate allowed to touch
+//! `std::net`/`std::os::unix::net` and `SystemTime` (snapshot metadata
+//! timestamps) — enforced by `srclint`. Neither ever feeds an analysis:
+//! all model state and protocol payloads are substrate JSON.
+
+pub mod gen;
+pub mod model;
+pub mod proto;
+pub mod server;
+pub mod signal;
+pub mod store;
+
+pub use model::LiveModel;
+pub use proto::{Mutation, Query, Request};
+pub use server::{Handle, Listen, ServerConfig};

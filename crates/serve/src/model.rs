@@ -1,0 +1,1332 @@
+//! The live model: gate-checked mutations with incremental Eq. 4
+//! re-analysis, plus the read-only query surface.
+//!
+//! A [`LiveModel`] owns a mutable [`SwGraph`] together with the
+//! node-level influence matrix, maintained **incrementally** through the
+//! `fcm_alloc::pipeline` helpers: `add_fcm` grows the matrix by one
+//! zero row/column and recombines only that row/column via Eq. 4
+//! ([`pipeline::eq4_recombine_row_col`]); `remove_fcm` drops one
+//! row/column ([`pipeline::shrink_row_col`]). No mutation ever performs
+//! a full condensation — the one full condense happens at construction
+//! and is counted, so callers can assert the hot path stays incremental.
+//!
+//! # The bitwise contract
+//!
+//! After any mutation sequence the matrix equals — bitwise — a full
+//! `condense` over the current graph's singleton partition. This holds
+//! because (a) `add_fcm` only adds edges incident to the new node, so
+//! every other entry's edge bucket is untouched, and the new row/column
+//! folds complement products over the edge list in insertion order —
+//! the same association `condense` uses; (b) `remove_fcm` removes only
+//! edges incident to the removed node and preserves the relative order
+//! of the survivors. The protocol property tests pin this.
+//!
+//! Every mutation is validated through the PR 5 pre-flight gate
+//! ([`fcm_check::gates::check_sw_graph`]) against a candidate graph
+//! before anything is committed: a rejected mutation leaves the model
+//! untouched and reports the rendered diagnostics.
+//!
+//! Placement is kept concrete per edit: each HW node carries the member
+//! list, an exact [`Admission`] controller, and its throughput load.
+//! `add_fcm` admission-probes and commits a host; `fail_node` re-places
+//! victims with the same scoring the failover path uses (criticality
+//! co-location burden, then load, then index) including the
+//! displacement pass for protected victims.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fcm_alloc::failover::{self, ShedPolicy};
+use fcm_alloc::pipeline;
+use fcm_alloc::sw::{SwEdge, SwGraph, SwNode};
+use fcm_alloc::{Clustering, HwGraph, Mapping};
+use fcm_check::Severity;
+use fcm_core::AttributeSet;
+use fcm_graph::{condense, CombineRule, Matrix, NodeIdx};
+use fcm_sched::{Admission, Job, JobId};
+use fcm_substrate::Json;
+use fcm_workloads::{avionics, paper};
+
+use crate::proto::{Mutation, Query};
+
+/// State-schema tag embedded in dumps and snapshots.
+pub const STATE_SCHEMA: &str = "fcm-serve-state/v1";
+
+/// Names of the models a daemon can start from.
+pub const MODEL_NAMES: [&str; 2] = ["paper", "avionics"];
+
+/// Per-HW-node placement state (derived from the model; never
+/// serialized — rebuilt deterministically on resume).
+#[derive(Debug, Clone)]
+struct HostState {
+    /// Dense FCM indices hosted here.
+    members: Vec<usize>,
+    /// Exact EDF admission controller (job id = FCM dense index).
+    admission: Admission,
+    /// Summed throughput of the members.
+    throughput: f64,
+}
+
+impl HostState {
+    fn empty() -> HostState {
+        HostState {
+            members: Vec::new(),
+            admission: Admission::new(),
+            throughput: 0.0,
+        }
+    }
+}
+
+/// The long-lived mutable model behind the daemon.
+#[derive(Debug, Clone)]
+pub struct LiveModel {
+    name: String,
+    hw: HwGraph,
+    graph: SwGraph,
+    /// FCM name → dense node index.
+    index: BTreeMap<String, usize>,
+    /// Node-level Eq. 4 influence matrix, incrementally maintained.
+    influence: Matrix,
+    /// Host (HW index) per FCM; `None` = shed / unhosted.
+    host_of: Vec<Option<usize>>,
+    hosts: Vec<HostState>,
+    failed: BTreeSet<usize>,
+    shed: ShedPolicy,
+    /// Accepted mutations (journal cursor).
+    seq: u64,
+    /// Full condensations performed by *this model* (1 at startup,
+    /// carried over by resume; never incremented by a mutation).
+    full_condenses: u64,
+}
+
+fn timing_job(attrs: &AttributeSet, id: usize) -> Option<Job> {
+    attrs.timing.map(|t| t.to_job(id as JobId))
+}
+
+fn criticality(g: &SwGraph, v: usize) -> u32 {
+    g.node(NodeIdx(v)).expect("valid index").attributes.criticality.0
+}
+
+fn throughput_of(g: &SwGraph, v: usize) -> f64 {
+    g.node(NodeIdx(v)).expect("valid index").attributes.throughput.0
+}
+
+/// Whether `a` and `b` may never share a HW node (replica/separation
+/// tags or an explicit replica link either way).
+fn separated(g: &SwGraph, a: usize, b: usize) -> bool {
+    let (a, b) = (NodeIdx(a), NodeIdx(b));
+    let na = g.node(a).expect("valid index");
+    let nb = g.node(b).expect("valid index");
+    if na.must_separate_from(nb) {
+        return true;
+    }
+    g.out_edges(a)
+        .any(|(_, e)| e.to == b && matches!(e.weight, SwEdge::ReplicaLink))
+        || g.out_edges(b)
+            .any(|(_, e)| e.to == a && matches!(e.weight, SwEdge::ReplicaLink))
+}
+
+/// Anti-affinity, resources, pin and capacity (the constraints shedding
+/// never relaxes), mirroring the failover path.
+fn hard_constraints_ok(g: &SwGraph, hw: &HwGraph, hosts: &[HostState], h: usize, v: usize) -> bool {
+    let node = hw.node(NodeIdx(h)).expect("host exists");
+    let sw = g.node(NodeIdx(v)).expect("valid index");
+    if !sw.required_resources.is_subset(&node.resources) {
+        return false;
+    }
+    if let Some(pin) = &sw.pinned_to {
+        if pin != &node.name {
+            return false;
+        }
+    }
+    if hosts[h].members.iter().any(|&m| separated(g, v, m)) {
+        return false;
+    }
+    hosts[h].throughput + sw.attributes.throughput.0 <= node.capacity
+}
+
+/// Host preference score: (criticality co-location burden, load, index)
+/// — identical to the failover path's, so online placement and
+/// `propose_placement` agree.
+type HostScore = (u64, f64, usize);
+
+fn host_score(g: &SwGraph, host: &HostState, h: usize, v: usize, crit_v: u32) -> HostScore {
+    let burden: u64 = host
+        .members
+        .iter()
+        .map(|&m| u64::from(crit_v.min(criticality(g, m))))
+        .sum();
+    (burden, host.throughput + throughput_of(g, v), h)
+}
+
+fn score_lt(a: HostScore, b: HostScore) -> bool {
+    a.0.cmp(&b.0)
+        .then(a.1.partial_cmp(&b.1).expect("finite load"))
+        .then(a.2.cmp(&b.2))
+        .is_lt()
+}
+
+fn commit_to(g: &SwGraph, hosts: &mut [HostState], h: usize, v: usize) {
+    let attrs = &g.node(NodeIdx(v)).expect("valid index").attributes;
+    if let Some(job) = timing_job(attrs, v) {
+        let ok = hosts[h].admission.try_admit(job);
+        debug_assert!(ok, "probe admitted but commit failed");
+    }
+    hosts[h].throughput += attrs.throughput.0;
+    hosts[h].members.push(v);
+}
+
+/// Best feasible host for `v` among the non-failed nodes, or `None`.
+fn find_host(
+    g: &SwGraph,
+    hw: &HwGraph,
+    hosts: &[HostState],
+    failed: &BTreeSet<usize>,
+    v: usize,
+) -> Option<usize> {
+    let crit_v = criticality(g, v);
+    let attrs = &g.node(NodeIdx(v)).expect("valid index").attributes;
+    let mut best: Option<(usize, HostScore)> = None;
+    for h in 0..hosts.len() {
+        if failed.contains(&h) || !hard_constraints_ok(g, hw, hosts, h, v) {
+            continue;
+        }
+        if let Some(job) = timing_job(attrs, v) {
+            if !hosts[h].admission.would_admit(job) {
+                continue;
+            }
+        }
+        let score = host_score(g, &hosts[h], h, v, crit_v);
+        if best.is_none_or(|(_, s)| score_lt(score, s)) {
+            best = Some((h, score));
+        }
+    }
+    best.map(|(h, _)| h)
+}
+
+/// The sheddable members (lowest criticality first) whose removal lets
+/// `v` fit on host `h`; `None` when even shedding everything allowed
+/// does not help. Mirrors the failover displacement plan.
+fn displacement_plan(
+    g: &SwGraph,
+    hw: &HwGraph,
+    hosts: &[HostState],
+    h: usize,
+    v: usize,
+    policy: ShedPolicy,
+) -> Option<Vec<usize>> {
+    let may_shed = |c: u32| match policy {
+        ShedPolicy::Never => false,
+        ShedPolicy::ShedBelow { critical_at } => c < critical_at,
+    };
+    let mut sheddable: Vec<usize> = hosts[h]
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| may_shed(criticality(g, m)))
+        .collect();
+    sheddable.sort_by_key(|&m| (criticality(g, m), m));
+    let node = hw.node(NodeIdx(h)).expect("host exists");
+    let attrs = &g.node(NodeIdx(v)).expect("valid index").attributes;
+    let mut removed = Vec::new();
+    let mut admission = hosts[h].admission.clone();
+    let mut throughput = hosts[h].throughput;
+    for m in sheddable {
+        removed.push(m);
+        admission.release(m as JobId);
+        throughput -= throughput_of(g, m);
+        let admits = timing_job(attrs, v).is_none_or(|job| admission.would_admit(job));
+        if throughput + attrs.throughput.0 <= node.capacity && admits {
+            return Some(removed);
+        }
+    }
+    None
+}
+
+/// Rebuilds the per-host placement state from `host_of`. Member lists
+/// come out in dense order; every scoring/admission decision downstream
+/// is order-independent, so this matches incrementally-built state.
+fn rebuild_hosts(g: &SwGraph, hw: &HwGraph, host_of: &[Option<usize>]) -> Result<Vec<HostState>, String> {
+    let mut hosts = vec![HostState::empty(); hw.len()];
+    for (v, host) in host_of.iter().enumerate() {
+        if let Some(h) = *host {
+            if h >= hosts.len() {
+                return Err(format!("fcm {v} hosted on unknown hw node {h}"));
+            }
+            hosts[h].members.push(v);
+        }
+    }
+    for (h, host) in hosts.iter_mut().enumerate() {
+        let jobs: Vec<Job> = host
+            .members
+            .iter()
+            .filter_map(|&m| timing_job(&g.node(NodeIdx(m)).expect("member exists").attributes, m))
+            .collect();
+        host.admission = Admission::with_baseline(&jobs)
+            .ok_or_else(|| format!("infeasible job set on hw node {h}"))?;
+        host.throughput = host.members.iter().map(|&m| throughput_of(g, m)).sum();
+    }
+    Ok(hosts)
+}
+
+/// The graph's edges as `(from, to, weight)` triples in global edge-id
+/// order — the fold order of the bitwise contract.
+fn edge_triples(g: &SwGraph) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+    g.edges()
+        .map(|(_, e)| (e.from.index(), e.to.index(), e.weight.influence()))
+}
+
+impl LiveModel {
+    /// Builds the named committed workload (`paper` or `avionics`),
+    /// places every FCM, and performs the one full condensation.
+    ///
+    /// # Errors
+    ///
+    /// Unknown model name, a pre-flight gate rejection, or an FCM with
+    /// no feasible initial placement.
+    pub fn new(model: &str) -> Result<LiveModel, String> {
+        let (graph, hw) = match model {
+            "paper" => (paper::fig4_expansion().graph, paper::hw_platform()),
+            "avionics" => (avionics::expanded_suite().0.graph, avionics::platform()),
+            other => {
+                return Err(format!(
+                    "unknown model \"{other}\" (expected one of: {})",
+                    MODEL_NAMES.join(", ")
+                ))
+            }
+        };
+        let report = fcm_check::gates::check_sw_graph(&graph);
+        if report.has_errors() {
+            return Err(report.error_lines());
+        }
+        let groups: Vec<Vec<NodeIdx>> = graph.node_indices().map(|n| vec![n]).collect();
+        let influence = condense(&graph, &groups, CombineRule::Probabilistic)
+            .expect("singletons always form a partition")
+            .influence_matrix();
+        pipeline::note_full_condense();
+
+        let index = graph
+            .nodes()
+            .map(|(n, sw)| (sw.name.clone(), n.index()))
+            .collect();
+        let mut model = LiveModel {
+            name: model.to_string(),
+            graph,
+            index,
+            influence,
+            host_of: Vec::new(),
+            hosts: vec![HostState::empty(); hw.len()],
+            hw,
+            failed: BTreeSet::new(),
+            shed: ShedPolicy::ShedBelow { critical_at: 3 },
+            seq: 0,
+            full_condenses: 1,
+        };
+        // Initial placement: most critical first (index breaks ties), the
+        // same order failover uses, so every replica lands before the
+        // bulk fills the hosts up.
+        let mut order: Vec<usize> = (0..model.graph.node_count()).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(criticality(&model.graph, v)), v));
+        model.host_of = vec![None; model.graph.node_count()];
+        for v in order {
+            let h = find_host(&model.graph, &model.hw, &model.hosts, &model.failed, v)
+                .ok_or_else(|| {
+                    format!(
+                        "no feasible initial placement for {}",
+                        model.graph.node(NodeIdx(v)).expect("valid index").name
+                    )
+                })?;
+            commit_to(&model.graph, &mut model.hosts, h, v);
+            model.host_of[v] = Some(h);
+        }
+        Ok(model)
+    }
+
+    /// Model name (`paper` / `avionics`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Accepted-mutation count — the journal cursor.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of live FCMs.
+    #[must_use]
+    pub fn fcm_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The live SW graph (read-only — all mutation goes through
+    /// [`LiveModel::apply`] so the influence matrix stays in step).
+    #[must_use]
+    pub fn graph(&self) -> &SwGraph {
+        &self.graph
+    }
+
+    /// Number of HW nodes.
+    #[must_use]
+    pub fn hw_count(&self) -> usize {
+        self.hw.len()
+    }
+
+    /// Full condensations performed by this model (stays 1 forever: the
+    /// mutation path is exclusively incremental).
+    #[must_use]
+    pub fn full_condenses(&self) -> u64 {
+        self.full_condenses
+    }
+
+    fn fcm(&self, name: &str) -> Result<usize, String> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown fcm \"{name}\""))
+    }
+
+    fn hw_by_name(&self, name: &str) -> Result<usize, String> {
+        self.hw
+            .nodes()
+            .find(|(_, n)| n.name == name)
+            .map(|(h, _)| h.index())
+            .ok_or_else(|| format!("unknown hw node \"{name}\""))
+    }
+
+    fn hw_name(&self, h: usize) -> String {
+        self.hw.node(NodeIdx(h)).expect("valid index").name.clone()
+    }
+
+    /// Applies one mutation: validate → gate-check a candidate → commit
+    /// with incremental re-analysis. On success the seq advances and the
+    /// op-specific response payload is returned; on error the model is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// The rejection reason (domain violation, gate diagnostics, or no
+    /// feasible placement), suitable for the wire `"error"` field.
+    pub fn apply(&mut self, m: &Mutation) -> Result<Json, String> {
+        let payload = match m {
+            Mutation::AddFcm {
+                name,
+                criticality,
+                throughput,
+                security,
+                timing,
+                influences,
+                influenced_by,
+            } => self.add_fcm(
+                name,
+                *criticality,
+                *throughput,
+                *security,
+                *timing,
+                influences,
+                influenced_by,
+            )?,
+            Mutation::RemoveFcm { name } => self.remove_fcm(name)?,
+            Mutation::SetAttr {
+                name,
+                criticality,
+                throughput,
+                timing,
+            } => self.set_attr(name, *criticality, *throughput, *timing)?,
+            Mutation::FailNode { node } => self.fail_node(node)?,
+            Mutation::RestoreNode { node } => self.restore_node(node)?,
+        };
+        self.seq += 1;
+        Ok(payload.set("seq", self.seq))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_fcm(
+        &mut self,
+        name: &str,
+        crit: u32,
+        throughput: f64,
+        security: u8,
+        timing: Option<(u64, u64, u64)>,
+        influences: &[(String, f64)],
+        influenced_by: &[(String, f64)],
+    ) -> Result<Json, String> {
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err("fcm name must be non-empty without whitespace".to_string());
+        }
+        if self.index.contains_key(name) {
+            return Err(format!("fcm \"{name}\" already exists"));
+        }
+        if !(throughput.is_finite() && throughput >= 0.0) {
+            return Err("\"throughput\" must be finite and non-negative".to_string());
+        }
+        let mut attrs = AttributeSet::default()
+            .with_criticality(crit)
+            .with_throughput(throughput)
+            .with_security(security);
+        if let Some((est, tcd, ct)) = timing {
+            attrs = attrs.with_timing(est, tcd, ct);
+        }
+        // Candidate graph: the mutation applied on a clone; committed
+        // only after the gate passes and a host admits the FCM.
+        let mut candidate = self.graph.clone();
+        let new = candidate.add_node(SwNode::new(name, attrs));
+        for (to, w) in influences {
+            let t = self.fcm(to)?;
+            check_weight(*w)?;
+            candidate
+                .try_add_edge(new, NodeIdx(t), SwEdge::Influence(*w))
+                .map_err(|e| e.to_string())?;
+        }
+        for (from, w) in influenced_by {
+            let f = self.fcm(from)?;
+            check_weight(*w)?;
+            candidate
+                .try_add_edge(NodeIdx(f), new, SwEdge::Influence(*w))
+                .map_err(|e| e.to_string())?;
+        }
+        let report = fcm_check::gates::check_sw_graph(&candidate);
+        if report.has_errors() {
+            return Err(format!("preflight rejected add_fcm: {}", report.error_lines()));
+        }
+        let v = new.index();
+        let h = find_host(&candidate, &self.hw, &self.hosts, &self.failed, v)
+            .ok_or_else(|| format!("no feasible placement for \"{name}\""))?;
+
+        // Commit: incremental Eq. 4 — grow by a zero row/column, then
+        // recombine only the new node's row and column.
+        self.influence = pipeline::grow_row_col(&self.influence);
+        self.graph = candidate;
+        pipeline::eq4_recombine_row_col(edge_triples(&self.graph), v, &mut self.influence);
+        commit_to(&self.graph, &mut self.hosts, h, v);
+        self.host_of.push(Some(h));
+        self.index.insert(name.to_string(), v);
+        Ok(Json::object()
+            .set("fcm", name)
+            .set("host", self.hw_name(h).as_str()))
+    }
+
+    fn remove_fcm(&mut self, name: &str) -> Result<Json, String> {
+        let v = self.fcm(name)?;
+        // Rebuild the graph without `v`: survivors keep their relative
+        // node and edge order, so every remaining influence entry's edge
+        // bucket is untouched (the bitwise contract's removal half).
+        let mut next: SwGraph = SwGraph::new();
+        let mut remap = vec![usize::MAX; self.graph.node_count()];
+        for (n, sw) in self.graph.nodes() {
+            if n.index() != v {
+                remap[n.index()] = next.add_node(sw.clone()).index();
+            }
+        }
+        for (_, e) in self.graph.edges() {
+            let (f, t) = (e.from.index(), e.to.index());
+            if f != v && t != v {
+                next.add_edge(NodeIdx(remap[f]), NodeIdx(remap[t]), e.weight);
+            }
+        }
+        let host_of: Vec<Option<usize>> = self
+            .host_of
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != v)
+            .map(|(_, h)| *h)
+            .collect();
+        // Admission job ids are dense indices, which just shifted:
+        // rebuild the host state wholesale (removal is off the hot path).
+        let hosts = rebuild_hosts(&next, &self.hw, &host_of)?;
+        self.influence = pipeline::shrink_row_col(&self.influence, v);
+        self.graph = next;
+        self.host_of = host_of;
+        self.hosts = hosts;
+        self.index = self
+            .graph
+            .nodes()
+            .map(|(n, sw)| (sw.name.clone(), n.index()))
+            .collect();
+        Ok(Json::object().set("removed", name))
+    }
+
+    fn set_attr(
+        &mut self,
+        name: &str,
+        crit: Option<u32>,
+        throughput: Option<f64>,
+        timing: Option<Option<(u64, u64, u64)>>,
+    ) -> Result<Json, String> {
+        let v = self.fcm(name)?;
+        if let Some(t) = throughput {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err("\"throughput\" must be finite and non-negative".to_string());
+            }
+        }
+        let mut attrs = self.graph.node(NodeIdx(v)).expect("valid index").attributes;
+        if let Some(c) = crit {
+            attrs.criticality.0 = c;
+        }
+        if let Some(t) = throughput {
+            attrs.throughput.0 = t;
+        }
+        if let Some(t) = timing {
+            attrs.timing = t.map(|(est, tcd, ct)| {
+                AttributeSet::default().with_timing(est, tcd, ct).timing.expect("just set")
+            });
+        }
+        let mut candidate = self.graph.clone();
+        candidate.node_mut(NodeIdx(v)).expect("valid index").attributes = attrs;
+        let report = fcm_check::gates::check_sw_graph(&candidate);
+        if report.has_errors() {
+            return Err(format!("preflight rejected set_attr: {}", report.error_lines()));
+        }
+        // Re-validate the FCM's host under the new attributes: the
+        // rely-guarantee per-edit admission check.
+        if let Some(h) = self.host_of[v] {
+            let host_of = self.host_of.clone();
+            let hosts = rebuild_hosts(&candidate, &self.hw, &host_of).map_err(|_| {
+                format!(
+                    "set_attr would make {} EDF-infeasible on {}",
+                    name,
+                    self.hw_name(h)
+                )
+            })?;
+            let node = self.hw.node(NodeIdx(h)).expect("valid index");
+            if hosts[h].throughput > node.capacity {
+                return Err(format!(
+                    "set_attr would exceed {} capacity {}",
+                    node.name, node.capacity
+                ));
+            }
+            self.hosts = hosts;
+        }
+        self.graph = candidate;
+        Ok(Json::object().set("fcm", name))
+    }
+
+    fn fail_node(&mut self, node: &str) -> Result<Json, String> {
+        let h = self.hw_by_name(node)?;
+        if self.failed.contains(&h) {
+            return Err(format!("hw node \"{node}\" is already failed"));
+        }
+        // Work on candidates: the whole failover either commits or the
+        // mutation is rejected (a protected victim fit nowhere).
+        let mut hosts = self.hosts.clone();
+        let mut host_of = self.host_of.clone();
+        let mut failed = self.failed.clone();
+        failed.insert(h);
+        let mut victims = std::mem::replace(&mut hosts[h], HostState::empty()).members;
+        victims.sort_by_key(|&v| (std::cmp::Reverse(criticality(&self.graph, v)), v));
+        for &v in &victims {
+            host_of[v] = None;
+        }
+        let mut moved: Vec<(usize, usize)> = Vec::new();
+        let mut shed: Vec<usize> = Vec::new();
+        let may_shed = |c: u32| match self.shed {
+            ShedPolicy::Never => false,
+            ShedPolicy::ShedBelow { critical_at } => c < critical_at,
+        };
+        for &v in &victims {
+            if let Some(dest) = find_host(&self.graph, &self.hw, &hosts, &failed, v) {
+                commit_to(&self.graph, &mut hosts, dest, v);
+                host_of[v] = Some(dest);
+                moved.push((v, dest));
+                continue;
+            }
+            if may_shed(criticality(&self.graph, v)) {
+                shed.push(v);
+                continue;
+            }
+            // Protected victim: displace sheddable load, as in failover
+            // (fewest displaced wins; host score breaks ties).
+            let crit_v = criticality(&self.graph, v);
+            let mut best: Option<(usize, Vec<usize>, HostScore)> = None;
+            for cand in 0..hosts.len() {
+                if failed.contains(&cand)
+                    || !hard_constraints_ok(&self.graph, &self.hw, &hosts, cand, v)
+                {
+                    continue;
+                }
+                if let Some(plan) =
+                    displacement_plan(&self.graph, &self.hw, &hosts, cand, v, self.shed)
+                {
+                    let score = host_score(&self.graph, &hosts[cand], cand, v, crit_v);
+                    let better = best.as_ref().is_none_or(|(_, b, s)| {
+                        plan.len() < b.len() || (plan.len() == b.len() && score_lt(score, *s))
+                    });
+                    if better {
+                        best = Some((cand, plan, score));
+                    }
+                }
+            }
+            let Some((dest, displaced, _)) = best else {
+                return Err(format!(
+                    "fail_node rejected: no feasible placement for protected \"{}\"",
+                    self.graph.node(NodeIdx(v)).expect("valid index").name
+                ));
+            };
+            for &d in &displaced {
+                hosts[dest].members.retain(|&m| m != d);
+                hosts[dest].admission.release(d as JobId);
+                hosts[dest].throughput -= throughput_of(&self.graph, d);
+                host_of[d] = None;
+                shed.push(d);
+            }
+            commit_to(&self.graph, &mut hosts, dest, v);
+            host_of[v] = Some(dest);
+            moved.push((v, dest));
+        }
+        shed.sort_unstable();
+        shed.dedup();
+        let degraded = !shed.is_empty();
+        self.hosts = hosts;
+        self.host_of = host_of;
+        self.failed = failed;
+        Ok(Json::object()
+            .set("degraded", degraded)
+            .set("failed", node)
+            .set(
+                "moved",
+                Json::array(moved.iter().map(|&(v, dest)| {
+                    Json::array([
+                        Json::from(self.fcm_name(v)),
+                        Json::from(self.hw_name(dest)),
+                    ])
+                })),
+            )
+            .set(
+                "shed",
+                Json::array(shed.iter().map(|&v| Json::from(self.fcm_name(v)))),
+            ))
+    }
+
+    fn restore_node(&mut self, node: &str) -> Result<Json, String> {
+        let h = self.hw_by_name(node)?;
+        if !self.failed.remove(&h) {
+            return Err(format!("hw node \"{node}\" is not failed"));
+        }
+        let mut unhosted: Vec<usize> = (0..self.host_of.len())
+            .filter(|&v| self.host_of[v].is_none())
+            .collect();
+        unhosted.sort_by_key(|&v| (std::cmp::Reverse(criticality(&self.graph, v)), v));
+        let mut placed: Vec<(usize, usize)> = Vec::new();
+        let mut unplaced: Vec<usize> = Vec::new();
+        for &v in &unhosted {
+            match find_host(&self.graph, &self.hw, &self.hosts, &self.failed, v) {
+                Some(dest) => {
+                    commit_to(&self.graph, &mut self.hosts, dest, v);
+                    self.host_of[v] = Some(dest);
+                    placed.push((v, dest));
+                }
+                None => unplaced.push(v),
+            }
+        }
+        unplaced.sort_unstable();
+        Ok(Json::object()
+            .set(
+                "placed",
+                Json::array(placed.iter().map(|&(v, dest)| {
+                    Json::array([
+                        Json::from(self.fcm_name(v)),
+                        Json::from(self.hw_name(dest)),
+                    ])
+                })),
+            )
+            .set("restored", node)
+            .set(
+                "unplaced",
+                Json::array(unplaced.iter().map(|&v| Json::from(self.fcm_name(v)))),
+            ))
+    }
+
+    fn fcm_name(&self, v: usize) -> String {
+        self.graph.node(NodeIdx(v)).expect("valid index").name.clone()
+    }
+
+    /// Answers a read-only query ([`Query::Snapshot`] is handled by the
+    /// server layer, which owns the store).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names or an unsatisfiable precondition, as the wire
+    /// `"error"` string.
+    pub fn query(&self, q: &Query) -> Result<Json, String> {
+        match q {
+            Query::Influence { from, to, order } => {
+                let (i, j) = (self.fcm(from)?, self.fcm(to)?);
+                Ok(Json::object()
+                    .set("direct", self.influence[(i, j)])
+                    .set("from", from.as_str())
+                    .set("order", *order as u64)
+                    .set("to", to.as_str())
+                    .set(
+                        "transitive",
+                        self.influence.transitive_influence(NodeIdx(i), NodeIdx(j), *order),
+                    ))
+            }
+            Query::Separation { from, to, order } => {
+                let (i, j) = (self.fcm(from)?, self.fcm(to)?);
+                let t = self.influence.transitive_influence(NodeIdx(i), NodeIdx(j), *order);
+                Ok(Json::object()
+                    .set("from", from.as_str())
+                    .set("order", *order as u64)
+                    .set("separation", 1.0 - t)
+                    .set("to", to.as_str()))
+            }
+            Query::Check => Ok(self.run_check()),
+            Query::Admit {
+                node,
+                timing,
+                throughput,
+            } => self.admit(node, *timing, *throughput),
+            Query::ProposePlacement { node } => self.propose_placement(node),
+            Query::Stats => Ok(self.stats()),
+            Query::List => Ok(Json::object()
+                .set(
+                    "fcms",
+                    Json::array(self.graph.nodes().map(|(_, sw)| Json::from(sw.name.as_str()))),
+                )
+                .set(
+                    "hw",
+                    Json::array(self.hw.nodes().map(|(_, n)| Json::from(n.name.as_str()))),
+                )),
+            Query::Dump => Ok(Json::object().set("state", self.state_json())),
+            Query::Ping => Ok(Json::object()),
+            Query::Snapshot => Err("snapshot is handled by the server layer".to_string()),
+        }
+    }
+
+    fn run_check(&self) -> Json {
+        let (report, scope) = match self.placed_view() {
+            Some((c, m)) => (
+                fcm_check::gates::check_placed_model(
+                    &self.name,
+                    &self.graph,
+                    c,
+                    m,
+                    self.hw.clone(),
+                    self.shed,
+                ),
+                "placed",
+            ),
+            None => (fcm_check::gates::check_sw_graph(&self.graph), "graph"),
+        };
+        Json::object()
+            .set(
+                "diagnostics",
+                Json::array(report.diagnostics.iter().map(|d| Json::from(d.render()))),
+            )
+            .set("errors", report.count(Severity::Error) as u64)
+            .set("infos", report.count(Severity::Info) as u64)
+            .set("scope", scope)
+            .set("warnings", report.count(Severity::Warn) as u64)
+    }
+
+    fn admit(&self, node: &str, timing: Option<(u64, u64, u64)>, throughput: f64) -> Result<Json, String> {
+        let h = self.hw_by_name(node)?;
+        let verdict = |admit: bool, reason: &str| {
+            Ok(Json::object()
+                .set("admit", admit)
+                .set("node", node)
+                .set("reason", reason))
+        };
+        if self.failed.contains(&h) {
+            return verdict(false, "hw node is failed");
+        }
+        let cap = self.hw.node(NodeIdx(h)).expect("valid index").capacity;
+        if self.hosts[h].throughput + throughput > cap {
+            return verdict(false, "throughput capacity exceeded");
+        }
+        if let Some((est, tcd, ct)) = timing {
+            let probe = AttributeSet::default().with_timing(est, tcd, ct);
+            let job = timing_job(&probe, self.graph.node_count()).expect("just set");
+            if !self.hosts[h].admission.would_admit(job) {
+                return verdict(false, "EDF admission rejected the timing constraint");
+            }
+        }
+        verdict(true, "feasible")
+    }
+
+    /// The current placement as a validated `(Clustering, Mapping)` pair
+    /// — only available when every FCM is hosted (clusters must
+    /// partition the graph).
+    fn placed_view(&self) -> Option<(Clustering, Mapping)> {
+        if self.host_of.iter().any(Option::is_none) {
+            return None;
+        }
+        let mut groups: Vec<Vec<NodeIdx>> = Vec::new();
+        let mut assignment: Vec<NodeIdx> = Vec::new();
+        for (h, host) in self.hosts.iter().enumerate() {
+            if host.members.is_empty() {
+                continue;
+            }
+            groups.push(host.members.iter().map(|&v| NodeIdx(v)).collect());
+            assignment.push(NodeIdx(h));
+        }
+        let clustering = Clustering::new(&self.graph, groups).ok()?;
+        Some((clustering, Mapping::from_assignment(assignment)))
+    }
+
+    fn propose_placement(&self, node: &str) -> Result<Json, String> {
+        let h = self.hw_by_name(node)?;
+        if !self.failed.is_empty() {
+            return Err("propose_placement requires no already-failed hw nodes".to_string());
+        }
+        let (clustering, mapping) = self.placed_view().ok_or_else(|| {
+            "propose_placement requires a fully-placed model".to_string()
+        })?;
+        let out = failover::remap(&self.graph, &clustering, &mapping, &self.hw, NodeIdx(h), self.shed)
+            .map_err(|e| e.to_string())?;
+        Ok(Json::object()
+            .set("degraded", out.degraded)
+            .set(
+                "moved",
+                Json::array(out.placement.iter().filter_map(|&(v, dest)| {
+                    dest.map(|d| {
+                        Json::array([
+                            Json::from(self.fcm_name(v.index())),
+                            Json::from(self.hw_name(d.index())),
+                        ])
+                    })
+                })),
+            )
+            .set("node", node)
+            .set(
+                "shed",
+                Json::array(out.shed.iter().map(|&v| Json::from(self.fcm_name(v.index())))),
+            ))
+    }
+
+    fn stats(&self) -> Json {
+        let unhosted = self.host_of.iter().filter(|h| h.is_none()).count();
+        Json::object()
+            .set("edges", self.graph.edge_count() as u64)
+            .set(
+                "failed",
+                Json::array(self.failed.iter().map(|&h| Json::from(self.hw_name(h)))),
+            )
+            .set("fcms", self.graph.node_count() as u64)
+            .set("full_condenses", self.full_condenses)
+            .set("model", self.name.as_str())
+            .set("seq", self.seq)
+            .set("unhosted", unhosted as u64)
+    }
+
+    /// The full canonical state: everything needed to reconstruct the
+    /// model bit-for-bit (substrate JSON emits `f64`s shortest-exact, so
+    /// matrix entries round-trip exactly).
+    #[must_use]
+    pub fn state_json(&self) -> Json {
+        let fcms = Json::array(self.graph.nodes().map(|(n, sw)| {
+            let a = &sw.attributes;
+            Json::object()
+                .set("crit", a.criticality.0)
+                .set("ft", u64::from(a.fault_tolerance.0))
+                .set(
+                    "host",
+                    self.host_of[n.index()].map_or(Json::Null, |h| Json::from(self.hw_name(h))),
+                )
+                .set("name", sw.name.as_str())
+                .set("pin", sw.pinned_to.clone().map_or(Json::Null, Json::from))
+                .set("rep", sw.replica_group.map_or(Json::Null, Json::from))
+                .set(
+                    "res",
+                    Json::array(sw.required_resources.iter().map(|r| Json::from(r.as_str()))),
+                )
+                .set("sec", u64::from(a.security.0))
+                .set("sep", sw.separation_group.map_or(Json::Null, Json::from))
+                .set("thr", a.throughput.0)
+                .set(
+                    "timing",
+                    a.timing.map_or(Json::Null, |t| {
+                        Json::array([Json::from(t.est), Json::from(t.tcd), Json::from(t.ct)])
+                    }),
+                )
+        }));
+        let edges = Json::array(self.graph.edges().map(|(_, e)| {
+            Json::array([
+                Json::from(e.from.index() as u64),
+                Json::from(e.to.index() as u64),
+                Json::from(e.weight.influence()),
+            ])
+        }));
+        let influence = Json::array((0..self.influence.rows()).map(|i| {
+            Json::array((0..self.influence.cols()).map(|j| Json::from(self.influence[(i, j)])))
+        }));
+        Json::object()
+            .set("edges", edges)
+            .set(
+                "failed",
+                Json::array(self.failed.iter().map(|&h| Json::from(self.hw_name(h)))),
+            )
+            .set("fcms", fcms)
+            .set("full_condenses", self.full_condenses)
+            .set("influence", influence)
+            .set("model", self.name.as_str())
+            .set("schema", STATE_SCHEMA)
+            .set("seq", self.seq)
+    }
+
+    /// Reconstructs a model from [`LiveModel::state_json`] output: the
+    /// snapshot-load half of `--resume`. The influence matrix is read
+    /// back verbatim (no recondensation — the full-condense count is
+    /// carried over), and host state is rebuilt deterministically.
+    ///
+    /// # Errors
+    ///
+    /// A malformed or internally inconsistent state object.
+    pub fn from_state(state: &Json) -> Result<LiveModel, String> {
+        let want = |key: &str| format!("snapshot state missing \"{key}\"");
+        if state.get("schema").and_then(Json::as_str) != Some(STATE_SCHEMA) {
+            return Err(format!("snapshot state is not {STATE_SCHEMA}"));
+        }
+        let name = state.get("model").and_then(Json::as_str).ok_or_else(|| want("model"))?;
+        let hw = match name {
+            "paper" => paper::hw_platform(),
+            "avionics" => avionics::platform(),
+            other => return Err(format!("unknown model \"{other}\" in snapshot")),
+        };
+        let hw_index: BTreeMap<String, usize> = hw
+            .nodes()
+            .map(|(h, n)| (n.name.clone(), h.index()))
+            .collect();
+
+        let fcms = state.get("fcms").and_then(Json::as_array).ok_or_else(|| want("fcms"))?;
+        let mut graph: SwGraph = SwGraph::new();
+        let mut host_of: Vec<Option<usize>> = Vec::with_capacity(fcms.len());
+        for f in fcms {
+            let fname = f.get("name").and_then(Json::as_str).ok_or_else(|| want("fcms[].name"))?;
+            let num = |key: &str| {
+                f.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("snapshot fcm \"{fname}\" missing \"{key}\""))
+            };
+            let mut attrs = AttributeSet::default()
+                .with_criticality(num("crit")? as u32)
+                .with_throughput(num("thr")?)
+                .with_security(num("sec")? as u8)
+                .with_fault_tolerance(fcm_core::FaultTolerance(num("ft")? as u8));
+            if let Some(t) = f.get("timing").filter(|t| !matches!(t, Json::Null)) {
+                let arr = t.as_array().filter(|a| a.len() == 3).ok_or_else(|| want("timing"))?;
+                let g = |i: usize| arr[i].as_f64().map(|x| x as u64).ok_or_else(|| want("timing"));
+                attrs = attrs.with_timing(g(0)?, g(1)?, g(2)?);
+            }
+            let n = graph.add_node(SwNode::new(fname, attrs));
+            let sw = graph.node_mut(n).expect("just added");
+            sw.replica_group = f.get("rep").and_then(Json::as_f64).map(|x| x as u32);
+            sw.separation_group = f.get("sep").and_then(Json::as_f64).map(|x| x as u32);
+            sw.pinned_to = f.get("pin").and_then(Json::as_str).map(str::to_string);
+            if let Some(res) = f.get("res").and_then(Json::as_array) {
+                for r in res {
+                    if let Some(tag) = r.as_str() {
+                        sw.required_resources.insert(tag.to_string());
+                    }
+                }
+            }
+            host_of.push(match f.get("host") {
+                Some(Json::Str(h)) => Some(
+                    *hw_index
+                        .get(h)
+                        .ok_or_else(|| format!("snapshot fcm \"{fname}\" on unknown hw \"{h}\""))?,
+                ),
+                _ => None,
+            });
+        }
+
+        let edges = state.get("edges").and_then(Json::as_array).ok_or_else(|| want("edges"))?;
+        for e in edges {
+            let t = e.as_array().filter(|a| a.len() == 3).ok_or_else(|| want("edges[]"))?;
+            let f = t[0].as_f64().ok_or_else(|| want("edges[]"))? as usize;
+            let to = t[1].as_f64().ok_or_else(|| want("edges[]"))? as usize;
+            let w = t[2].as_f64().ok_or_else(|| want("edges[]"))?;
+            if f >= graph.node_count() || to >= graph.node_count() {
+                return Err("snapshot edge endpoint out of range".to_string());
+            }
+            let weight = if w == 0.0 { SwEdge::ReplicaLink } else { SwEdge::Influence(w) };
+            graph.add_edge(NodeIdx(f), NodeIdx(to), weight);
+        }
+
+        let rows = state
+            .get("influence")
+            .and_then(Json::as_array)
+            .ok_or_else(|| want("influence"))?;
+        let n = graph.node_count();
+        if rows.len() != n {
+            return Err("snapshot influence matrix has wrong dimensions".to_string());
+        }
+        let mut influence = Matrix::zeros(n, n);
+        for (i, row) in rows.iter().enumerate() {
+            let row = row.as_array().filter(|r| r.len() == n).ok_or_else(|| want("influence"))?;
+            for (j, v) in row.iter().enumerate() {
+                influence[(i, j)] = v.as_f64().ok_or_else(|| want("influence"))?;
+            }
+        }
+
+        let mut failed = BTreeSet::new();
+        for h in state
+            .get("failed")
+            .and_then(Json::as_array)
+            .ok_or_else(|| want("failed"))?
+        {
+            let hname = h.as_str().ok_or_else(|| want("failed[]"))?;
+            failed.insert(
+                *hw_index
+                    .get(hname)
+                    .ok_or_else(|| format!("snapshot failed unknown hw \"{hname}\""))?,
+            );
+        }
+
+        let seq = state.get("seq").and_then(Json::as_f64).ok_or_else(|| want("seq"))? as u64;
+        let full_condenses = state
+            .get("full_condenses")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| want("full_condenses"))? as u64;
+        let hosts = rebuild_hosts(&graph, &hw, &host_of)?;
+        let index = graph
+            .nodes()
+            .map(|(ni, sw)| (sw.name.clone(), ni.index()))
+            .collect();
+        Ok(LiveModel {
+            name: name.to_string(),
+            graph,
+            index,
+            influence,
+            host_of,
+            hosts,
+            hw,
+            failed,
+            shed: ShedPolicy::ShedBelow { critical_at: 3 },
+            seq,
+            full_condenses,
+        })
+    }
+}
+
+fn check_weight(w: f64) -> Result<(), String> {
+    if w.is_finite() && w > 0.0 && w <= 1.0 {
+        Ok(())
+    } else {
+        Err(format!("influence weight {w} outside (0, 1]"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Mutation;
+
+    fn add(name: &str, crit: u32, influences: &[(&str, f64)]) -> Mutation {
+        Mutation::AddFcm {
+            name: name.to_string(),
+            criticality: crit,
+            throughput: 0.0,
+            security: 0,
+            timing: None,
+            influences: influences.iter().map(|&(n, w)| (n.to_string(), w)).collect(),
+            influenced_by: Vec::new(),
+        }
+    }
+
+    fn full_recompute(g: &SwGraph) -> Matrix {
+        let groups: Vec<Vec<NodeIdx>> = g.node_indices().map(|n| vec![n]).collect();
+        condense(g, &groups, CombineRule::Probabilistic)
+            .expect("partition")
+            .influence_matrix()
+    }
+
+    #[test]
+    fn models_start_fully_placed_with_one_full_condense() {
+        for name in MODEL_NAMES {
+            let m = LiveModel::new(name).expect("committed model builds");
+            assert_eq!(m.full_condenses(), 1, "{name}");
+            assert!(m.host_of.iter().all(Option::is_some), "{name} fully placed");
+            assert_eq!(m.influence, full_recompute(&m.graph), "{name} matrix");
+            // Replicas landed on distinct nodes.
+            for a in 0..m.graph.node_count() {
+                for b in a + 1..m.graph.node_count() {
+                    if separated(&m.graph, a, b) {
+                        assert_ne!(m.host_of[a], m.host_of[b], "{name}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+        assert!(LiveModel::new("nope").is_err());
+    }
+
+    #[test]
+    fn add_and_remove_keep_the_matrix_bitwise_exact() {
+        let mut m = LiveModel::new("paper").unwrap();
+        m.apply(&add("x1", 2, &[("p2a", 0.4)])).unwrap();
+        assert_eq!(m.influence, full_recompute(&m.graph));
+        m.apply(&add("x2", 1, &[("x1", 0.9), ("p8", 0.05)])).unwrap();
+        assert_eq!(m.influence, full_recompute(&m.graph));
+        m.apply(&Mutation::RemoveFcm { name: "x1".to_string() }).unwrap();
+        assert_eq!(m.influence, full_recompute(&m.graph));
+        assert_eq!(m.full_condenses(), 1);
+        assert_eq!(m.seq(), 3);
+        // Removed name is gone, survivor reindexed consistently.
+        assert!(m.fcm("x1").is_err());
+        let x2 = m.fcm("x2").unwrap();
+        assert_eq!(m.fcm_name(x2), "x2");
+    }
+
+    #[test]
+    fn rejected_mutations_leave_the_model_untouched() {
+        let mut m = LiveModel::new("paper").unwrap();
+        let before = m.state_json().to_string_compact();
+        assert!(m.apply(&add("p1a", 0, &[])).is_err()); // duplicate name
+        assert!(m.apply(&add("y", 0, &[("p1a", 1.5)])).is_err()); // bad weight
+        assert!(m.apply(&add("y", 0, &[("ghost", 0.5)])).is_err()); // unknown target
+        assert!(m
+            .apply(&Mutation::RemoveFcm { name: "ghost".to_string() })
+            .is_err());
+        assert!(m
+            .apply(&Mutation::FailNode { node: "hw9".to_string() })
+            .is_err());
+        assert_eq!(m.state_json().to_string_compact(), before);
+        assert_eq!(m.seq(), 0);
+    }
+
+    #[test]
+    fn fail_and_restore_round_trip_preserves_feasibility() {
+        let mut m = LiveModel::new("paper").unwrap();
+        let out = m.apply(&Mutation::FailNode { node: "hw0".to_string() }).unwrap();
+        assert!(out.get("failed").is_some());
+        // Double-fail is rejected.
+        assert!(m.apply(&Mutation::FailNode { node: "hw0".to_string() }).is_err());
+        m.apply(&Mutation::RestoreNode { node: "hw0".to_string() }).unwrap();
+        assert!(m.apply(&Mutation::RestoreNode { node: "hw0".to_string() }).is_err());
+        // Matrix was never touched by placement-only mutations.
+        assert_eq!(m.influence, full_recompute(&m.graph));
+        // Every replica pair still separated.
+        for a in 0..m.graph.node_count() {
+            for b in a + 1..m.graph.node_count() {
+                if separated(&m.graph, a, b) && m.host_of[a].is_some() {
+                    assert_ne!(m.host_of[a], m.host_of[b]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_round_trips_byte_identically() {
+        let mut m = LiveModel::new("avionics").unwrap();
+        let anchor = m.fcm_name(0);
+        m.apply(&add("monitor", 2, &[(anchor.as_str(), 0.2)])).unwrap();
+        m.apply(&Mutation::FailNode { node: "hw3".to_string() }).unwrap();
+        let state = m.state_json();
+        let restored = LiveModel::from_state(&state).unwrap();
+        assert_eq!(
+            restored.state_json().to_string_compact(),
+            state.to_string_compact()
+        );
+        // And the restored model keeps evolving identically.
+        let mut a = m.clone();
+        let mut b = restored;
+        a.apply(&add("z", 1, &[])).unwrap();
+        b.apply(&add("z", 1, &[])).unwrap();
+        assert_eq!(
+            a.state_json().to_string_compact(),
+            b.state_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn queries_answer_on_the_paper_model() {
+        let m = LiveModel::new("paper").unwrap();
+        let inf = m
+            .query(&Query::Influence {
+                from: "p4".to_string(),
+                to: "p5".to_string(),
+                order: 4,
+            })
+            .unwrap();
+        let direct = inf.get("direct").and_then(Json::as_f64).unwrap();
+        let transitive = inf.get("transitive").and_then(Json::as_f64).unwrap();
+        assert!(direct >= 0.0 && transitive >= direct - 1e-12);
+        let sep = m
+            .query(&Query::Separation {
+                from: "p4".to_string(),
+                to: "p5".to_string(),
+                order: 4,
+            })
+            .unwrap();
+        let s = sep.get("separation").and_then(Json::as_f64).unwrap();
+        assert!((s - (1.0 - transitive)).abs() < 1e-15);
+        let stats = m.query(&Query::Stats).unwrap();
+        assert_eq!(stats.get("full_condenses").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(stats.get("unhosted").and_then(Json::as_f64), Some(0.0));
+        let check = m.query(&Query::Check).unwrap();
+        assert_eq!(check.get("errors").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(check.get("scope").and_then(Json::as_str), Some("placed"));
+        assert!(m
+            .query(&Query::Influence {
+                from: "ghost".to_string(),
+                to: "p5".to_string(),
+                order: 4
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn propose_placement_matches_applied_fail_node() {
+        let m = LiveModel::new("paper").unwrap();
+        let proposal = m
+            .query(&Query::ProposePlacement { node: "hw1".to_string() })
+            .unwrap();
+        let mut applied = m.clone();
+        let out = applied
+            .apply(&Mutation::FailNode { node: "hw1".to_string() })
+            .unwrap();
+        // Same scoring on both paths: identical destinations and sheds.
+        assert_eq!(proposal.get("moved"), out.get("moved"));
+        assert_eq!(proposal.get("shed"), out.get("shed"));
+        assert_eq!(proposal.get("degraded"), out.get("degraded"));
+    }
+
+    #[test]
+    fn admit_probe_is_consistent_with_placement() {
+        let m = LiveModel::new("paper").unwrap();
+        let free = m
+            .query(&Query::Admit {
+                node: "hw0".to_string(),
+                timing: None,
+                throughput: 0.0,
+            })
+            .unwrap();
+        assert_eq!(free.get("admit"), Some(&Json::Bool(true)));
+        let mut failed = m.clone();
+        failed
+            .apply(&Mutation::FailNode { node: "hw0".to_string() })
+            .unwrap();
+        let dead = failed
+            .query(&Query::Admit {
+                node: "hw0".to_string(),
+                timing: None,
+                throughput: 0.0,
+            })
+            .unwrap();
+        assert_eq!(dead.get("admit"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn set_attr_guards_edf_feasibility() {
+        let mut m = LiveModel::new("paper").unwrap();
+        // An impossible window is rejected and leaves state untouched.
+        let before = m.state_json().to_string_compact();
+        let err = m.apply(&Mutation::SetAttr {
+            name: "p8".to_string(),
+            criticality: None,
+            throughput: None,
+            timing: Some(Some((0, 1, 5))),
+        });
+        assert!(err.is_err());
+        assert_eq!(m.state_json().to_string_compact(), before);
+        // A criticality tweak goes through.
+        m.apply(&Mutation::SetAttr {
+            name: "p8".to_string(),
+            criticality: Some(2),
+            throughput: None,
+            timing: None,
+        })
+        .unwrap();
+        assert_eq!(criticality(&m.graph, m.fcm("p8").unwrap()), 2);
+    }
+}

@@ -1,0 +1,861 @@
+//! The daemon: socket accept loop, per-connection reader threads, and
+//! the single writer thread that serializes mutations.
+//!
+//! # Threading model
+//!
+//! * The model lives in one `RwLock<LiveModel>`. **Queries** take the
+//!   read lock only while computing the answer (microseconds — all
+//!   socket I/O happens outside the lock), so a connection pool reads
+//!   mostly in parallel.
+//! * **Mutations** are forwarded over a channel to the one writer
+//!   thread, which applies under the write lock, appends the journal,
+//!   and only then replies — *applied → journaled → acknowledged*. A
+//!   torn model is impossible: readers see the state before or after a
+//!   mutation, never mid-apply. Consecutive mutations on one session
+//!   pipeline to the writer and their in-order replies flush as a
+//!   batch, so the per-mutation cost is one apply, not two context
+//!   switches (see [`serve_client`]).
+//! * Every `snapshot_every` accepted mutations (and once more at
+//!   shutdown) the writer snapshots the state off the read lock.
+//!
+//! Bounded latency follows from the lock discipline: a query waits for
+//! at most one in-flight `apply` (incremental Eq. 4: O(n) row/column
+//! work, not O(n³) recondense) plus its own O(n·order) walk — never for
+//! journal or snapshot I/O, which the writer performs outside the write
+//! lock.
+//!
+//! Instrumented via `fcm-obs`: `serve.apply_ns`, `serve.query_ns`,
+//! `serve.snapshot_ns` histograms and `serve.mutations`/`serve.queries`
+//! counters, so `obsview` works on a server run.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fcm_substrate::Json;
+
+use crate::model::LiveModel;
+use crate::proto::{self, Query, Request};
+use crate::store::Store;
+
+/// Where the daemon listens (or a client connects).
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP at this `host:port` (port 0 = ephemeral; see [`Handle::addr`]).
+    Tcp(String),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket to listen on.
+    pub listen: Listen,
+    /// Model name (`paper` / `avionics`).
+    pub model: String,
+    /// State directory for snapshot + journal; `None` = no durability.
+    pub state_dir: Option<PathBuf>,
+    /// Recover from the state directory instead of truncating it.
+    pub resume: bool,
+    /// Snapshot period in accepted mutations (0 = only at shutdown).
+    pub snapshot_every: u64,
+}
+
+/// A bidirectional client/server stream over either transport.
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(on),
+            Stream::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Connects to a listening daemon (the `servegen` client side).
+pub(crate) fn connect(target: &Listen) -> Result<Stream, String> {
+    match target {
+        Listen::Unix(path) => UnixStream::connect(path)
+            .map(Stream::Unix)
+            .map_err(|e| format!("connect {}: {e}", path.display())),
+        Listen::Tcp(addr) => TcpStream::connect(addr)
+            .map(|s| {
+                // Request/response over one connection: Nagle + delayed
+                // ACK would add ~40 ms per round-trip.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            })
+            .map_err(|e| format!("connect {addr}: {e}")),
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            Listener::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+}
+
+enum WriterMsg {
+    Apply {
+        mutation: crate::proto::Mutation,
+        reply: mpsc::Sender<Result<Json, String>>,
+    },
+    Snapshot {
+        reply: mpsc::Sender<Result<Json, String>>,
+    },
+}
+
+struct ClientSlot {
+    stream: Stream,
+    thread: JoinHandle<()>,
+}
+
+/// A running daemon; dropping it (or calling [`Handle::stop`]) drains
+/// clients, flushes the final snapshot, and joins every thread.
+pub struct Handle {
+    stop: Arc<AtomicBool>,
+    addr: String,
+    unix_path: Option<PathBuf>,
+    clients: Arc<Mutex<Vec<ClientSlot>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    writer_tx: Option<mpsc::Sender<WriterMsg>>,
+    writer_thread: Option<JoinHandle<Result<(), String>>>,
+    model: Arc<RwLock<LiveModel>>,
+}
+
+impl Handle {
+    /// The bound address: `host:port` for TCP (with the real ephemeral
+    /// port), the socket path for Unix.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Current journal cursor (accepted mutations).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.model.read().expect("model lock").seq()
+    }
+
+    /// Stops accepting, drains clients, writes the final snapshot, and
+    /// joins all threads.
+    ///
+    /// # Errors
+    ///
+    /// A journal/snapshot write failure observed by the writer thread.
+    pub fn stop(mut self) -> Result<(), String> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), String> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Shut the sockets down to unblock reader threads mid-`read`.
+        let slots: Vec<ClientSlot> = std::mem::take(&mut *self.clients.lock().expect("clients lock"));
+        for slot in &slots {
+            slot.stream.shutdown();
+        }
+        for slot in slots {
+            let _ = slot.thread.join();
+        }
+        // All client-held writer senders are gone; dropping ours ends
+        // the writer loop, which flushes the final snapshot.
+        drop(self.writer_tx.take());
+        let result = self
+            .writer_thread
+            .take()
+            .map_or(Ok(()), |t| t.join().map_err(|_| "writer thread panicked".to_string())?);
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// Builds the model per config: fresh, or recovered from the state
+/// directory (snapshot + journal-suffix replay).
+fn build_model(config: &ServerConfig) -> Result<(LiveModel, Option<Store>), String> {
+    match (&config.state_dir, config.resume) {
+        (None, _) => Ok((LiveModel::new(&config.model)?, None)),
+        (Some(dir), false) => Ok((LiveModel::new(&config.model)?, Some(Store::create_fresh(dir)?))),
+        (Some(dir), true) => {
+            let (store, recovered) = Store::open_resume(dir)?;
+            let mut model = match recovered.snapshot {
+                Some((state, _)) => LiveModel::from_state(&state)?,
+                None => LiveModel::new(&config.model)?,
+            };
+            if model.name() != config.model {
+                return Err(format!(
+                    "state dir holds model \"{}\" but \"{}\" was requested",
+                    model.name(),
+                    config.model
+                ));
+            }
+            for (seq, m) in &recovered.replay {
+                model
+                    .apply(m)
+                    .map_err(|e| format!("journal replay seq {seq} rejected: {e}"))?;
+                if model.seq() != *seq {
+                    return Err(format!(
+                        "journal replay drift: expected seq {seq}, model at {}",
+                        model.seq()
+                    ));
+                }
+            }
+            Ok((model, Some(store)))
+        }
+    }
+}
+
+/// Starts the daemon and returns its handle.
+///
+/// # Errors
+///
+/// Model construction/recovery failure, or a bind failure on the
+/// requested socket (both exit-code-2 class for the bin).
+pub fn start(config: ServerConfig) -> Result<Handle, String> {
+    let (model, store) = build_model(&config)?;
+    let model = Arc::new(RwLock::new(model));
+
+    let (listener, addr, unix_path) = match &config.listen {
+        Listen::Unix(path) => {
+            if path.exists() {
+                std::fs::remove_file(path)
+                    .map_err(|e| format!("remove stale socket {}: {e}", path.display()))?;
+            }
+            let l = UnixListener::bind(path)
+                .map_err(|e| format!("bind {}: {e}", path.display()))?;
+            (
+                Listener::Unix(l),
+                path.display().to_string(),
+                Some(path.clone()),
+            )
+        }
+        Listen::Tcp(spec) => {
+            let l = TcpListener::bind(spec).map_err(|e| format!("bind {spec}: {e}"))?;
+            let real = l
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?
+                .to_string();
+            (Listener::Tcp(l), real, None)
+        }
+    };
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
+    let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
+
+    let writer_thread = {
+        let model = Arc::clone(&model);
+        let snapshot_every = config.snapshot_every;
+        std::thread::spawn(move || writer_loop(&model, &writer_rx, store, snapshot_every))
+    };
+
+    let accept_thread = {
+        let stop = Arc::clone(&stop);
+        let clients = Arc::clone(&clients);
+        let model = Arc::clone(&model);
+        let writer_tx = writer_tx.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok(stream) => {
+                        let Ok(reader_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        let model = Arc::clone(&model);
+                        let tx = writer_tx.clone();
+                        let thread = std::thread::spawn(move || {
+                            serve_client(reader_half, &model, &tx);
+                        });
+                        clients
+                            .lock()
+                            .expect("clients lock")
+                            .push(ClientSlot { stream, thread });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    Ok(Handle {
+        stop,
+        addr,
+        unix_path,
+        clients,
+        accept_thread: Some(accept_thread),
+        writer_tx: Some(writer_tx),
+        writer_thread: Some(writer_thread),
+        model,
+    })
+}
+
+/// The writer loop: the only code path that mutates the model.
+/// Ordering per mutation: apply (write lock) → journal append → reply.
+fn writer_loop(
+    model: &RwLock<LiveModel>,
+    rx: &mpsc::Receiver<WriterMsg>,
+    mut store: Option<Store>,
+    snapshot_every: u64,
+) -> Result<(), String> {
+    let mut since_snapshot: u64 = 0;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Apply { mutation, reply } => {
+                let t0 = Instant::now();
+                let result = {
+                    let mut m = model.write().expect("model lock");
+                    m.apply(&mutation)
+                };
+                fcm_obs::hist_record("serve.apply_ns", t0.elapsed().as_nanos() as u64);
+                fcm_obs::counter_add("serve.mutations", 1);
+                if result.is_ok() {
+                    if let Some(s) = store.as_mut() {
+                        let seq = model.read().expect("model lock").seq();
+                        s.append(seq, &mutation)?;
+                    }
+                    since_snapshot += 1;
+                }
+                let _ = reply.send(result);
+                if snapshot_every > 0 && since_snapshot >= snapshot_every {
+                    write_snapshot(model, store.as_mut())?;
+                    since_snapshot = 0;
+                }
+            }
+            WriterMsg::Snapshot { reply } => {
+                let result = write_snapshot(model, store.as_mut()).map(|seq| match seq {
+                    Some(seq) => Json::object().set("seq", seq).set("snapshotted", true),
+                    None => Json::object().set("snapshotted", false),
+                });
+                since_snapshot = 0;
+                let _ = reply.send(result);
+            }
+        }
+    }
+    // Channel closed: final snapshot before exit.
+    write_snapshot(model, store.as_mut())?;
+    Ok(())
+}
+
+fn write_snapshot(model: &RwLock<LiveModel>, store: Option<&mut Store>) -> Result<Option<u64>, String> {
+    let Some(store) = store else {
+        return Ok(None);
+    };
+    let t0 = Instant::now();
+    let (seq, state) = {
+        let m = model.read().expect("model lock");
+        (m.seq(), m.state_json())
+    };
+    store.snapshot(seq, &state)?;
+    fcm_obs::hist_record("serve.snapshot_ns", t0.elapsed().as_nanos() as u64);
+    Ok(Some(seq))
+}
+
+/// In-flight pipelined mutations: request id plus the writer's reply
+/// slot, in submission order (= response order).
+type Pending = std::collections::VecDeque<(Option<Json>, mpsc::Receiver<Result<Json, String>>)>;
+
+/// Awaits every in-flight mutation reply and writes the responses in
+/// order (one syscall for the whole batch). Returns `false` when the
+/// session is dead (writer gone or socket closed).
+fn flush_pending(pending: &mut Pending, out: &mut Stream) -> bool {
+    if pending.is_empty() {
+        return true;
+    }
+    let mut batch = String::new();
+    for (id, rx) in pending.drain(..) {
+        let Ok(result) = rx.recv() else { return false };
+        batch.push_str(&proto::render_response(id.as_ref(), &result));
+    }
+    out.write_all(batch.as_bytes()).is_ok()
+}
+
+/// Back-pressure bound: a session never holds more un-acknowledged
+/// mutations than this before draining replies.
+const MAX_PIPELINE: usize = 1024;
+
+/// One connection: hello, then request/response lines until EOF. Parse
+/// and I/O errors never kill the daemon — a malformed line gets a
+/// structured error response and the loop continues.
+///
+/// Mutations *pipeline*: a run of consecutive mutation lines is
+/// forwarded to the writer without waiting for individual replies, and
+/// the in-order responses are flushed as a batch once the socket has no
+/// more buffered input (or before any query, preserving
+/// read-your-writes within the session). This amortizes the
+/// conn-thread ↔ writer-thread handoff over the whole run instead of
+/// paying two context switches per mutation.
+fn serve_client(mut stream: Stream, model: &RwLock<LiveModel>, writer: &mpsc::Sender<WriterMsg>) {
+    let Ok(mut out) = stream.try_clone() else {
+        return;
+    };
+    {
+        let m = model.read().expect("model lock");
+        let hello = proto::hello(m.name(), m.fcm_count(), m.hw_count(), m.seq());
+        if out.write_all(hello.as_bytes()).is_err() {
+            return;
+        }
+    }
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut pending = Pending::new();
+    'session: loop {
+        // Dispatch every complete line currently buffered.
+        let mut start = 0usize;
+        while let Some(pos) = inbuf[start..].iter().position(|&b| b == b'\n') {
+            let end = start + pos;
+            let line = String::from_utf8_lossy(&inbuf[start..end]).into_owned();
+            start = end + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (id, parsed) = proto::parse_line(line);
+            match parsed {
+                Ok(Request::Mutation(m)) => {
+                    let (tx, rx) = mpsc::channel();
+                    if writer.send(WriterMsg::Apply { mutation: m, reply: tx }).is_err() {
+                        break 'session;
+                    }
+                    pending.push_back((id, rx));
+                    if pending.len() >= MAX_PIPELINE && !flush_pending(&mut pending, &mut out) {
+                        break 'session;
+                    }
+                }
+                parsed => {
+                    // Order + read-your-writes: settle the pipelined
+                    // mutations before answering anything else.
+                    if !flush_pending(&mut pending, &mut out) {
+                        break 'session;
+                    }
+                    let result = match parsed {
+                        Err(e) => Err(e),
+                        Ok(Request::Query(Query::Snapshot)) => {
+                            let (tx, rx) = mpsc::channel();
+                            if writer.send(WriterMsg::Snapshot { reply: tx }).is_err() {
+                                break 'session;
+                            }
+                            match rx.recv() {
+                                Ok(r) => r,
+                                Err(_) => break 'session,
+                            }
+                        }
+                        Ok(Request::Query(q)) => {
+                            let t0 = Instant::now();
+                            let r = model.read().expect("model lock").query(&q);
+                            fcm_obs::hist_record("serve.query_ns", t0.elapsed().as_nanos() as u64);
+                            fcm_obs::counter_add("serve.queries", 1);
+                            r
+                        }
+                        Ok(Request::Mutation(_)) => unreachable!("handled above"),
+                    };
+                    let response = proto::render_response(id.as_ref(), &result);
+                    if out.write_all(response.as_bytes()).is_err() {
+                        break 'session;
+                    }
+                }
+            }
+        }
+        inbuf.drain(..start);
+        // Refill. With replies pending, poll first: if the client has
+        // nothing more queued, settle the batch before blocking (a
+        // request/response client is waiting on those responses).
+        if !pending.is_empty() {
+            let _ = stream.set_nonblocking(true);
+            let polled = stream.read(&mut chunk);
+            let _ = stream.set_nonblocking(false);
+            match polled {
+                Ok(0) => break,
+                Ok(n) => {
+                    inbuf.extend_from_slice(&chunk[..n]);
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if !flush_pending(&mut pending, &mut out) {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let _ = flush_pending(&mut pending, &mut out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::io::{BufRead, BufReader};
+
+    fn send(
+        out: &mut Stream,
+        lines: &mut std::io::Lines<BufReader<Stream>>,
+        req: &str,
+    ) -> Json {
+        out.write_all(req.as_bytes()).expect("write");
+        out.write_all(b"\n").expect("write");
+        let line = lines.next().expect("response").expect("read");
+        Json::parse(&line).expect("valid response JSON")
+    }
+
+    fn open_session(addr: &str) -> (Stream, std::io::Lines<BufReader<Stream>>, Json) {
+        let stream = connect(&Listen::Tcp(addr.to_string())).expect("connect");
+        let out = stream.try_clone().expect("clone");
+        let mut lines = BufReader::new(stream).lines();
+        let hello = Json::parse(&lines.next().expect("hello").expect("read")).expect("hello JSON");
+        (out, lines, hello)
+    }
+
+    #[test]
+    fn end_to_end_session_over_tcp() {
+        let handle = start(ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            model: "paper".to_string(),
+            state_dir: None,
+            resume: false,
+            snapshot_every: 0,
+        })
+        .expect("server starts");
+        let (mut out, mut lines, hello) = open_session(handle.addr());
+        assert_eq!(
+            hello.get("schema").and_then(Json::as_str),
+            Some(crate::proto::SCHEMA)
+        );
+
+        let r = send(&mut out, &mut lines, r#"{"op":"ping","id":7}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("id").and_then(Json::as_f64), Some(7.0));
+
+        let r = send(
+            &mut out,
+            &mut lines,
+            r#"{"op":"add_fcm","name":"tcp1","criticality":1,"influences":[["p8",0.25]]}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert!(r.get("host").is_some());
+
+        let r = send(
+            &mut out,
+            &mut lines,
+            r#"{"op":"influence","from":"tcp1","to":"p8"}"#,
+        );
+        assert!(r.get("direct").and_then(Json::as_f64).unwrap() > 0.2);
+
+        // Malformed line: structured error, session survives.
+        let r = send(&mut out, &mut lines, "{nope");
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert!(r.get("error").and_then(Json::as_str).unwrap().contains("parse"));
+        let r = send(&mut out, &mut lines, r#"{"op":"stats"}"#);
+        assert_eq!(r.get("full_condenses").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(r.get("seq").and_then(Json::as_f64), Some(1.0));
+
+        handle.stop().expect("clean stop");
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_model() {
+        let handle = start(ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            model: "paper".to_string(),
+            state_dir: None,
+            resume: false,
+            snapshot_every: 0,
+        })
+        .expect("server starts");
+        let addr = handle.addr().to_string();
+
+        // Writer session: add/remove a chain of FCMs.
+        let w = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut out, mut lines, _) = open_session(&addr);
+                for i in 0..30 {
+                    let add = format!(
+                        r#"{{"op":"add_fcm","name":"w{i}","criticality":1,"influences":[["p8",0.5]]}}"#
+                    );
+                    assert_eq!(send(&mut out, &mut lines, &add).get("ok"), Some(&Json::Bool(true)));
+                    let rm = format!(r#"{{"op":"remove_fcm","name":"w{i}"}}"#);
+                    assert_eq!(send(&mut out, &mut lines, &rm).get("ok"), Some(&Json::Bool(true)));
+                }
+            })
+        };
+        // Reader sessions: dump must always be internally consistent —
+        // influence matrix dimensions match the fcm list exactly.
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let (mut out, mut lines, _) = open_session(&addr);
+                    for _ in 0..40 {
+                        let r = send(&mut out, &mut lines, r#"{"op":"dump"}"#);
+                        let state = r.get("state").expect("state");
+                        let n = state.get("fcms").and_then(Json::as_array).unwrap().len();
+                        let rows = state.get("influence").and_then(Json::as_array).unwrap();
+                        assert_eq!(rows.len(), n, "row count matches fcm count");
+                        for row in rows {
+                            assert_eq!(row.as_array().unwrap().len(), n);
+                        }
+                    }
+                })
+            })
+            .collect();
+        w.join().expect("writer session");
+        for r in readers {
+            r.join().expect("reader session");
+        }
+        handle.stop().expect("clean stop");
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_the_model_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("fcm-serve-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Straight-through reference run.
+        let part1 = [
+            r#"{"op":"add_fcm","name":"r1","criticality":2,"influences":[["p2a",0.4]]}"#,
+            r#"{"op":"set_attr","name":"r1","criticality":3}"#,
+            r#"{"op":"fail_node","node":"hw4"}"#,
+        ];
+        let part2 = [
+            r#"{"op":"restore_node","node":"hw4"}"#,
+            r#"{"op":"add_fcm","name":"r2","criticality":1,"influenced_by":[["r1",0.7]]}"#,
+        ];
+        let reference = {
+            let h = start(ServerConfig {
+                listen: Listen::Tcp("127.0.0.1:0".to_string()),
+                model: "paper".to_string(),
+                state_dir: None,
+                resume: false,
+                snapshot_every: 0,
+            })
+            .unwrap();
+            let (mut out, mut lines, _) = open_session(h.addr());
+            for req in part1.iter().chain(part2.iter()) {
+                assert_eq!(send(&mut out, &mut lines, req).get("ok"), Some(&Json::Bool(true)));
+            }
+            let dump = send(&mut out, &mut lines, r#"{"op":"dump"}"#);
+            h.stop().unwrap();
+            dump.get("state").unwrap().to_string_compact()
+        };
+
+        // Durable run through part 1, then discard the snapshot so the
+        // resume is forced through journal-only replay (the kill -9 path
+        // scripts/verify.sh drives end-to-end).
+        {
+            let h = start(ServerConfig {
+                listen: Listen::Tcp("127.0.0.1:0".to_string()),
+                model: "paper".to_string(),
+                state_dir: Some(dir.clone()),
+                resume: false,
+                snapshot_every: 2,
+            })
+            .unwrap();
+            let (mut out, mut lines, _) = open_session(h.addr());
+            for req in &part1 {
+                assert_eq!(send(&mut out, &mut lines, req).get("ok"), Some(&Json::Bool(true)));
+            }
+            drop(h);
+        }
+        std::fs::remove_file(dir.join("snapshot.json")).expect("snapshot existed");
+        // Resume and finish.
+        let resumed = {
+            let h = start(ServerConfig {
+                listen: Listen::Tcp("127.0.0.1:0".to_string()),
+                model: "paper".to_string(),
+                state_dir: Some(dir.clone()),
+                resume: true,
+                snapshot_every: 2,
+            })
+            .unwrap();
+            assert_eq!(h.seq(), part1.len() as u64, "recovered every accepted mutation");
+            let (mut out, mut lines, _) = open_session(h.addr());
+            for req in &part2 {
+                assert_eq!(send(&mut out, &mut lines, req).get("ok"), Some(&Json::Bool(true)));
+            }
+            let dump = send(&mut out, &mut lines, r#"{"op":"dump"}"#);
+            h.stop().unwrap();
+            dump.get("state").unwrap().to_string_compact()
+        };
+        assert_eq!(resumed, reference, "resume converges byte-identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejected_mutations_do_not_reach_the_journal() {
+        let dir = std::env::temp_dir().join(format!("fcm-serve-rej-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h = start(ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            model: "paper".to_string(),
+            state_dir: Some(dir.clone()),
+            resume: false,
+            snapshot_every: 0,
+        })
+        .unwrap();
+        let (mut out, mut lines, _) = open_session(h.addr());
+        let r = send(&mut out, &mut lines, r#"{"op":"remove_fcm","name":"ghost"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        let r = send(&mut out, &mut lines, r#"{"op":"set_attr","name":"p8","criticality":2}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        h.stop().unwrap();
+        let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), 1, "only the accepted mutation was journaled");
+        assert!(lines[0].contains("set_attr"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join(format!("fcm-serve-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let h = start(ServerConfig {
+            listen: Listen::Unix(path.clone()),
+            model: "avionics".to_string(),
+            state_dir: None,
+            resume: false,
+            snapshot_every: 0,
+        })
+        .expect("unix server starts");
+        let stream = connect(&Listen::Unix(path.clone())).expect("connect");
+        let mut out = stream.try_clone().unwrap();
+        let mut lines = BufReader::new(stream).lines();
+        let _hello = lines.next().unwrap().unwrap();
+        let r = send(&mut out, &mut lines, r#"{"op":"list"}"#);
+        let fcms = r.get("fcms").and_then(Json::as_array).unwrap();
+        assert!(!fcms.is_empty());
+        h.stop().expect("clean stop");
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn writer_serializes_conflicting_sessions() {
+        // Two sessions race to add the same name; exactly one wins.
+        let handle = start(ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            model: "paper".to_string(),
+            state_dir: None,
+            resume: false,
+            snapshot_every: 0,
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let outcomes: Vec<bool> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let (mut out, mut lines, _) = open_session(&addr);
+                    let r = send(
+                        &mut out,
+                        &mut lines,
+                        r#"{"op":"add_fcm","name":"race","criticality":0}"#,
+                    );
+                    r.get("ok") == Some(&Json::Bool(true))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        let wins: BTreeMap<bool, usize> =
+            outcomes.iter().fold(BTreeMap::new(), |mut acc, &b| {
+                *acc.entry(b).or_default() += 1;
+                acc
+            });
+        assert_eq!(wins.get(&true), Some(&1), "{outcomes:?}");
+        assert_eq!(wins.get(&false), Some(&1), "{outcomes:?}");
+        handle.stop().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! Graceful-drain flag: SIGTERM/SIGINT set a process-wide atomic the
+//! daemon's main loop polls, so shutdown always goes through the
+//! drain-then-snapshot path.
+//!
+//! This is the crate's only `unsafe`: a raw `signal(2)` binding rather
+//! than a libc crate (the workspace is zero-external-deps). The handler
+//! body is async-signal-safe — a single relaxed atomic store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the SIGTERM/SIGINT handlers. Idempotent; call once at
+/// daemon startup before accepting connections.
+pub fn install() {
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Whether a shutdown signal has been received.
+#[must_use]
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Test/embedding hook: request shutdown without a real signal.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,251 @@
+//! Durability: snapshot + journal under one state directory.
+//!
+//! Layout (all substrate JSON, one value per file/line):
+//!
+//! * `snapshot.json` — `{"schema":"fcm-serve-snapshot/v1","seq":N,
+//!   "state":{...},"written_unix_ms":T}` where `state` is
+//!   [`crate::LiveModel::state_json`] output. Written to a temp file in
+//!   the same directory and atomically renamed, so a crash never leaves
+//!   a torn snapshot.
+//! * `journal.jsonl` — one `{"mutation":{...},"seq":N}` line per
+//!   accepted mutation, in canonical [`crate::proto::mutation_to_json`]
+//!   form, flushed per line. The writer appends *after* applying and
+//!   *before* replying, so every acknowledged mutation is durable.
+//!
+//! Recovery (`--resume`) loads the snapshot (if any), then replays the
+//! journal suffix with `seq > snapshot.seq`. Mutations are deterministic
+//! functions of model state, so replay reconstructs the crashed model
+//! byte-identically — `scripts/verify.sh` pins this with a `dump`
+//! byte-compare against a straight-through run.
+//!
+//! The only wall-clock read in the crate is the snapshot metadata
+//! timestamp (`written_unix_ms`); it is deliberately *outside* the
+//! `state` object so state comparisons stay byte-exact.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use fcm_substrate::Json;
+
+use crate::proto::{self, Mutation};
+
+/// Snapshot-file schema tag.
+pub const SNAPSHOT_SCHEMA: &str = "fcm-serve-snapshot/v1";
+
+const SNAPSHOT: &str = "snapshot.json";
+const JOURNAL: &str = "journal.jsonl";
+
+/// An open state directory: the journal writer plus snapshot paths.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    journal: BufWriter<File>,
+}
+
+/// What `open_resume` recovered from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Snapshot `state` object and its seq, when a snapshot existed.
+    pub snapshot: Option<(Json, u64)>,
+    /// Journal suffix to replay: `(seq, mutation)` with seq ascending,
+    /// already filtered to entries newer than the snapshot.
+    pub replay: Vec<(u64, Mutation)>,
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> String {
+    format!("{what} {}: {e}", path.display())
+}
+
+impl Store {
+    /// Creates/truncates the state directory for a fresh run.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or journal-open failure (exit-code-2 class).
+    pub fn create_fresh(dir: &Path) -> Result<Store, String> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create state dir", dir, &e))?;
+        let snap = dir.join(SNAPSHOT);
+        if snap.exists() {
+            fs::remove_file(&snap).map_err(|e| io_err("remove stale snapshot", &snap, &e))?;
+        }
+        let jpath = dir.join(JOURNAL);
+        let journal = File::create(&jpath).map_err(|e| io_err("create journal", &jpath, &e))?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            journal: BufWriter::new(journal),
+        })
+    }
+
+    /// Opens an existing state directory, returning whatever snapshot
+    /// and journal suffix survive; the journal is reopened for append.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable/corrupt snapshot or journal, or journal-open failure.
+    pub fn open_resume(dir: &Path) -> Result<(Store, Recovered), String> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create state dir", dir, &e))?;
+        let snap_path = dir.join(SNAPSHOT);
+        let snapshot = if snap_path.exists() {
+            let text = fs::read_to_string(&snap_path)
+                .map_err(|e| io_err("read snapshot", &snap_path, &e))?;
+            let json = Json::parse(&text).map_err(|e| format!("corrupt snapshot: {e}"))?;
+            if json.get("schema").and_then(Json::as_str) != Some(SNAPSHOT_SCHEMA) {
+                return Err(format!("snapshot is not {SNAPSHOT_SCHEMA}"));
+            }
+            let seq = json
+                .get("seq")
+                .and_then(Json::as_f64)
+                .ok_or("snapshot missing \"seq\"")? as u64;
+            let state = json.get("state").cloned().ok_or("snapshot missing \"state\"")?;
+            Some((state, seq))
+        } else {
+            None
+        };
+        let base_seq = snapshot.as_ref().map_or(0, |&(_, s)| s);
+
+        let jpath = dir.join(JOURNAL);
+        let mut replay = Vec::new();
+        if jpath.exists() {
+            let file = File::open(&jpath).map_err(|e| io_err("read journal", &jpath, &e))?;
+            for (lineno, line) in BufReader::new(file).lines().enumerate() {
+                let line = line.map_err(|e| io_err("read journal", &jpath, &e))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let entry = Json::parse(&line)
+                    .map_err(|e| format!("corrupt journal line {}: {e}", lineno + 1))?;
+                let seq = entry
+                    .get("seq")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("journal line {} missing \"seq\"", lineno + 1))?
+                    as u64;
+                let m = entry
+                    .get("mutation")
+                    .ok_or_else(|| format!("journal line {} missing \"mutation\"", lineno + 1))?;
+                let mutation = proto::mutation_from_json(m)
+                    .map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+                if seq > base_seq {
+                    replay.push((seq, mutation));
+                }
+            }
+        }
+        replay.sort_by_key(|&(s, _)| s);
+
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| io_err("append journal", &jpath, &e))?;
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                journal: BufWriter::new(journal),
+            },
+            Recovered { snapshot, replay },
+        ))
+    }
+
+    /// Appends one accepted mutation and flushes it to the OS before
+    /// the caller acknowledges the client.
+    ///
+    /// # Errors
+    ///
+    /// Journal write failure — the daemon treats this as fatal.
+    pub fn append(&mut self, seq: u64, m: &Mutation) -> Result<(), String> {
+        let line = Json::object()
+            .set("mutation", proto::mutation_to_json(m))
+            .set("seq", seq)
+            .to_string_compact();
+        let jpath = self.dir.join(JOURNAL);
+        writeln!(self.journal, "{line}").map_err(|e| io_err("append journal", &jpath, &e))?;
+        self.journal
+            .flush()
+            .map_err(|e| io_err("flush journal", &jpath, &e))
+    }
+
+    /// Writes a snapshot of `state` at `seq`: temp file + atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Temp-file write or rename failure.
+    pub fn snapshot(&mut self, seq: u64, state: &Json) -> Result<(), String> {
+        let written_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_millis() as u64);
+        let doc = Json::object()
+            .set("schema", SNAPSHOT_SCHEMA)
+            .set("seq", seq)
+            .set("state", state.clone())
+            .set("written_unix_ms", written_unix_ms);
+        let tmp = self.dir.join("snapshot.json.tmp");
+        let fin = self.dir.join(SNAPSHOT);
+        fs::write(&tmp, doc.to_string_compact() + "\n")
+            .map_err(|e| io_err("write snapshot", &tmp, &e))?;
+        fs::rename(&tmp, &fin).map_err(|e| io_err("rename snapshot", &fin, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LiveModel;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fcm-serve-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn fresh_then_resume_replays_the_suffix() {
+        let dir = tmpdir("replay");
+        let mut model = LiveModel::new("paper").unwrap();
+        let mut store = Store::create_fresh(&dir).unwrap();
+        let ops = [
+            Mutation::SetAttr {
+                name: "p8".to_string(),
+                criticality: Some(2),
+                throughput: None,
+                timing: None,
+            },
+            Mutation::FailNode { node: "hw2".to_string() },
+            Mutation::RestoreNode { node: "hw2".to_string() },
+        ];
+        for (i, m) in ops.iter().enumerate() {
+            model.apply(m).unwrap();
+            store.append(model.seq(), m).unwrap();
+            if i == 0 {
+                store.snapshot(model.seq(), &model.state_json()).unwrap();
+            }
+        }
+        drop(store);
+
+        let (_store2, rec) = Store::open_resume(&dir).unwrap();
+        let (state, snap_seq) = rec.snapshot.expect("snapshot written");
+        assert_eq!(snap_seq, 1);
+        assert_eq!(rec.replay.len(), 2, "only the post-snapshot suffix");
+        let mut recovered = LiveModel::from_state(&state).unwrap();
+        for (seq, m) in &rec.replay {
+            recovered.apply(m).unwrap();
+            assert_eq!(recovered.seq(), *seq);
+        }
+        assert_eq!(
+            recovered.state_json().to_string_compact(),
+            model.state_json().to_string_compact(),
+            "replayed model is byte-identical"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_lines_are_reported_with_position() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("journal.jsonl"), "{\"seq\":1,\"mutation\"\n").unwrap();
+        let err = Store::open_resume(&dir).unwrap_err();
+        assert!(err.contains("journal line 1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

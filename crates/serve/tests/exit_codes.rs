@@ -1,0 +1,156 @@
+//! Exit-code contract for the serve binaries (DESIGN.md): 0 = success /
+//! clean shutdown, 1 = findings, 2 = usage or IO error; `--help`
+//! always exits 0. Malformed *requests* must never surface as exit
+//! codes — they get structured error responses (pinned here via a
+//! scripted session).
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .env_remove("FCM_OBS_OUT")
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {bin}: {e}"))
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("binary exited without a signal")
+}
+
+#[test]
+fn help_exits_zero() {
+    for bin in [env!("CARGO_BIN_EXE_fcm-serve"), env!("CARGO_BIN_EXE_servegen")] {
+        let out = run(bin, &["--help"]);
+        assert_eq!(code(&out), 0, "{bin} --help must exit 0");
+        assert!(!out.stdout.is_empty(), "{bin} --help prints usage");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let serve = env!("CARGO_BIN_EXE_fcm-serve");
+    let gen = env!("CARGO_BIN_EXE_servegen");
+    let cases: [(&str, &[&str]); 7] = [
+        (serve, &["--no-such-flag"]),
+        (serve, &[]),                                     // --model missing
+        (serve, &["--model", "paper"]),                   // no socket
+        (serve, &["--model", "paper", "--resume"]),       // resume sans state-dir
+        (gen, &["--no-such-flag"]),
+        (gen, &[]),                                       // no target
+        (gen, &["--tcp", "127.0.0.1:1", "--mutation-pct", "101"]),
+    ];
+    for (bin, args) in cases {
+        let out = run(bin, args);
+        assert_eq!(
+            code(&out),
+            2,
+            "{bin} {args:?} must exit 2; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_model_exits_one_unwritable_state_dir_exits_two() {
+    let serve = env!("CARGO_BIN_EXE_fcm-serve");
+    // Model-content findings → 1.
+    let out = run(serve, &["--model", "no-such-model", "--tcp", "127.0.0.1:0"]);
+    assert_eq!(code(&out), 1, "unknown model is a findings-class failure");
+    // Environment failure (unwritable state dir) → 2.
+    let out = run(
+        serve,
+        &[
+            "--model",
+            "paper",
+            "--tcp",
+            "127.0.0.1:0",
+            "--state-dir",
+            "/proc/fcm-serve-cannot-write-here",
+        ],
+    );
+    assert_eq!(
+        code(&out),
+        2,
+        "unwritable state dir must exit 2; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn servegen_connection_failure_exits_two() {
+    // Port 1 on localhost: connection refused.
+    let out = run(
+        env!("CARGO_BIN_EXE_servegen"),
+        &["--tcp", "127.0.0.1:1", "--duration-ms", "50"],
+    );
+    assert_eq!(code(&out), 2);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("connect"),
+        "stderr names the failure"
+    );
+}
+
+/// A malformed request line yields a structured error response — the
+/// session (and both processes) stay up and exit 0.
+#[test]
+fn malformed_requests_are_responses_not_crashes() {
+    let dir = std::env::temp_dir().join(format!("fcm-serve-exit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("s.sock");
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_fcm-serve"))
+        .args(["--model", "paper", "--socket", sock.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(sock.exists(), "daemon bound its socket");
+
+    let mut gen = Command::new(env!("CARGO_BIN_EXE_servegen"))
+        .args(["--socket", sock.to_str().unwrap(), "--script", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("servegen spawns");
+    gen.stdin
+        .take()
+        .unwrap()
+        .write_all(b"{not json\n{\"op\":\"no_such_op\"}\n{\"op\":\"ping\",\"id\":3}\n")
+        .unwrap();
+    let out = gen.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "script mode exits 0; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "hello + three responses:\n{text}");
+    assert!(lines[1].contains("\"ok\":false") && lines[1].contains("parse"), "{}", lines[1]);
+    assert!(lines[2].contains("\"ok\":false") && lines[2].contains("unknown op"), "{}", lines[2]);
+    assert!(lines[3].contains("\"ok\":true") && lines[3].contains("\"id\":3"), "{}", lines[3]);
+
+    // SIGTERM → graceful drain → exit 0.
+    #[allow(clippy::cast_possible_wrap)]
+    let pid = daemon.id() as i32;
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    unsafe {
+        kill(pid, 15);
+    }
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "SIGTERM drain exits 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,289 @@
+//! Protocol and durability properties for `fcm-serve`, driven by the
+//! workspace's deterministic RNG:
+//!
+//! 1. **Round-trip** — a mutation's canonical JSON parses back to the
+//!    same mutation (`parse ∘ render = id`), and every response line the
+//!    server emits is a single valid JSON object echoing the request id.
+//! 2. **Replay** — a randomized accepted-mutation sequence, re-applied
+//!    from its journal JSON onto a fresh model, reproduces the live
+//!    model's `dump` byte-for-byte (the `--resume` guarantee).
+//! 3. **Incrementality** — after any such sequence, the incrementally
+//!    maintained influence matrix is *bitwise* equal to a from-scratch
+//!    condensation of the final graph, with the model still reporting
+//!    exactly one full condense.
+//! 4. **Isolation** — concurrent reader sessions interleaved with a
+//!    mutating writer never observe a torn model (dump invariants hold
+//!    on every read).
+
+use std::io::{BufRead, BufReader, Write};
+
+use fcm_serve::proto::{self, Mutation, Request};
+use fcm_serve::server::{start, Listen, ServerConfig};
+use fcm_serve::LiveModel;
+use fcm_substrate::{Json, Rng};
+
+/// A random valid-shaped mutation over a name pool (not necessarily
+/// *applicable* — unknown names and duplicates are part of the space).
+fn random_mutation(rng: &mut Rng, pool: &[String], fresh: &mut u64) -> Mutation {
+    match rng.gen_range(0u64..5) {
+        0 => {
+            let name = format!("q{}", *fresh);
+            *fresh += 1;
+            let influences = (0..rng.gen_range(0usize..3))
+                .map(|_| {
+                    (
+                        pool[rng.gen_range(0usize..pool.len())].clone(),
+                        rng.gen_range(0.05f64..0.95),
+                    )
+                })
+                .collect();
+            Mutation::AddFcm {
+                name,
+                criticality: rng.gen_range(0u32..5),
+                throughput: rng.gen_range(0.0f64..2.0),
+                security: rng.gen_range(0u64..4) as u8,
+                timing: rng
+                    .gen_bool(0.3)
+                    .then(|| (0, 1000, rng.gen_range(1u64..50))),
+                influences,
+                influenced_by: Vec::new(),
+            }
+        }
+        1 => Mutation::RemoveFcm {
+            name: pool[rng.gen_range(0usize..pool.len())].clone(),
+        },
+        2 => Mutation::SetAttr {
+            name: pool[rng.gen_range(0usize..pool.len())].clone(),
+            criticality: rng.gen_bool(0.5).then(|| rng.gen_range(0u32..5)),
+            throughput: rng.gen_bool(0.5).then(|| rng.gen_range(0.0f64..1.0)),
+            timing: rng.gen_bool(0.3).then(|| {
+                rng.gen_bool(0.5)
+                    .then(|| (0u64, 1000, rng.gen_range(1u64..50)))
+            }),
+        },
+        3 => Mutation::FailNode {
+            node: format!("hw{}", rng.gen_range(0u64..6)),
+        },
+        _ => Mutation::RestoreNode {
+            node: format!("hw{}", rng.gen_range(0u64..6)),
+        },
+    }
+}
+
+#[test]
+fn mutation_json_round_trips_exactly() {
+    let mut rng = Rng::seed_from_u64(0xfc5e);
+    let pool: Vec<String> = (1..=8).map(|i| format!("p{i}")).collect();
+    let mut fresh = 0;
+    for _ in 0..500 {
+        let m = random_mutation(&mut rng, &pool, &mut fresh);
+        let j = proto::mutation_to_json(&m);
+        let back = proto::mutation_from_json(&j).expect("canonical JSON parses");
+        assert_eq!(back, m, "round-trip mismatch for {j:?}");
+        // And through the wire-line path too.
+        let line = j.to_string_compact();
+        let (_, req) = proto::parse_line(&line);
+        assert_eq!(req, Ok(Request::Mutation(m)), "line parse mismatch: {line}");
+    }
+}
+
+#[test]
+fn render_response_echoes_ids_and_is_line_json() {
+    let ok: Result<Json, String> = Ok(Json::object().set("x", 1u64));
+    let err: Result<Json, String> = Err("boom \"quoted\"\nnewline".to_string());
+    for (id, result) in [
+        (Some(Json::from(7u64)), &ok),
+        (Some(Json::from("req-9")), &err),
+        (None, &ok),
+        (None, &err),
+    ] {
+        let line = proto::render_response(id.as_ref(), result);
+        assert!(line.ends_with('\n'), "newline-terminated");
+        assert_eq!(line.matches('\n').count(), 1, "single line: {line:?}");
+        let j = Json::parse(line.trim_end()).expect("response is valid JSON");
+        assert_eq!(j.get("id"), id.as_ref(), "id echoed");
+        match result {
+            Ok(_) => assert_eq!(j.get("ok"), Some(&Json::Bool(true))),
+            Err(e) => {
+                assert_eq!(j.get("ok"), Some(&Json::Bool(false)));
+                assert_eq!(j.get("error").and_then(Json::as_str), Some(e.as_str()));
+            }
+        }
+    }
+}
+
+/// Applies a random mutation stream to a live model, journaling the
+/// accepted ones; returns the model and the journal.
+fn random_run(seed: u64, steps: usize) -> (LiveModel, Vec<Json>) {
+    let mut model = LiveModel::new("paper").expect("paper model");
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut pool: Vec<String> = (0..model.fcm_count())
+        .map(|_| String::new())
+        .collect();
+    // Fetch real names via the list query.
+    let names = model
+        .query(&fcm_serve::Query::List)
+        .expect("list")
+        .get("fcms")
+        .and_then(Json::as_array)
+        .expect("fcms")
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect::<Vec<_>>();
+    pool.clone_from(&names);
+    let mut fresh = 0;
+    let mut journal = Vec::new();
+    for _ in 0..steps {
+        let m = random_mutation(&mut rng, &pool, &mut fresh);
+        if model.apply(&m).is_ok() {
+            if let Mutation::AddFcm { name, .. } = &m {
+                pool.push(name.clone());
+            }
+            if let Mutation::RemoveFcm { name } = &m {
+                pool.retain(|n| n != name);
+            }
+            journal.push(proto::mutation_to_json(&m));
+        }
+    }
+    (model, journal)
+}
+
+#[test]
+fn journal_replay_reproduces_the_model_byte_identically() {
+    for seed in [1u64, 17, 4242] {
+        let (model, journal) = random_run(seed, 120);
+        assert!(journal.len() > 30, "seed {seed}: enough accepted mutations");
+        let mut replica = LiveModel::new("paper").expect("paper model");
+        for entry in &journal {
+            let m = proto::mutation_from_json(entry).expect("journal entry parses");
+            replica.apply(&m).expect("accepted once, accepted again");
+        }
+        assert_eq!(
+            replica.state_json().to_string_compact(),
+            model.state_json().to_string_compact(),
+            "seed {seed}: replay diverged"
+        );
+    }
+}
+
+#[test]
+fn incremental_matrix_stays_bitwise_equal_to_full_condense() {
+    use fcm_graph::{condense, CombineRule};
+    for seed in [3u64, 99] {
+        let (model, _) = random_run(seed, 100);
+        assert_eq!(model.full_condenses(), 1, "hot path never recondensed");
+        // Rebuild the graph from the dump and recondense from scratch.
+        let state = model.state_json();
+        let replica = LiveModel::from_state(&state).expect("state loads");
+        let graph = replica.graph();
+        let groups: Vec<Vec<fcm_graph::NodeIdx>> =
+            graph.node_indices().map(|n| vec![n]).collect();
+        let full = condense(graph, &groups, CombineRule::Probabilistic)
+            .expect("partition")
+            .influence_matrix();
+        let rows = state.get("influence").and_then(Json::as_array).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.as_array().unwrap().iter().enumerate() {
+                let live = v.as_f64().unwrap();
+                assert_eq!(
+                    live.to_bits(),
+                    full[(i, j)].to_bits(),
+                    "seed {seed}: entry ({i},{j}) drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_sessions_never_observe_a_torn_model() {
+    let handle = start(ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:0".to_string()),
+        model: "paper".to_string(),
+        state_dir: None,
+        resume: false,
+        snapshot_every: 0,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let session = |addr: &str| {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let out = stream.try_clone().expect("clone");
+        let mut lines = BufReader::new(stream).lines();
+        lines.next().expect("hello").expect("read");
+        (out, lines)
+    };
+    let roundtrip = |out: &mut std::net::TcpStream,
+                     lines: &mut std::io::Lines<BufReader<std::net::TcpStream>>,
+                     req: &str|
+     -> Json {
+        out.write_all(req.as_bytes()).expect("send");
+        out.write_all(b"\n").expect("send");
+        Json::parse(&lines.next().expect("response").expect("read")).expect("valid JSON")
+    };
+
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let (mut out, mut lines) = session(&addr);
+            let mut rng = Rng::seed_from_u64(5150);
+            for i in 0..40 {
+                let add = format!(
+                    r#"{{"op":"add_fcm","name":"t{i}","criticality":{},"influences":[["p4",{}]]}}"#,
+                    rng.gen_range(0u64..3),
+                    rng.gen_range(0.1f64..0.9)
+                );
+                assert_eq!(
+                    roundtrip(&mut out, &mut lines, &add).get("ok"),
+                    Some(&Json::Bool(true))
+                );
+                if rng.gen_bool(0.5) {
+                    let rm = format!(r#"{{"op":"remove_fcm","name":"t{i}"}}"#);
+                    assert_eq!(
+                        roundtrip(&mut out, &mut lines, &rm).get("ok"),
+                        Some(&Json::Bool(true))
+                    );
+                }
+            }
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut out, mut lines) = session(&addr);
+                for _ in 0..60 {
+                    let r = roundtrip(&mut out, &mut lines, r#"{"op":"dump"}"#);
+                    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                    let state = r.get("state").expect("state");
+                    let fcms = state.get("fcms").and_then(Json::as_array).unwrap();
+                    let rows = state.get("influence").and_then(Json::as_array).unwrap();
+                    // Torn-model detectors: matrix square and sized to the
+                    // FCM list; every edge endpoint within range; every
+                    // hosted FCM on a real HW node.
+                    assert_eq!(rows.len(), fcms.len());
+                    for row in rows {
+                        assert_eq!(row.as_array().unwrap().len(), fcms.len());
+                    }
+                    for e in state.get("edges").and_then(Json::as_array).unwrap() {
+                        let t = e.as_array().unwrap();
+                        assert!((t[0].as_f64().unwrap() as usize) < fcms.len());
+                        assert!((t[1].as_f64().unwrap() as usize) < fcms.len());
+                    }
+                    let stats = roundtrip(&mut out, &mut lines, r#"{"op":"stats"}"#);
+                    assert_eq!(
+                        stats.get("full_condenses").and_then(Json::as_f64),
+                        Some(1.0),
+                        "queries never trigger recondensation"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer session clean");
+    for r in readers {
+        r.join().expect("reader session clean");
+    }
+    handle.stop().expect("clean stop");
+}

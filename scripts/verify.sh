@@ -141,6 +141,104 @@ grep -q "C012" target/verify/check_broken.txt || {
     exit 1
 }
 
+echo "== archived repro_output.txt is not stale (T1 section)"
+# PR 3 shipped a stale archive once; this guard re-runs T1 and diffs it
+# against the committed file (minus `# ` wall-clock telemetry lines).
+t1_archived=$(awk '/^=== T1 /{f=1} f && /^=== / && !/^=== T1 /{exit} f' repro_output.txt | grep -v '^# \|^$')
+t1_fresh=$(cargo run --release --offline -q -p fcm-bench --bin repro -- t1 | grep -v '^# \|^$')
+if [ "$t1_archived" != "$t1_fresh" ]; then
+    echo "FAIL: repro_output.txt T1 section is stale — regenerate with" >&2
+    echo "      cargo run --release -p fcm-bench --bin repro > repro_output.txt" >&2
+    exit 1
+fi
+
+serve_bin=target/release/fcm-serve
+servegen_bin=target/release/servegen
+
+# Waits for the daemon to bind its unix socket (arg 1).
+wait_for_socket() {
+    for _ in $(seq 1 200); do
+        [ -S "$1" ] && return 0
+        sleep 0.05
+    done
+    echo "FAIL: daemon never bound $1" >&2
+    exit 1
+}
+
+echo "== online service: golden transcript + obs + SIGTERM drain"
+rm -f target/verify/serve.sock target/verify/obs_serve.jsonl
+"$serve_bin" --model paper --socket target/verify/serve.sock \
+    --obs-out target/verify/obs_serve.jsonl > target/verify/serve_daemon.log 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve.sock
+"$servegen_bin" --socket target/verify/serve.sock \
+    --script scripts/serve_session.jsonl > target/verify/serve_transcript.txt
+if ! cmp -s scripts/serve_session.golden target/verify/serve_transcript.txt; then
+    echo "FAIL: serve transcript drifted from scripts/serve_session.golden" >&2
+    diff scripts/serve_session.golden target/verify/serve_transcript.txt >&2 || true
+    exit 1
+fi
+# Every mutation stayed on the incremental Eq. 4 path.
+tail -1 target/verify/serve_transcript.txt | grep -q '"full_condenses":1' || {
+    echo "FAIL: serve session fell off the incremental path" >&2
+    exit 1
+}
+kill -TERM "$serve_pid"
+set +e; wait "$serve_pid"; serve_rc=$?; set -e
+if [ "$serve_rc" -ne 0 ]; then
+    echo "FAIL: fcm-serve SIGTERM drain exited $serve_rc, expected 0" >&2
+    exit 1
+fi
+grep -q "serve.apply_ns" target/verify/obs_serve.jsonl || {
+    echo "FAIL: serve obs log is missing the apply histogram" >&2
+    exit 1
+}
+cargo run --release --offline -q -p fcm-bench --bin obsview -- \
+    target/verify/obs_serve.jsonl | grep -q "serve.apply_ns" || {
+    echo "FAIL: obsview does not render the serve histograms" >&2
+    exit 1
+}
+
+echo "== online service: kill -9 + --resume is byte-identical"
+rm -rf target/verify/serve_state_ref target/verify/serve_state_kill
+rm -f target/verify/serve_r.sock
+# Reference: one daemon lives through part 1 + part 2.
+"$serve_bin" --model paper --socket target/verify/serve_r.sock \
+    --state-dir target/verify/serve_state_ref --snapshot-every 2 > /dev/null 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve_r.sock
+"$servegen_bin" --socket target/verify/serve_r.sock \
+    --script scripts/serve_resume_part1.jsonl > /dev/null
+"$servegen_bin" --socket target/verify/serve_r.sock \
+    --script scripts/serve_resume_part2.jsonl > target/verify/serve_ref.txt
+kill -TERM "$serve_pid"
+set +e; wait "$serve_pid"; set -e
+rm -f target/verify/serve_r.sock
+# Crash drill: part 1, kill -9 (no drain, no final snapshot), --resume,
+# part 2. Acked mutations are journaled before the ack, so the dump at
+# the end of part 2 must match the reference byte-for-byte.
+"$serve_bin" --model paper --socket target/verify/serve_r.sock \
+    --state-dir target/verify/serve_state_kill --snapshot-every 2 > /dev/null 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve_r.sock
+"$servegen_bin" --socket target/verify/serve_r.sock \
+    --script scripts/serve_resume_part1.jsonl > /dev/null
+kill -9 "$serve_pid"
+set +e; wait "$serve_pid"; set -e
+rm -f target/verify/serve_r.sock
+"$serve_bin" --model paper --socket target/verify/serve_r.sock \
+    --state-dir target/verify/serve_state_kill --resume > /dev/null 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve_r.sock
+"$servegen_bin" --socket target/verify/serve_r.sock \
+    --script scripts/serve_resume_part2.jsonl > target/verify/serve_resumed.txt
+kill -TERM "$serve_pid"
+set +e; wait "$serve_pid"; set -e
+if ! cmp -s <(tail -1 target/verify/serve_ref.txt) <(tail -1 target/verify/serve_resumed.txt); then
+    echo "FAIL: resumed model dump differs from the straight-through run" >&2
+    exit 1
+fi
+
 echo "== source-invariant lint gate (srclint)"
 cargo run --release --offline -q -p fcm-bench --bin srclint
 
