@@ -84,11 +84,9 @@ fn run_point(p: &Point) -> (Json, Json) {
     ));
     let _ = std::fs::remove_dir_all(&state_dir);
     let handle = start(ServerConfig {
-        listen: Listen::Tcp("127.0.0.1:0".to_string()),
-        model: p.model.to_string(),
         state_dir: Some(state_dir.clone()),
-        resume: false,
         snapshot_every: 4096,
+        ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), p.model)
     })
     .expect("daemon starts");
     let target = Listen::Tcp(handle.addr().to_string());

@@ -20,6 +20,10 @@
 //! * no socket use (TCP or Unix-domain, via the std networking
 //!   modules) outside `crates/serve` — the online service is the
 //!   single process boundary, everything else stays a pure library;
+//! * no fault-injection shims (`FaultInjector` / `FaultPlan`) outside
+//!   the substrate (which defines them), the serve daemon (whose IO
+//!   sites they gate), and the bench harness (which measures recovery)
+//!   — analysis crates must never grow hidden failure hooks;
 //! * diagnostic codes declared in `crates/check/src/rules.rs` are
 //!   unique.
 //!
@@ -42,6 +46,9 @@ const WALL_CLOCK_ALLOWED: [&str; 2] = ["substrate", "serve"];
 
 /// The only crate allowed to open sockets.
 const NET_ALLOWED: [&str; 1] = ["serve"];
+
+/// Crates allowed to reference the deterministic fault-injection shim.
+const FAULT_ALLOWED: [&str; 3] = ["substrate", "serve", "bench"];
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -111,6 +118,8 @@ fn main() -> ExitCode {
     let code_decl = format!("code: {}(", "Code");
     let tcp_net = format!("std::{}::", "net");
     let unix_net = format!("os::unix::{}", "net");
+    let fault_injector = format!("Fault{}", "Injector");
+    let fault_plan = format!("Fault{}", "Plan");
 
     let mut findings = Vec::new();
     let mut codes: Vec<(u16, String)> = Vec::new();
@@ -146,6 +155,11 @@ fn main() -> ExitCode {
                 && !NET_ALLOWED.contains(&krate)
             {
                 findings.push(format!("{loc}: socket use outside crates/serve"));
+            }
+            if (line.contains(&fault_injector) || line.contains(&fault_plan))
+                && !FAULT_ALLOWED.contains(&krate)
+            {
+                findings.push(format!("{loc}: fault-injection shim outside substrate/serve/bench"));
             }
             if in_rules {
                 if let Some(rest) = trimmed.strip_prefix(&code_decl) {

@@ -1,0 +1,107 @@
+//! `crashdrill` — the crash-point durability matrix as a CI gate.
+//!
+//! ```text
+//! crashdrill [--model <paper|avionics>] [--quick] [--json]
+//! ```
+//!
+//! Runs the golden session once to enumerate every IO site it reaches,
+//! then simulates an in-process crash at each hit (plus a torn-write
+//! variant for byte-write sites), resumes with the production recovery
+//! path, and verifies the recovered model is prefix-consistent with the
+//! reference run — zero acknowledged mutations lost, byte-identical
+//! state at the recovered seq.
+//!
+//! Exit codes: 0 = every crash point recovered prefix-consistently,
+//! 1 = at least one durability violation, 2 = usage/setup error.
+
+use std::process::ExitCode;
+
+use fcm_serve::drill;
+
+const USAGE: &str = "\
+crashdrill: crash-point durability matrix for the fcm-serve store
+
+USAGE:
+    crashdrill [--model <paper|avionics>] [--quick] [--json]
+
+OPTIONS:
+    --model <NAME>  Committed workload to drill (default paper)
+    --quick         Trimmed session (the scripts/verify.sh gate)
+    --json          Emit the fcm-crashdrill/v1 report on stdout
+    --help          Show this help
+
+EXIT CODES:
+    0  all crash points recovered prefix-consistently
+    1  durability violation at one or more crash points
+    2  usage or setup error
+";
+
+fn main() -> ExitCode {
+    let mut model = "paper".to_string();
+    let mut quick = false;
+    let mut json = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--model" => match it.next() {
+                Some(m) => model = m.clone(),
+                None => {
+                    eprintln!("crashdrill: --model requires a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quick" => quick = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("crashdrill: unknown flag \"{other}\"");
+                eprintln!("run with --help for usage");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match drill::run_matrix(&model, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("crashdrill: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!(
+            "crashdrill: model {} — {} sites enumerated, {} crash points",
+            report.model,
+            report.trace.len(),
+            report.cases.len()
+        );
+        for c in &report.cases {
+            let verdict = match &c.failure {
+                None => "ok".to_string(),
+                Some(why) => format!("FAIL: {why}"),
+            };
+            println!(
+                "  hit {:>3} {:<22} torn={:<5} acked={:>2} recovered_seq={:>2}  {}",
+                c.hit, c.site, c.torn, c.acked, c.recovered_seq, verdict
+            );
+        }
+    }
+    let failed = report.failures().len();
+    if failed > 0 {
+        eprintln!("crashdrill: {failed} durability violations");
+        return ExitCode::from(1);
+    }
+    if !json {
+        println!(
+            "crashdrill: {} crash points, 0 durability violations",
+            report.cases.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

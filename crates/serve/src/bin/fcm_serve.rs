@@ -3,6 +3,7 @@
 //! ```text
 //! fcm-serve --model paper --socket /tmp/fcm.sock [--state-dir DIR]
 //!           [--resume] [--snapshot-every N] [--obs-out PATH]
+//!           [--fault-plan SPEC] [--rearm-base-ms N]
 //! fcm-serve --model avionics --tcp 127.0.0.1:7433
 //! ```
 //!
@@ -16,6 +17,7 @@ use std::process::ExitCode;
 
 use fcm_serve::server::{start, Listen, ServerConfig};
 use fcm_serve::signal;
+use fcm_substrate::fault::FaultPlan;
 
 const USAGE: &str = "\
 fcm-serve: online integration service (fcm-serve/v1 line-JSON protocol)
@@ -23,7 +25,7 @@ fcm-serve: online integration service (fcm-serve/v1 line-JSON protocol)
 USAGE:
     fcm-serve --model <paper|avionics> (--socket <PATH> | --tcp <ADDR>)
               [--state-dir <DIR>] [--resume] [--snapshot-every <N>]
-              [--obs-out <PATH>]
+              [--obs-out <PATH>] [--fault-plan <SPEC>] [--rearm-base-ms <N>]
 
 OPTIONS:
     --model <NAME>        Committed workload to serve (paper | avionics)
@@ -34,6 +36,12 @@ OPTIONS:
     --snapshot-every <N>  Snapshot every N accepted mutations (default 64;
                           0 = only at shutdown)
     --obs-out <PATH>      Write an fcm-obs event log on shutdown
+    --fault-plan <SPEC>   Deterministic fault injection on the durability
+                          path (testing only): ;-separated
+                          site[:kind][@N|@N..M|@N..] rules, e.g.
+                          'journal.*:eio' or 'snapshot.rename:crash@0'
+    --rearm-base-ms <N>   Base backoff (ms) for degraded-mode re-arm
+                          probes (default 100)
     --help                Show this help
 
 EXIT CODES:
@@ -54,6 +62,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     let mut resume = false;
     let mut snapshot_every: u64 = 64;
     let mut obs_out: Option<PathBuf> = None;
+    let mut fault = FaultPlan::none();
+    let mut rearm_base_ms: u64 = 100;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -75,6 +85,15 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .map_err(|_| "--snapshot-every requires a non-negative integer".to_string())?;
             }
             "--obs-out" => obs_out = Some(PathBuf::from(value("--obs-out")?)),
+            "--fault-plan" => {
+                fault = FaultPlan::parse(&value("--fault-plan")?)
+                    .map_err(|e| format!("--fault-plan: {e}"))?;
+            }
+            "--rearm-base-ms" => {
+                rearm_base_ms = value("--rearm-base-ms")?
+                    .parse()
+                    .map_err(|_| "--rearm-base-ms requires a non-negative integer".to_string())?;
+            }
             other => return Err(format!("unknown flag \"{other}\"")),
         }
     }
@@ -85,11 +104,12 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     }
     Ok(Some(Args {
         config: ServerConfig {
-            listen,
-            model,
             state_dir,
             resume,
             snapshot_every,
+            fault,
+            rearm_base_ms,
+            ..ServerConfig::new(listen, &model)
         },
         obs_out,
     }))

@@ -13,11 +13,15 @@
 //!
 //! Exit codes: 0 = run completed, 2 = usage or I/O error. (Rejected
 //! requests are data, not failures — they appear in the transcript or
-//! the `errors` count.)
+//! the `errors` count.) With `--timeout`, a run that does not complete
+//! in time — a hung or degraded daemon — also exits 2 instead of
+//! wedging CI forever.
 
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use fcm_serve::gen::{self, LoadConfig};
 use fcm_serve::server::Listen;
@@ -28,7 +32,7 @@ servegen: deterministic load generator for fcm-serve
 USAGE:
     servegen (--socket <PATH> | --tcp <ADDR>) [--script <FILE|->]
              [--rate <N>] [--clients <N>] [--duration-ms <N>]
-             [--seed <N>] [--mutation-pct <N>]
+             [--seed <N>] [--mutation-pct <N>] [--timeout <MS>]
 
 MODES:
     --script <FILE|->     Replay requests from FILE (or stdin with \"-\"),
@@ -41,11 +45,13 @@ OPTIONS:
     --duration-ms <N>     Load run length (default 2000)
     --seed <N>            Base RNG seed (default 42)
     --mutation-pct <N>    Percent of requests that mutate (default 20)
+    --timeout <MS>        Fail (exit 2) if the whole run has not
+                          completed after MS milliseconds
     --help                Show this help
 
 EXIT CODES:
     0  run completed
-    2  usage or I/O error
+    2  usage or I/O error, or --timeout expired
 ";
 
 enum Mode {
@@ -53,10 +59,11 @@ enum Mode {
     Load(LoadConfig),
 }
 
-fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode)>, String> {
+fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode, Option<u64>)>, String> {
     let mut target: Option<Listen> = None;
     let mut script: Option<String> = None;
     let mut config = LoadConfig::default();
+    let mut timeout_ms: Option<u64> = None;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -85,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode)>, String> {
                 }
                 config.mutation_pct = pct as u8;
             }
+            "--timeout" => timeout_ms = Some(uint("--timeout", value("--timeout")?)?),
             other => return Err(format!("unknown flag \"{other}\"")),
         }
     }
@@ -104,12 +112,24 @@ fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode)>, String> {
         }
         None => Mode::Load(config),
     };
-    Ok(Some((target, mode)))
+    Ok(Some((target, mode, timeout_ms)))
+}
+
+fn run(target: &Listen, mode: Mode) -> Result<(), String> {
+    match mode {
+        Mode::Script(text) => {
+            let mut stdout = std::io::stdout().lock();
+            gen::run_script(target, &text, &mut stdout)
+        }
+        Mode::Load(config) => gen::run_load(target, &config).map(|report| {
+            println!("{}", gen::report_json(&config, &report).to_string_compact());
+        }),
+    }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (target, mode) = match parse_args(&argv) {
+    let (target, mode, timeout_ms) = match parse_args(&argv) {
         Ok(Some(parsed)) => parsed,
         Ok(None) => {
             print!("{USAGE}");
@@ -121,14 +141,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = match mode {
-        Mode::Script(text) => {
-            let mut stdout = std::io::stdout().lock();
-            gen::run_script(&target, &text, &mut stdout)
+    let result = match timeout_ms {
+        None => run(&target, mode),
+        // Watchdog: run on a worker thread; if it has not finished by
+        // the deadline the whole process exits 2 (a hung daemon must
+        // fail the bench, not wedge CI).
+        Some(ms) => {
+            let (tx, rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                let _ = tx.send(run(&target, mode));
+            });
+            match rx.recv_timeout(Duration::from_millis(ms)) {
+                Ok(r) => r,
+                Err(_) => {
+                    eprintln!("servegen: run did not complete within {ms} ms");
+                    std::process::exit(2);
+                }
+            }
         }
-        Mode::Load(config) => gen::run_load(&target, &config).map(|report| {
-            println!("{}", gen::report_json(&config, &report).to_string_compact());
-        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,362 @@
+//! Crash-point durability matrix: enumerate every IO site a scripted
+//! session reaches, simulate a crash at each one in-process, resume,
+//! and check the recovered model is a prefix-consistent replay.
+//!
+//! The paper's integration argument is that dependability must be
+//! re-verified after every change; the verify.sh kill -9 drill checks
+//! exactly *one* crash point per run. This module closes the gap with
+//! exhaustion instead of sampling:
+//!
+//! 1. **Enumerate.** Run a deterministic golden session (a fixed
+//!    mutation script against the committed model, snapshotting every
+//!    [`SNAPSHOT_EVERY`] mutations) through a *tracing* injector with
+//!    the empty plan, recording the exact sequence of IO-site hits and
+//!    the canonical model state after every accepted mutation.
+//! 2. **Crash everywhere.** For each recorded hit `k`, re-run the same
+//!    session in a fresh directory under [`FaultPlan::crash_at_hit`]
+//!    `(k)` — and, for byte-write sites, a second *torn* variant that
+//!    dies mid-write, leaving a partial line or partial temp file.
+//! 3. **Resume + verify.** Recover with the production resume path and
+//!    assert the recovered state (a) lost no acknowledged mutation and
+//!    (b) is byte-identical to the reference state at the recovered
+//!    seq — i.e. recovery always lands exactly *on* the reference
+//!    trajectory, never beside it.
+//!
+//! The recovered seq may exceed the acknowledged count by at most the
+//! one mutation whose journal line hit the disk before the crash killed
+//! the acknowledgement — durable-but-unacked, the unavoidable ambiguity
+//! of any write-ahead design.
+//!
+//! Shared by `crates/serve/tests/crash_matrix.rs` (tier-1), the
+//! `crashdrill` bin (CI gate in scripts/verify.sh), and the
+//! `fault_recovery` bench.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fcm_substrate::fault::{FaultInjector, FaultPlan};
+use fcm_substrate::Json;
+
+use crate::model::LiveModel;
+use crate::proto::Mutation;
+use crate::store::{self, Store};
+
+/// Snapshot period of the golden session: small enough that the matrix
+/// crosses several snapshot boundaries.
+pub const SNAPSHOT_EVERY: usize = 3;
+
+/// One simulated crash point and its verdict.
+#[derive(Debug)]
+pub struct CrashCase {
+    /// Hit ordinal (0-based) at which the crash was injected.
+    pub hit: u64,
+    /// The IO site crashed at (from the reference trace).
+    pub site: String,
+    /// Whether the crash tore the write (partial bytes on disk).
+    pub torn: bool,
+    /// Mutations acknowledged before the crash.
+    pub acked: usize,
+    /// Seq the resumed model recovered to.
+    pub recovered_seq: u64,
+    /// `None` = prefix-consistent; `Some(why)` = durability violation.
+    pub failure: Option<String>,
+}
+
+/// The whole matrix run.
+#[derive(Debug)]
+pub struct DrillReport {
+    /// Model the session ran against.
+    pub model: String,
+    /// Site-hit sequence of the reference session.
+    pub trace: Vec<String>,
+    /// Every simulated crash, in hit order (torn variant after plain).
+    pub cases: Vec<CrashCase>,
+}
+
+impl DrillReport {
+    /// Cases that violated prefix consistency.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&CrashCase> {
+        self.cases.iter().filter(|c| c.failure.is_some()).collect()
+    }
+
+    /// The report as a `fcm-crashdrill/v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let cases = Json::array(self.cases.iter().map(|c| {
+            let mut j = Json::object()
+                .set("acked", c.acked as u64)
+                .set("hit", c.hit)
+                .set("ok", c.failure.is_none())
+                .set("recovered_seq", c.recovered_seq)
+                .set("site", c.site.as_str())
+                .set("torn", c.torn);
+            if let Some(why) = &c.failure {
+                j = j.set("failure", why.as_str());
+            }
+            j
+        }));
+        Json::object()
+            .set("cases", cases)
+            .set("crash_points", self.cases.len() as u64)
+            .set("failed", self.failures().len() as u64)
+            .set("model", self.model.as_str())
+            .set("schema", "fcm-crashdrill/v1")
+            .set("sites_enumerated", self.trace.len() as u64)
+    }
+}
+
+/// The deterministic golden session: a mutation script touching every
+/// mutation kind, pre-validated against `model_name` so every entry is
+/// accepted when applied in order. `quick` trims the script for the
+/// verify.sh gate; the full script is the tier-1 matrix.
+///
+/// # Errors
+///
+/// Unknown model name.
+pub fn golden_session(model_name: &str, quick: bool) -> Result<Vec<Mutation>, String> {
+    let mut probe = LiveModel::new(model_name)?;
+    let state = probe.state_json();
+    let fcms = state.get("fcms").and_then(Json::as_array).unwrap_or(&[]);
+    let anchor = fcms
+        .first()
+        .and_then(|f| f.get("name"))
+        .and_then(Json::as_str)
+        .ok_or("model has no FCMs to anchor the drill session")?
+        .to_string();
+    let host = fcms
+        .iter()
+        .find_map(|f| f.get("host").and_then(Json::as_str))
+        .ok_or("model has no hosted FCM to derive a HW node from")?
+        .to_string();
+
+    let adds = if quick { 4 } else { 9 };
+    let mut script: Vec<Mutation> = Vec::new();
+    for i in 0..adds {
+        script.push(Mutation::AddFcm {
+            name: format!("drill{i}"),
+            criticality: (i % 3) as u32,
+            throughput: 0.5 + 0.25 * i as f64,
+            security: 0,
+            timing: None,
+            influences: vec![(anchor.clone(), 0.2 + 0.05 * (i % 5) as f64)],
+            influenced_by: Vec::new(),
+        });
+        if i % 3 == 2 {
+            script.push(Mutation::SetAttr {
+                name: format!("drill{i}"),
+                criticality: Some(2),
+                throughput: None,
+                timing: None,
+            });
+        }
+    }
+    script.push(Mutation::FailNode { node: host.clone() });
+    script.push(Mutation::RestoreNode { node: host });
+    if !quick {
+        script.push(Mutation::RemoveFcm {
+            name: "drill0".to_string(),
+        });
+    }
+    // Keep only the prefix-valid accepted mutations (e.g. a model whose
+    // gates reject one of the adds): the session must be replayable
+    // end-to-end so the reference trajectory is well-defined.
+    let mut accepted = Vec::with_capacity(script.len());
+    for m in script {
+        if probe.apply(&m).is_ok() {
+            accepted.push(m);
+        }
+    }
+    Ok(accepted)
+}
+
+fn drill_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fcm-crashdrill-{tag}-{}", std::process::id()))
+}
+
+/// Runs the golden session once with a tracing (but never-failing)
+/// injector: returns the site-hit trace and `states[i]` = canonical
+/// state string after `i` accepted mutations.
+fn reference_run(
+    model_name: &str,
+    session: &[Mutation],
+) -> Result<(Vec<String>, Vec<String>), String> {
+    let dir = drill_dir(&format!("{model_name}-{}-ref", session.len()));
+    let _ = fs::remove_dir_all(&dir);
+    let inj = Arc::new(FaultInjector::tracing(&FaultPlan::none()));
+    let mut store = Store::create_fresh_with(&dir, Arc::clone(&inj))?;
+    let mut model = LiveModel::new(model_name)?;
+    let mut states = vec![model.state_json().to_string_compact()];
+    for (i, m) in session.iter().enumerate() {
+        model.apply(m).map_err(|e| format!("reference apply {i}: {e}"))?;
+        store.append(model.seq(), m)?;
+        states.push(model.state_json().to_string_compact());
+        if (i + 1) % SNAPSHOT_EVERY == 0 {
+            store.snapshot(model.seq(), &model.state_json())?;
+        }
+    }
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+    Ok((inj.trace(), states))
+}
+
+/// One crash case: run the session under `crash_at_hit(k, torn)`, stop
+/// at the simulated death, resume with the production path, and verify
+/// prefix consistency against the reference trajectory.
+fn crash_case(
+    model_name: &str,
+    session: &[Mutation],
+    k: u64,
+    site: &str,
+    torn: bool,
+    ref_states: &[String],
+) -> Result<CrashCase, String> {
+    let dir = drill_dir(&format!(
+        "{model_name}-{}-k{k}{}",
+        session.len(),
+        if torn { "t" } else { "" }
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let inj = Arc::new(FaultInjector::new(&FaultPlan::crash_at_hit(k, torn)));
+    let mut store = Store::create_fresh_with(&dir, Arc::clone(&inj))?;
+    let mut model = LiveModel::new(model_name)?;
+    let mut acked = 0usize;
+    'session: for (i, m) in session.iter().enumerate() {
+        model.apply(m).map_err(|e| format!("drill apply {i}: {e}"))?;
+        if store.append(model.seq(), m).is_err() {
+            break 'session; // the process died mid-append
+        }
+        acked += 1;
+        if (i + 1) % SNAPSHOT_EVERY == 0 && store.snapshot(model.seq(), &model.state_json()).is_err()
+        {
+            break 'session; // died mid-snapshot; journal has everything
+        }
+    }
+    drop(store);
+    drop(model);
+
+    // Resume exactly as `--resume` would: open, recover, replay.
+    let failure = match Store::open_resume(&dir) {
+        Err(e) => Some(format!("resume failed: {e}")),
+        Ok((_store, rec)) => match rebuild(model_name, &rec) {
+            Err(e) => Some(format!("rebuild failed: {e}")),
+            Ok(recovered) => verify_prefix(&recovered, acked, ref_states),
+        },
+    };
+    let recovered_seq = match failure {
+        None => recovered_seq_of(&dir, model_name),
+        Some(_) => 0,
+    };
+    let _ = fs::remove_dir_all(&dir);
+    Ok(CrashCase {
+        hit: k,
+        site: site.to_string(),
+        torn,
+        acked,
+        recovered_seq,
+        failure,
+    })
+}
+
+fn rebuild(model_name: &str, rec: &store::Recovered) -> Result<LiveModel, String> {
+    let mut model = match &rec.snapshot {
+        Some((state, _)) => LiveModel::from_state(state)?,
+        None => LiveModel::new(model_name)?,
+    };
+    for (seq, m) in &rec.replay {
+        model
+            .apply(m)
+            .map_err(|e| format!("replay seq {seq}: {e}"))?;
+        if model.seq() != *seq {
+            return Err(format!("replay drift at seq {seq} (model {})", model.seq()));
+        }
+    }
+    Ok(model)
+}
+
+fn verify_prefix(recovered: &LiveModel, acked: usize, ref_states: &[String]) -> Option<String> {
+    let n = recovered.seq() as usize;
+    if n < acked {
+        return Some(format!(
+            "lost acknowledged mutations: recovered seq {n} < acked {acked}"
+        ));
+    }
+    if n >= ref_states.len() {
+        return Some(format!(
+            "recovered past the session: seq {n} of {} mutations",
+            ref_states.len() - 1
+        ));
+    }
+    let got = recovered.state_json().to_string_compact();
+    if got != ref_states[n] {
+        return Some(format!("state at seq {n} diverges from the reference"));
+    }
+    None
+}
+
+fn recovered_seq_of(dir: &std::path::Path, model_name: &str) -> u64 {
+    store::read_recovered(dir)
+        .and_then(|rec| rebuild(model_name, &rec))
+        .map_or(0, |m| m.seq())
+}
+
+/// Runs the full crash-point matrix for `model_name`.
+///
+/// # Errors
+///
+/// Setup failures (unknown model, un-writable temp dir) — never a
+/// durability violation, which is reported per-case instead.
+pub fn run_matrix(model_name: &str, quick: bool) -> Result<DrillReport, String> {
+    let session = golden_session(model_name, quick)?;
+    let (trace, ref_states) = reference_run(model_name, &session)?;
+    let mut cases = Vec::new();
+    for (k, site) in trace.iter().enumerate() {
+        cases.push(crash_case(model_name, &session, k as u64, site, false, &ref_states)?);
+        // Byte-write sites get a second, nastier variant: die mid-write
+        // with a strict prefix of the payload on disk.
+        if site.ends_with(".write") {
+            cases.push(crash_case(model_name, &session, k as u64, site, true, &ref_states)?);
+        }
+    }
+    Ok(DrillReport {
+        model: model_name.to_string(),
+        trace,
+        cases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_session_is_deterministic_and_nonempty() {
+        let a = golden_session("paper", false).unwrap();
+        let b = golden_session("paper", false).unwrap();
+        assert_eq!(
+            a.iter().map(crate::proto::mutation_to_json).map(|j| j.to_string_compact()).collect::<Vec<_>>(),
+            b.iter().map(crate::proto::mutation_to_json).map(|j| j.to_string_compact()).collect::<Vec<_>>(),
+        );
+        assert!(a.len() >= 10, "full session has enough mutations: {}", a.len());
+        let q = golden_session("paper", true).unwrap();
+        assert!(q.len() < a.len(), "quick session is a trimmed script");
+    }
+
+    #[test]
+    fn reference_trace_covers_every_site_kind() {
+        let session = golden_session("paper", false).unwrap();
+        let (trace, states) = reference_run("paper", &session).unwrap();
+        assert_eq!(states.len(), session.len() + 1);
+        for site in [
+            "journal.append.write",
+            "journal.append.flush",
+            "snapshot.tmp.write",
+            "snapshot.tmp.fsync",
+            "snapshot.rename",
+            "snapshot.dir.fsync",
+        ] {
+            assert!(trace.iter().any(|s| s == site), "session never hits {site}");
+        }
+    }
+}

@@ -396,14 +396,8 @@ mod tests {
 
     #[test]
     fn script_and_load_run_against_a_live_server() {
-        let h = start(ServerConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            model: "paper".to_string(),
-            state_dir: None,
-            resume: false,
-            snapshot_every: 0,
-        })
-        .expect("server starts");
+        let h = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
+            .expect("server starts");
         let target = Listen::Tcp(h.addr().to_string());
 
         let mut transcript = Vec::new();

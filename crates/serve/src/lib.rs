@@ -23,6 +23,10 @@
 //!   ahead of a read-mostly query pool (one thread per connection);
 //! * [`gen`] — the deterministic seeded load generator behind the
 //!   `servegen` bin and the `serve_latency` bench;
+//! * [`drill`] — the crash-point durability matrix: enumerate every IO
+//!   site a scripted session reaches (via `fcm_substrate::fault`
+//!   tracing), simulate a crash at each, and verify prefix-consistent
+//!   recovery (the `crashdrill` bin and `crash_matrix` test);
 //! * [`signal`] — the SIGTERM/SIGINT drain flag (the one `unsafe` block
 //!   in the crate; no libc crate, a raw `signal(2)` binding).
 //!
@@ -31,6 +35,7 @@
 //! timestamps) — enforced by `srclint`. Neither ever feeds an analysis:
 //! all model state and protocol payloads are substrate JSON.
 
+pub mod drill;
 pub mod gen;
 pub mod model;
 pub mod proto;

@@ -398,7 +398,17 @@ pub fn mutation_to_json(m: &Mutation) -> Json {
 pub fn render_response(id: Option<&Json>, result: &Result<Json, String>) -> String {
     let mut obj = match result {
         Ok(payload) => payload.clone().set("ok", true),
-        Err(e) => Json::object().set("error", e.as_str()).set("ok", false),
+        Err(e) => {
+            // Convention: errors beginning with the `degraded:` marker
+            // come from the read-only degraded mode (journal failure);
+            // clients get a machine-checkable `"degraded": true` field
+            // so they can distinguish "retry later" from "bad request".
+            let mut obj = Json::object().set("error", e.as_str()).set("ok", false);
+            if e.starts_with("degraded:") {
+                obj = obj.set("degraded", true);
+            }
+            obj
+        }
     };
     if let Some(id) = id {
         obj = obj.set("id", id.clone());

@@ -24,25 +24,43 @@
 //! journal or snapshot I/O, which the writer performs outside the write
 //! lock.
 //!
+//! # Degraded mode
+//!
+//! A journal-append failure no longer kills the writer. Instead the
+//! daemon rolls the model back to the durable prefix on disk (the
+//! failed mutation was never acknowledged) and enters an explicit
+//! **read-only degraded mode**: every mutation is rejected with a
+//! structured `degraded:` error (rendered with `"degraded": true`),
+//! queries keep serving from the rolled-back state, and seeded
+//! bounded-exponential-backoff probes (`Store::probe`) try to re-arm
+//! durability. The writer queue is bounded ([`ServerConfig::queue_bound`]),
+//! so a stalled disk back-pressures producers instead of growing an
+//! unbounded backlog. The armed → degraded → re-arming state machine is
+//! specified in DESIGN.md §10 and surfaced in `stats` (`degraded`,
+//! `degraded_transitions`, `faults_injected`, `rearm_attempts`).
+//!
 //! Instrumented via `fcm-obs`: `serve.apply_ns`, `serve.query_ns`,
 //! `serve.snapshot_ns` histograms and `serve.mutations`/`serve.queries`
-//! counters, so `obsview` works on a server run.
+//! counters — plus `serve.faults_injected`, `serve.degraded_transitions`
+//! and `serve.rearm_attempts` for the fault path — so `obsview` works on
+//! a server run.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fcm_substrate::Json;
+use fcm_substrate::fault::{FaultInjector, FaultPlan};
+use fcm_substrate::{Json, Rng};
 
 use crate::model::LiveModel;
 use crate::proto::{self, Query, Request};
-use crate::store::Store;
+use crate::store::{self, Recovered, Store};
 
 /// Where the daemon listens (or a client connects).
 #[derive(Debug, Clone)]
@@ -66,6 +84,78 @@ pub struct ServerConfig {
     pub resume: bool,
     /// Snapshot period in accepted mutations (0 = only at shutdown).
     pub snapshot_every: u64,
+    /// Writer-queue bound: producers block (back-pressure) once this
+    /// many messages are in flight to the writer thread.
+    pub queue_bound: usize,
+    /// Fault plan for the durability path ([`FaultPlan::none`] in
+    /// production — the injector is then a single passive bool load).
+    pub fault: FaultPlan,
+    /// Base delay (ms) for the seeded exponential-backoff re-arm probes
+    /// issued while degraded.
+    pub rearm_base_ms: u64,
+}
+
+impl ServerConfig {
+    /// A config with production defaults: no durability, no fault
+    /// injection, queue bound 4096, re-arm base 100 ms.
+    #[must_use]
+    pub fn new(listen: Listen, model: &str) -> ServerConfig {
+        ServerConfig {
+            listen,
+            model: model.to_string(),
+            state_dir: None,
+            resume: false,
+            snapshot_every: 0,
+            queue_bound: 4096,
+            fault: FaultPlan::none(),
+            rearm_base_ms: 100,
+        }
+    }
+}
+
+/// Shared durability status: the armed/degraded flag plus the
+/// transition and re-arm counters surfaced in `stats`.
+#[derive(Debug, Default)]
+pub struct ServeStatus {
+    degraded: AtomicBool,
+    transitions: AtomicU64,
+    rearm_attempts: AtomicU64,
+}
+
+impl ServeStatus {
+    /// Whether the daemon is currently read-only degraded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Total armed → degraded transitions.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Total re-arm probes attempted.
+    #[must_use]
+    pub fn rearm_attempts(&self) -> u64 {
+        self.rearm_attempts.load(Ordering::Relaxed)
+    }
+
+    fn enter_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+            fcm_obs::counter_add("serve.degraded_transitions", 1);
+        }
+    }
+
+    fn leave_degraded(&self) {
+        self.degraded.store(false, Ordering::Relaxed);
+    }
+
+    fn note_rearm_attempt(&self) {
+        self.rearm_attempts.fetch_add(1, Ordering::Relaxed);
+        fcm_obs::counter_add("serve.rearm_attempts", 1);
+    }
 }
 
 /// A bidirectional client/server stream over either transport.
@@ -186,9 +276,11 @@ pub struct Handle {
     unix_path: Option<PathBuf>,
     clients: Arc<Mutex<Vec<ClientSlot>>>,
     accept_thread: Option<JoinHandle<()>>,
-    writer_tx: Option<mpsc::Sender<WriterMsg>>,
+    writer_tx: Option<mpsc::SyncSender<WriterMsg>>,
     writer_thread: Option<JoinHandle<Result<(), String>>>,
     model: Arc<RwLock<LiveModel>>,
+    status: Arc<ServeStatus>,
+    injector: Arc<FaultInjector>,
 }
 
 impl Handle {
@@ -203,6 +295,18 @@ impl Handle {
     #[must_use]
     pub fn seq(&self) -> u64 {
         self.model.read().expect("model lock").seq()
+    }
+
+    /// The degradation status shared with the writer thread.
+    #[must_use]
+    pub fn status(&self) -> &Arc<ServeStatus> {
+        &self.status
+    }
+
+    /// The fault injector the durability path consults.
+    #[must_use]
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// Stops accepting, drains clients, writes the final snapshot, and
@@ -248,36 +352,50 @@ impl Drop for Handle {
     }
 }
 
+/// Rebuilds a model from recovered durable state: snapshot (or a fresh
+/// model when none) plus journal-suffix replay with seq-drift checks.
+/// Shared by `--resume` startup and the degraded-mode rollback.
+fn recover_model(name: &str, recovered: &Recovered) -> Result<LiveModel, String> {
+    let mut model = match &recovered.snapshot {
+        Some((state, _)) => LiveModel::from_state(state)?,
+        None => LiveModel::new(name)?,
+    };
+    if model.name() != name {
+        return Err(format!(
+            "state dir holds model \"{}\" but \"{}\" was requested",
+            model.name(),
+            name
+        ));
+    }
+    for (seq, m) in &recovered.replay {
+        model
+            .apply(m)
+            .map_err(|e| format!("journal replay seq {seq} rejected: {e}"))?;
+        if model.seq() != *seq {
+            return Err(format!(
+                "journal replay drift: expected seq {seq}, model at {}",
+                model.seq()
+            ));
+        }
+    }
+    Ok(model)
+}
+
 /// Builds the model per config: fresh, or recovered from the state
 /// directory (snapshot + journal-suffix replay).
-fn build_model(config: &ServerConfig) -> Result<(LiveModel, Option<Store>), String> {
+fn build_model(
+    config: &ServerConfig,
+    inj: &Arc<FaultInjector>,
+) -> Result<(LiveModel, Option<Store>), String> {
     match (&config.state_dir, config.resume) {
         (None, _) => Ok((LiveModel::new(&config.model)?, None)),
-        (Some(dir), false) => Ok((LiveModel::new(&config.model)?, Some(Store::create_fresh(dir)?))),
+        (Some(dir), false) => Ok((
+            LiveModel::new(&config.model)?,
+            Some(Store::create_fresh_with(dir, Arc::clone(inj))?),
+        )),
         (Some(dir), true) => {
-            let (store, recovered) = Store::open_resume(dir)?;
-            let mut model = match recovered.snapshot {
-                Some((state, _)) => LiveModel::from_state(&state)?,
-                None => LiveModel::new(&config.model)?,
-            };
-            if model.name() != config.model {
-                return Err(format!(
-                    "state dir holds model \"{}\" but \"{}\" was requested",
-                    model.name(),
-                    config.model
-                ));
-            }
-            for (seq, m) in &recovered.replay {
-                model
-                    .apply(m)
-                    .map_err(|e| format!("journal replay seq {seq} rejected: {e}"))?;
-                if model.seq() != *seq {
-                    return Err(format!(
-                        "journal replay drift: expected seq {seq}, model at {}",
-                        model.seq()
-                    ));
-                }
-            }
+            let (store, recovered) = Store::open_resume_with(dir, Arc::clone(inj))?;
+            let model = recover_model(&config.model, &recovered)?;
             Ok((model, Some(store)))
         }
     }
@@ -290,7 +408,9 @@ fn build_model(config: &ServerConfig) -> Result<(LiveModel, Option<Store>), Stri
 /// Model construction/recovery failure, or a bind failure on the
 /// requested socket (both exit-code-2 class for the bin).
 pub fn start(config: ServerConfig) -> Result<Handle, String> {
-    let (model, store) = build_model(&config)?;
+    let injector = Arc::new(FaultInjector::new(&config.fault));
+    let status = Arc::new(ServeStatus::default());
+    let (model, store) = build_model(&config, &injector)?;
     let model = Arc::new(RwLock::new(model));
 
     let (listener, addr, unix_path) = match &config.listen {
@@ -322,18 +442,29 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
 
     let stop = Arc::new(AtomicBool::new(false));
     let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
-    let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
+    let (writer_tx, writer_rx) = mpsc::sync_channel::<WriterMsg>(config.queue_bound.max(1));
 
     let writer_thread = {
         let model = Arc::clone(&model);
-        let snapshot_every = config.snapshot_every;
-        std::thread::spawn(move || writer_loop(&model, &writer_rx, store, snapshot_every))
+        let ctx = WriterCtx {
+            store,
+            status: Arc::clone(&status),
+            model_name: config.model.clone(),
+            snapshot_every: config.snapshot_every,
+            rearm_base_ms: config.rearm_base_ms,
+            rng: Rng::seed_from_u64(0xfa57_a4e1),
+            rearm_failures: 0,
+            next_probe_at: None,
+        };
+        std::thread::spawn(move || writer_loop(&model, &writer_rx, ctx))
     };
 
     let accept_thread = {
         let stop = Arc::clone(&stop);
         let clients = Arc::clone(&clients);
         let model = Arc::clone(&model);
+        let status = Arc::clone(&status);
+        let injector = Arc::clone(&injector);
         let writer_tx = writer_tx.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
@@ -343,9 +474,11 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
                             continue;
                         };
                         let model = Arc::clone(&model);
+                        let status = Arc::clone(&status);
+                        let injector = Arc::clone(&injector);
                         let tx = writer_tx.clone();
                         let thread = std::thread::spawn(move || {
-                            serve_client(reader_half, &model, &tx);
+                            serve_client(reader_half, &model, &tx, &status, &injector);
                         });
                         clients
                             .lock()
@@ -370,21 +503,114 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
         writer_tx: Some(writer_tx),
         writer_thread: Some(writer_thread),
         model,
+        status,
+        injector,
     })
+}
+
+/// The mutation-reject message while degraded; starts with the
+/// `degraded:` marker [`proto::render_response`] turns into a
+/// structured `"degraded": true` field.
+const DEGRADED_REJECT: &str = "degraded: journal unavailable, serving read-only";
+
+/// Writer-thread state: the store, the shared status, and the re-arm
+/// schedule.
+struct WriterCtx {
+    store: Option<Store>,
+    status: Arc<ServeStatus>,
+    model_name: String,
+    snapshot_every: u64,
+    rearm_base_ms: u64,
+    /// Seeded jitter source for the re-arm backoff — deterministic per
+    /// process, never wall-clock seeded.
+    rng: Rng,
+    /// Consecutive failed probes since entering degraded (backoff
+    /// exponent).
+    rearm_failures: u32,
+    /// When the next re-arm probe may run; `None` while armed.
+    next_probe_at: Option<Instant>,
+}
+
+impl WriterCtx {
+    /// Bounded-exponential backoff with seeded jitter:
+    /// `base · 2^min(failures,6) · U(0.5,1.5)`, capped at 10 s.
+    fn backoff(&mut self) -> Duration {
+        let exp = (1u64 << self.rearm_failures.min(6)) as f64;
+        let jitter = 0.5 + self.rng.gen_f64();
+        let ms = (self.rearm_base_ms.max(1) as f64 * exp * jitter).min(10_000.0);
+        Duration::from_millis(ms as u64)
+    }
+
+    /// Armed → degraded: roll the model back to the durable prefix on
+    /// disk (the mutation whose append failed was never acknowledged),
+    /// flag the status, and schedule the first re-arm probe.
+    fn enter_degraded(&mut self, model: &RwLock<LiveModel>) {
+        if let Some(s) = self.store.as_ref() {
+            // Best-effort: if even reading the durable state fails the
+            // in-memory model stays as-is (still consistent, possibly
+            // one unacknowledged mutation ahead of the journal).
+            if let Ok(rolled) =
+                store::read_recovered(s.dir()).and_then(|rec| recover_model(&self.model_name, &rec))
+            {
+                *model.write().expect("model lock") = rolled;
+            }
+        }
+        self.status.enter_degraded();
+        self.rearm_failures = 0;
+        let delay = self.backoff();
+        self.next_probe_at = Some(Instant::now() + delay);
+    }
+
+    /// One re-arm step while degraded: if the probe window has arrived,
+    /// probe the journal; on success repair + re-open happened inside
+    /// [`Store::probe`] and the daemon is armed again. Returns whether
+    /// the daemon is now armed.
+    fn try_rearm(&mut self) -> bool {
+        let Some(at) = self.next_probe_at else {
+            return false;
+        };
+        if Instant::now() < at {
+            return false;
+        }
+        let Some(s) = self.store.as_mut() else {
+            return false;
+        };
+        self.status.note_rearm_attempt();
+        match s.probe() {
+            Ok(()) => {
+                self.status.leave_degraded();
+                self.rearm_failures = 0;
+                self.next_probe_at = None;
+                true
+            }
+            Err(_) => {
+                self.rearm_failures = self.rearm_failures.saturating_add(1);
+                let delay = self.backoff();
+                self.next_probe_at = Some(Instant::now() + delay);
+                false
+            }
+        }
+    }
 }
 
 /// The writer loop: the only code path that mutates the model.
 /// Ordering per mutation: apply (write lock) → journal append → reply.
+/// On journal failure the loop degrades instead of dying (see the
+/// module docs); while degraded it rejects mutations, probes for
+/// re-arm, and keeps the read path untouched.
 fn writer_loop(
     model: &RwLock<LiveModel>,
     rx: &mpsc::Receiver<WriterMsg>,
-    mut store: Option<Store>,
-    snapshot_every: u64,
+    mut ctx: WriterCtx,
 ) -> Result<(), String> {
     let mut since_snapshot: u64 = 0;
     while let Ok(msg) = rx.recv() {
         match msg {
             WriterMsg::Apply { mutation, reply } => {
+                if ctx.status.is_degraded() && !ctx.try_rearm() {
+                    let _ = reply.send(Err(DEGRADED_REJECT.to_string()));
+                    continue;
+                }
                 let t0 = Instant::now();
                 let result = {
                     let mut m = model.write().expect("model lock");
@@ -393,31 +619,46 @@ fn writer_loop(
                 fcm_obs::hist_record("serve.apply_ns", t0.elapsed().as_nanos() as u64);
                 fcm_obs::counter_add("serve.mutations", 1);
                 if result.is_ok() {
-                    if let Some(s) = store.as_mut() {
+                    if let Some(s) = ctx.store.as_mut() {
                         let seq = model.read().expect("model lock").seq();
-                        s.append(seq, &mutation)?;
+                        if let Err(e) = s.append(seq, &mutation) {
+                            ctx.enter_degraded(model);
+                            let _ = reply.send(Err(format!("degraded: {e}")));
+                            continue;
+                        }
                     }
                     since_snapshot += 1;
                 }
                 let _ = reply.send(result);
-                if snapshot_every > 0 && since_snapshot >= snapshot_every {
-                    write_snapshot(model, store.as_mut())?;
+                if ctx.snapshot_every > 0 && since_snapshot >= ctx.snapshot_every {
+                    // A failed periodic snapshot loses no acknowledged
+                    // data (the journal has everything); stay armed and
+                    // retry after the next interval.
+                    let _ = write_snapshot(model, ctx.store.as_mut());
                     since_snapshot = 0;
                 }
             }
             WriterMsg::Snapshot { reply } => {
-                let result = write_snapshot(model, store.as_mut()).map(|seq| match seq {
-                    Some(seq) => Json::object().set("seq", seq).set("snapshotted", true),
-                    None => Json::object().set("snapshotted", false),
-                });
-                since_snapshot = 0;
+                let result = if ctx.status.is_degraded() {
+                    Err(DEGRADED_REJECT.to_string())
+                } else {
+                    since_snapshot = 0;
+                    write_snapshot(model, ctx.store.as_mut()).map(|seq| match seq {
+                        Some(seq) => Json::object().set("seq", seq).set("snapshotted", true),
+                        None => Json::object().set("snapshotted", false),
+                    })
+                };
                 let _ = reply.send(result);
             }
         }
     }
-    // Channel closed: final snapshot before exit.
-    write_snapshot(model, store.as_mut())?;
-    Ok(())
+    // Channel closed: final snapshot before exit. In degraded mode the
+    // snapshot is best-effort — SIGTERM while degraded still exits 0.
+    match write_snapshot(model, ctx.store.as_mut()) {
+        Ok(_) => Ok(()),
+        Err(_) if ctx.status.is_degraded() => Ok(()),
+        Err(e) => Err(e),
+    }
 }
 
 fn write_snapshot(model: &RwLock<LiveModel>, store: Option<&mut Store>) -> Result<Option<u64>, String> {
@@ -468,7 +709,13 @@ const MAX_PIPELINE: usize = 1024;
 /// read-your-writes within the session). This amortizes the
 /// conn-thread ↔ writer-thread handoff over the whole run instead of
 /// paying two context switches per mutation.
-fn serve_client(mut stream: Stream, model: &RwLock<LiveModel>, writer: &mpsc::Sender<WriterMsg>) {
+fn serve_client(
+    mut stream: Stream,
+    model: &RwLock<LiveModel>,
+    writer: &mpsc::SyncSender<WriterMsg>,
+    status: &ServeStatus,
+    injector: &FaultInjector,
+) {
     let Ok(mut out) = stream.try_clone() else {
         return;
     };
@@ -524,10 +771,22 @@ fn serve_client(mut stream: Stream, model: &RwLock<LiveModel>, writer: &mpsc::Se
                             }
                         }
                         Ok(Request::Query(q)) => {
+                            let is_stats = matches!(q, Query::Stats);
                             let t0 = Instant::now();
-                            let r = model.read().expect("model lock").query(&q);
+                            let mut r = model.read().expect("model lock").query(&q);
                             fcm_obs::hist_record("serve.query_ns", t0.elapsed().as_nanos() as u64);
                             fcm_obs::counter_add("serve.queries", 1);
+                            if is_stats {
+                                // Durability status rides along in stats;
+                                // Json objects are BTreeMaps, so key
+                                // order stays canonical.
+                                r = r.map(|j| {
+                                    j.set("degraded", status.is_degraded())
+                                        .set("degraded_transitions", status.transitions())
+                                        .set("faults_injected", injector.injected())
+                                        .set("rearm_attempts", status.rearm_attempts())
+                                });
+                            }
                             r
                         }
                         Ok(Request::Mutation(_)) => unreachable!("handled above"),
@@ -599,13 +858,7 @@ mod tests {
 
     #[test]
     fn end_to_end_session_over_tcp() {
-        let handle = start(ServerConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            model: "paper".to_string(),
-            state_dir: None,
-            resume: false,
-            snapshot_every: 0,
-        })
+        let handle = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
         .expect("server starts");
         let (mut out, mut lines, hello) = open_session(handle.addr());
         assert_eq!(
@@ -645,13 +898,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_never_observe_a_torn_model() {
-        let handle = start(ServerConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            model: "paper".to_string(),
-            state_dir: None,
-            resume: false,
-            snapshot_every: 0,
-        })
+        let handle = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
         .expect("server starts");
         let addr = handle.addr().to_string();
 
@@ -713,13 +960,7 @@ mod tests {
             r#"{"op":"add_fcm","name":"r2","criticality":1,"influenced_by":[["r1",0.7]]}"#,
         ];
         let reference = {
-            let h = start(ServerConfig {
-                listen: Listen::Tcp("127.0.0.1:0".to_string()),
-                model: "paper".to_string(),
-                state_dir: None,
-                resume: false,
-                snapshot_every: 0,
-            })
+            let h = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
             .unwrap();
             let (mut out, mut lines, _) = open_session(h.addr());
             for req in part1.iter().chain(part2.iter()) {
@@ -735,11 +976,9 @@ mod tests {
         // scripts/verify.sh drives end-to-end).
         {
             let h = start(ServerConfig {
-                listen: Listen::Tcp("127.0.0.1:0".to_string()),
-                model: "paper".to_string(),
                 state_dir: Some(dir.clone()),
-                resume: false,
                 snapshot_every: 2,
+                ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper")
             })
             .unwrap();
             let (mut out, mut lines, _) = open_session(h.addr());
@@ -752,11 +991,10 @@ mod tests {
         // Resume and finish.
         let resumed = {
             let h = start(ServerConfig {
-                listen: Listen::Tcp("127.0.0.1:0".to_string()),
-                model: "paper".to_string(),
                 state_dir: Some(dir.clone()),
                 resume: true,
                 snapshot_every: 2,
+                ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper")
             })
             .unwrap();
             assert_eq!(h.seq(), part1.len() as u64, "recovered every accepted mutation");
@@ -777,11 +1015,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("fcm-serve-rej-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let h = start(ServerConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            model: "paper".to_string(),
             state_dir: Some(dir.clone()),
-            resume: false,
-            snapshot_every: 0,
+            ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper")
         })
         .unwrap();
         let (mut out, mut lines, _) = open_session(h.addr());
@@ -801,14 +1036,8 @@ mod tests {
     fn unix_socket_round_trip() {
         let path = std::env::temp_dir().join(format!("fcm-serve-{}.sock", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let h = start(ServerConfig {
-            listen: Listen::Unix(path.clone()),
-            model: "avionics".to_string(),
-            state_dir: None,
-            resume: false,
-            snapshot_every: 0,
-        })
-        .expect("unix server starts");
+        let h = start(ServerConfig::new(Listen::Unix(path.clone()), "avionics"))
+            .expect("unix server starts");
         let stream = connect(&Listen::Unix(path.clone())).expect("connect");
         let mut out = stream.try_clone().unwrap();
         let mut lines = BufReader::new(stream).lines();
@@ -823,13 +1052,7 @@ mod tests {
     #[test]
     fn writer_serializes_conflicting_sessions() {
         // Two sessions race to add the same name; exactly one wins.
-        let handle = start(ServerConfig {
-            listen: Listen::Tcp("127.0.0.1:0".to_string()),
-            model: "paper".to_string(),
-            state_dir: None,
-            resume: false,
-            snapshot_every: 0,
-        })
+        let handle = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
         .unwrap();
         let addr = handle.addr().to_string();
         let outcomes: Vec<bool> = (0..2)

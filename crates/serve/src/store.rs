@@ -1,32 +1,63 @@
-//! Durability: snapshot + journal under one state directory.
+//! Durability: snapshot + journal under one state directory, with every
+//! write-path operation routed through a named fault-injection site.
 //!
 //! Layout (all substrate JSON, one value per file/line):
 //!
 //! * `snapshot.json` — `{"schema":"fcm-serve-snapshot/v1","seq":N,
 //!   "state":{...},"written_unix_ms":T}` where `state` is
 //!   [`crate::LiveModel::state_json`] output. Written to a temp file in
-//!   the same directory and atomically renamed, so a crash never leaves
-//!   a torn snapshot.
+//!   the same directory, fsynced, atomically renamed, and the parent
+//!   directory fsynced, so a crash never leaves a torn or unlinked
+//!   snapshot. Orphaned `snapshot.json.tmp` files from a crash between
+//!   write and rename are removed on startup.
 //! * `journal.jsonl` — one `{"mutation":{...},"seq":N}` line per
 //!   accepted mutation, in canonical [`crate::proto::mutation_to_json`]
-//!   form, flushed per line. The writer appends *after* applying and
-//!   *before* replying, so every acknowledged mutation is durable.
+//!   form, written whole-line to the OS. The writer appends *after*
+//!   applying and *before* replying, so every acknowledged mutation is
+//!   durable.
 //!
 //! Recovery (`--resume`) loads the snapshot (if any), then replays the
-//! journal suffix with `seq > snapshot.seq`. Mutations are deterministic
-//! functions of model state, so replay reconstructs the crashed model
-//! byte-identically — `scripts/verify.sh` pins this with a `dump`
-//! byte-compare against a straight-through run.
+//! journal suffix with `seq > snapshot.seq`. A *torn tail* — a final
+//! journal segment with no trailing newline, the only artefact a
+//! mid-write crash can leave — is silently dropped and truncated away
+//! (crash-consistent: its mutation was never acknowledged). A
+//! newline-*terminated* line that fails to parse is real corruption and
+//! is reported with its line number (exit-code-2 class). Mutations are
+//! deterministic functions of model state, so replay reconstructs the
+//! crashed model byte-identically — `scripts/verify.sh` pins this with
+//! a `dump` byte-compare against a straight-through run, and
+//! `crashdrill` pins it at every enumerated IO site.
+//!
+//! ## IO-site catalog
+//!
+//! | site | operation |
+//! |---|---|
+//! | `journal.append.write` | one whole journal line to the OS |
+//! | `journal.append.flush` | flush of the journal handle |
+//! | `journal.probe` | re-arm probe: repair torn tail, reopen append |
+//! | `snapshot.tmp.write` | snapshot document into `snapshot.json.tmp` |
+//! | `snapshot.tmp.fsync` | fsync of the temp file before rename |
+//! | `snapshot.rename` | atomic rename onto `snapshot.json` |
+//! | `snapshot.dir.fsync` | fsync of the state directory after rename |
+//!
+//! Every site consults the store's [`FaultInjector`] first; the
+//! production plan is [`FaultPlan::none`], whose passive path is a
+//! single bool load. Injected failures return
+//! `"injected <kind> at <site>"` errors; torn kinds first write a
+//! strict prefix of the data, which is exactly the on-disk state the
+//! torn-tail rule above recovers from.
 //!
 //! The only wall-clock read in the crate is the snapshot metadata
 //! timestamp (`written_unix_ms`); it is deliberately *outside* the
 //! `state` object so state comparisons stay byte-exact.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use fcm_substrate::fault::{Fault, FaultInjector, FaultKind, FaultPlan};
 use fcm_substrate::Json;
 
 use crate::proto::{self, Mutation};
@@ -35,16 +66,19 @@ use crate::proto::{self, Mutation};
 pub const SNAPSHOT_SCHEMA: &str = "fcm-serve-snapshot/v1";
 
 const SNAPSHOT: &str = "snapshot.json";
+const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
 const JOURNAL: &str = "journal.jsonl";
 
-/// An open state directory: the journal writer plus snapshot paths.
+/// An open state directory: the journal writer, snapshot paths, and the
+/// fault injector every write-path operation consults.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
-    journal: BufWriter<File>,
+    journal: File,
+    inj: Arc<FaultInjector>,
 }
 
-/// What `open_resume` recovered from disk.
+/// What resume recovered from disk.
 #[derive(Debug)]
 pub struct Recovered {
     /// Snapshot `state` object and its seq, when a snapshot existed.
@@ -58,14 +92,31 @@ fn io_err(what: &str, path: &Path, e: &std::io::Error) -> String {
     format!("{what} {}: {e}", path.display())
 }
 
+/// Outcome of a fault-site decision: proceed, or fail with this error
+/// (after `torn` prefix bytes of a write-class payload were transferred).
+fn injected_err(kind: FaultKind, site: &str) -> String {
+    format!("injected {} at {site}", kind.token())
+}
+
 impl Store {
-    /// Creates/truncates the state directory for a fresh run.
+    /// Creates/truncates the state directory for a fresh run, with
+    /// fault injection disabled ([`FaultPlan::none`]).
     ///
     /// # Errors
     ///
     /// Directory creation or journal-open failure (exit-code-2 class).
     pub fn create_fresh(dir: &Path) -> Result<Store, String> {
+        Store::create_fresh_with(dir, Arc::new(FaultInjector::new(&FaultPlan::none())))
+    }
+
+    /// [`Store::create_fresh`] with an explicit injector.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or journal-open failure (exit-code-2 class).
+    pub fn create_fresh_with(dir: &Path, inj: Arc<FaultInjector>) -> Result<Store, String> {
         fs::create_dir_all(dir).map_err(|e| io_err("create state dir", dir, &e))?;
+        remove_orphan_tmp(dir)?;
         let snap = dir.join(SNAPSHOT);
         if snap.exists() {
             fs::remove_file(&snap).map_err(|e| io_err("remove stale snapshot", &snap, &e))?;
@@ -74,65 +125,38 @@ impl Store {
         let journal = File::create(&jpath).map_err(|e| io_err("create journal", &jpath, &e))?;
         Ok(Store {
             dir: dir.to_path_buf(),
-            journal: BufWriter::new(journal),
+            journal,
+            inj,
         })
     }
 
-    /// Opens an existing state directory, returning whatever snapshot
-    /// and journal suffix survive; the journal is reopened for append.
+    /// Opens an existing state directory with fault injection disabled,
+    /// returning whatever snapshot and journal suffix survive; a torn
+    /// journal tail is truncated away and the journal reopened for
+    /// append.
     ///
     /// # Errors
     ///
     /// Unreadable/corrupt snapshot or journal, or journal-open failure.
     pub fn open_resume(dir: &Path) -> Result<(Store, Recovered), String> {
+        Store::open_resume_with(dir, Arc::new(FaultInjector::new(&FaultPlan::none())))
+    }
+
+    /// [`Store::open_resume`] with an explicit injector. Recovery reads
+    /// are never gated — resume must work on the post-crash disk image.
+    ///
+    /// # Errors
+    ///
+    /// Unreadable/corrupt snapshot or journal, or journal-open failure.
+    pub fn open_resume_with(
+        dir: &Path,
+        inj: Arc<FaultInjector>,
+    ) -> Result<(Store, Recovered), String> {
         fs::create_dir_all(dir).map_err(|e| io_err("create state dir", dir, &e))?;
-        let snap_path = dir.join(SNAPSHOT);
-        let snapshot = if snap_path.exists() {
-            let text = fs::read_to_string(&snap_path)
-                .map_err(|e| io_err("read snapshot", &snap_path, &e))?;
-            let json = Json::parse(&text).map_err(|e| format!("corrupt snapshot: {e}"))?;
-            if json.get("schema").and_then(Json::as_str) != Some(SNAPSHOT_SCHEMA) {
-                return Err(format!("snapshot is not {SNAPSHOT_SCHEMA}"));
-            }
-            let seq = json
-                .get("seq")
-                .and_then(Json::as_f64)
-                .ok_or("snapshot missing \"seq\"")? as u64;
-            let state = json.get("state").cloned().ok_or("snapshot missing \"state\"")?;
-            Some((state, seq))
-        } else {
-            None
-        };
-        let base_seq = snapshot.as_ref().map_or(0, |&(_, s)| s);
-
+        remove_orphan_tmp(dir)?;
+        let recovered = read_recovered(dir)?;
         let jpath = dir.join(JOURNAL);
-        let mut replay = Vec::new();
-        if jpath.exists() {
-            let file = File::open(&jpath).map_err(|e| io_err("read journal", &jpath, &e))?;
-            for (lineno, line) in BufReader::new(file).lines().enumerate() {
-                let line = line.map_err(|e| io_err("read journal", &jpath, &e))?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let entry = Json::parse(&line)
-                    .map_err(|e| format!("corrupt journal line {}: {e}", lineno + 1))?;
-                let seq = entry
-                    .get("seq")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| format!("journal line {} missing \"seq\"", lineno + 1))?
-                    as u64;
-                let m = entry
-                    .get("mutation")
-                    .ok_or_else(|| format!("journal line {} missing \"mutation\"", lineno + 1))?;
-                let mutation = proto::mutation_from_json(m)
-                    .map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
-                if seq > base_seq {
-                    replay.push((seq, mutation));
-                }
-            }
-        }
-        replay.sort_by_key(|&(s, _)| s);
-
+        truncate_torn_tail(&jpath)?;
         let journal = OpenOptions::new()
             .create(true)
             .append(true)
@@ -141,35 +165,83 @@ impl Store {
         Ok((
             Store {
                 dir: dir.to_path_buf(),
-                journal: BufWriter::new(journal),
+                journal,
+                inj,
             },
-            Recovered { snapshot, replay },
+            recovered,
         ))
     }
 
-    /// Appends one accepted mutation and flushes it to the OS before
-    /// the caller acknowledges the client.
+    /// The injector this store consults (for counters and crash latch).
+    #[must_use]
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.inj
+    }
+
+    /// The state directory this store persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one accepted mutation as a whole line and flushes it to
+    /// the OS before the caller acknowledges the client.
     ///
     /// # Errors
     ///
-    /// Journal write failure — the daemon treats this as fatal.
+    /// Journal write failure (real or injected) — the daemon responds
+    /// by entering degraded mode, not by dying.
     pub fn append(&mut self, seq: u64, m: &Mutation) -> Result<(), String> {
-        let line = Json::object()
+        let mut line = Json::object()
             .set("mutation", proto::mutation_to_json(m))
             .set("seq", seq)
             .to_string_compact();
+        line.push('\n');
         let jpath = self.dir.join(JOURNAL);
-        writeln!(self.journal, "{line}").map_err(|e| io_err("append journal", &jpath, &e))?;
-        self.journal
-            .flush()
-            .map_err(|e| io_err("flush journal", &jpath, &e))
+        self.gated_write("journal.append.write", line.as_bytes(), &jpath)?;
+        let site = "journal.append.flush";
+        match self.inj.hit(site) {
+            Fault::Pass => self
+                .journal
+                .flush()
+                .map_err(|e| io_err("flush journal", &jpath, &e)),
+            Fault::Fail(kind) => {
+                note_injection();
+                Err(injected_err(kind, site))
+            }
+        }
     }
 
-    /// Writes a snapshot of `state` at `seq`: temp file + atomic rename.
+    /// Re-arm probe after a journal failure: verifies the injector (and
+    /// disk) will accept journal writes again, repairs any torn tail
+    /// the failure left (truncate to the last complete line), and
+    /// reopens the append handle.
     ///
     /// # Errors
     ///
-    /// Temp-file write or rename failure.
+    /// The fault is still armed, or the repair itself fails.
+    pub fn probe(&mut self) -> Result<(), String> {
+        let site = "journal.probe";
+        if let Fault::Fail(kind) = self.inj.hit(site) {
+            note_injection();
+            return Err(injected_err(kind, site));
+        }
+        let jpath = self.dir.join(JOURNAL);
+        truncate_torn_tail(&jpath)?;
+        self.journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| io_err("append journal", &jpath, &e))?;
+        Ok(())
+    }
+
+    /// Writes a snapshot of `state` at `seq`: temp file + fsync +
+    /// atomic rename + parent-directory fsync.
+    ///
+    /// # Errors
+    ///
+    /// Temp-file write, fsync, or rename failure.
     pub fn snapshot(&mut self, seq: u64, state: &Json) -> Result<(), String> {
         let written_unix_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -179,12 +251,171 @@ impl Store {
             .set("seq", seq)
             .set("state", state.clone())
             .set("written_unix_ms", written_unix_ms);
-        let tmp = self.dir.join("snapshot.json.tmp");
+        let tmp = self.dir.join(SNAPSHOT_TMP);
         let fin = self.dir.join(SNAPSHOT);
-        fs::write(&tmp, doc.to_string_compact() + "\n")
-            .map_err(|e| io_err("write snapshot", &tmp, &e))?;
-        fs::rename(&tmp, &fin).map_err(|e| io_err("rename snapshot", &fin, &e))
+        let payload = doc.to_string_compact() + "\n";
+
+        let mut tmp_file = File::create(&tmp).map_err(|e| io_err("write snapshot", &tmp, &e))?;
+        {
+            let site = "snapshot.tmp.write";
+            match self.inj.hit(site) {
+                Fault::Pass => tmp_file
+                    .write_all(payload.as_bytes())
+                    .map_err(|e| io_err("write snapshot", &tmp, &e))?,
+                Fault::Fail(kind) => {
+                    if kind.is_torn() {
+                        let _ = tmp_file.write_all(&payload.as_bytes()[..payload.len() / 2]);
+                    }
+                    note_injection();
+                    return Err(injected_err(kind, site));
+                }
+            }
+        }
+        self.gated("snapshot.tmp.fsync", || {
+            tmp_file.sync_all().map_err(|e| io_err("fsync snapshot", &tmp, &e))
+        })?;
+        drop(tmp_file);
+        self.gated("snapshot.rename", || {
+            fs::rename(&tmp, &fin).map_err(|e| io_err("rename snapshot", &fin, &e))
+        })?;
+        self.gated("snapshot.dir.fsync", || {
+            File::open(&self.dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| io_err("fsync state dir", &self.dir, &e))
+        })
     }
+
+    /// A byte write through the injector: torn kinds transfer a strict
+    /// prefix before failing.
+    fn gated_write(&mut self, site: &str, bytes: &[u8], path: &Path) -> Result<(), String> {
+        match self.inj.hit(site) {
+            Fault::Pass => self
+                .journal
+                .write_all(bytes)
+                .map_err(|e| io_err("append journal", path, &e)),
+            Fault::Fail(kind) => {
+                if kind.is_torn() {
+                    let _ = self.journal.write_all(&bytes[..bytes.len() / 2]);
+                    let _ = self.journal.flush();
+                }
+                note_injection();
+                Err(injected_err(kind, site))
+            }
+        }
+    }
+
+    /// A non-byte operation (fsync/rename) through the injector.
+    fn gated(&self, site: &str, op: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+        match self.inj.hit(site) {
+            Fault::Pass => op(),
+            Fault::Fail(kind) => {
+                note_injection();
+                Err(injected_err(kind, site))
+            }
+        }
+    }
+}
+
+fn note_injection() {
+    fcm_obs::counter_add("serve.faults_injected", 1);
+}
+
+/// Removes a `snapshot.json.tmp` orphaned by a crash between temp write
+/// and rename.
+fn remove_orphan_tmp(dir: &Path) -> Result<(), String> {
+    let tmp = dir.join(SNAPSHOT_TMP);
+    if tmp.exists() {
+        fs::remove_file(&tmp).map_err(|e| io_err("remove orphan snapshot tmp", &tmp, &e))?;
+    }
+    Ok(())
+}
+
+/// Physically truncates a torn (newline-less) final segment so appends
+/// continue from a complete line.
+fn truncate_torn_tail(jpath: &Path) -> Result<(), String> {
+    if !jpath.exists() {
+        return Ok(());
+    }
+    let bytes = fs::read(jpath).map_err(|e| io_err("read journal", jpath, &e))?;
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    let f = OpenOptions::new()
+        .write(true)
+        .open(jpath)
+        .map_err(|e| io_err("repair journal", jpath, &e))?;
+    f.set_len(keep as u64)
+        .map_err(|e| io_err("repair journal", jpath, &e))?;
+    f.sync_all().map_err(|e| io_err("repair journal", jpath, &e))
+}
+
+/// Read-only recovery of the durable state in `dir`: snapshot plus the
+/// replayable journal suffix. Never writes — this is also the rollback
+/// path the writer uses when entering degraded mode on a possibly
+/// failing disk. A torn final segment (no trailing newline) is dropped
+/// silently; a newline-terminated unparseable line is an error.
+///
+/// # Errors
+///
+/// Unreadable/corrupt snapshot, or mid-file journal corruption (with
+/// line number).
+pub fn read_recovered(dir: &Path) -> Result<Recovered, String> {
+    let snap_path = dir.join(SNAPSHOT);
+    let snapshot = if snap_path.exists() {
+        let text =
+            fs::read_to_string(&snap_path).map_err(|e| io_err("read snapshot", &snap_path, &e))?;
+        let json = Json::parse(&text).map_err(|e| format!("corrupt snapshot: {e}"))?;
+        if json.get("schema").and_then(Json::as_str) != Some(SNAPSHOT_SCHEMA) {
+            return Err(format!("snapshot is not {SNAPSHOT_SCHEMA}"));
+        }
+        let seq = json
+            .get("seq")
+            .and_then(Json::as_f64)
+            .ok_or("snapshot missing \"seq\"")? as u64;
+        let state = json.get("state").cloned().ok_or("snapshot missing \"state\"")?;
+        Some((state, seq))
+    } else {
+        None
+    };
+    let base_seq = snapshot.as_ref().map_or(0, |&(_, s)| s);
+
+    let jpath = dir.join(JOURNAL);
+    let mut replay = Vec::new();
+    if jpath.exists() {
+        let bytes = fs::read(&jpath).map_err(|e| io_err("read journal", &jpath, &e))?;
+        // Only complete (newline-terminated) lines are journal entries;
+        // a trailing newline-less segment is the torn tail of a crashed
+        // append and carries an unacknowledged mutation — drop it.
+        let complete = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(p) => &bytes[..=p],
+            None => &[][..],
+        };
+        let text = std::str::from_utf8(complete)
+            .map_err(|e| format!("corrupt journal (not UTF-8): {e}"))?;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = Json::parse(line)
+                .map_err(|e| format!("corrupt journal line {}: {e}", lineno + 1))?;
+            let seq = entry
+                .get("seq")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("journal line {} missing \"seq\"", lineno + 1))?
+                as u64;
+            let m = entry
+                .get("mutation")
+                .ok_or_else(|| format!("journal line {} missing \"mutation\"", lineno + 1))?;
+            let mutation = proto::mutation_from_json(m)
+                .map_err(|e| format!("journal line {}: {e}", lineno + 1))?;
+            if seq > base_seq {
+                replay.push((seq, mutation));
+            }
+        }
+    }
+    replay.sort_by_key(|&(s, _)| s);
+    Ok(Recovered { snapshot, replay })
 }
 
 #[cfg(test)]
@@ -198,12 +429,8 @@ mod tests {
         d
     }
 
-    #[test]
-    fn fresh_then_resume_replays_the_suffix() {
-        let dir = tmpdir("replay");
-        let mut model = LiveModel::new("paper").unwrap();
-        let mut store = Store::create_fresh(&dir).unwrap();
-        let ops = [
+    fn ops() -> [Mutation; 3] {
+        [
             Mutation::SetAttr {
                 name: "p8".to_string(),
                 criticality: Some(2),
@@ -212,8 +439,15 @@ mod tests {
             },
             Mutation::FailNode { node: "hw2".to_string() },
             Mutation::RestoreNode { node: "hw2".to_string() },
-        ];
-        for (i, m) in ops.iter().enumerate() {
+        ]
+    }
+
+    #[test]
+    fn fresh_then_resume_replays_the_suffix() {
+        let dir = tmpdir("replay");
+        let mut model = LiveModel::new("paper").unwrap();
+        let mut store = Store::create_fresh(&dir).unwrap();
+        for (i, m) in ops().iter().enumerate() {
             model.apply(m).unwrap();
             store.append(model.seq(), m).unwrap();
             if i == 0 {
@@ -246,6 +480,86 @@ mod tests {
         fs::write(dir.join("journal.jsonl"), "{\"seq\":1,\"mutation\"\n").unwrap();
         let err = Store::open_resume(&dir).unwrap_err();
         assert!(err.contains("journal line 1"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_truncated() {
+        let dir = tmpdir("torn");
+        let mut model = LiveModel::new("paper").unwrap();
+        let mut store = Store::create_fresh(&dir).unwrap();
+        let m = &ops()[0];
+        model.apply(m).unwrap();
+        store.append(model.seq(), m).unwrap();
+        drop(store);
+        // Simulate a crash mid-append: half of a second line.
+        let jpath = dir.join("journal.jsonl");
+        let mut f = OpenOptions::new().append(true).open(&jpath).unwrap();
+        f.write_all(b"{\"mutation\":{\"op\":\"fail_no").unwrap();
+        drop(f);
+
+        let (_store2, rec) = Store::open_resume(&dir).unwrap();
+        assert_eq!(rec.replay.len(), 1, "torn tail dropped");
+        let bytes = fs::read(&jpath).unwrap();
+        assert!(bytes.ends_with(b"\n"), "tail physically truncated");
+        assert_eq!(
+            bytes.iter().filter(|&&b| b == b'\n').count(),
+            1,
+            "exactly the complete line survives"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_snapshot_tmp_is_cleaned_on_startup() {
+        let dir = tmpdir("orphan");
+        fs::create_dir_all(&dir).unwrap();
+        let tmp = dir.join("snapshot.json.tmp");
+        fs::write(&tmp, "{half a snapsh").unwrap();
+        let _ = Store::open_resume(&dir).unwrap();
+        assert!(!tmp.exists(), "orphan tmp removed on resume");
+        fs::write(&tmp, "{half a snapsh").unwrap();
+        let _ = Store::create_fresh(&dir).unwrap();
+        assert!(!tmp.exists(), "orphan tmp removed on fresh start");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_fail_the_gated_sites() {
+        let dir = tmpdir("inject");
+        let plan = FaultPlan::parse("journal.append.write:short@1").unwrap();
+        let inj = Arc::new(FaultInjector::new(&plan));
+        let mut model = LiveModel::new("paper").unwrap();
+        let mut store = Store::create_fresh_with(&dir, Arc::clone(&inj)).unwrap();
+        let all = ops();
+        model.apply(&all[0]).unwrap();
+        store.append(model.seq(), &all[0]).unwrap();
+        model.apply(&all[1]).unwrap();
+        let err = store.append(model.seq(), &all[1]).unwrap_err();
+        assert!(err.contains("injected short at journal.append.write"), "{err}");
+        assert_eq!(inj.injected(), 1);
+        // The short write left a torn tail; recovery sees only line 1.
+        let rec = read_recovered(&dir).unwrap();
+        assert_eq!(rec.replay.len(), 1);
+        // The probe repairs the tail and appends succeed again.
+        store.probe().unwrap();
+        store.append(2, &all[1]).unwrap();
+        let rec = read_recovered(&dir).unwrap();
+        assert_eq!(rec.replay.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn none_plan_store_snapshots_and_dir_are_fsynced() {
+        let dir = tmpdir("fsync");
+        let mut model = LiveModel::new("paper").unwrap();
+        let mut store = Store::create_fresh(&dir).unwrap();
+        let m = &ops()[0];
+        model.apply(m).unwrap();
+        store.append(model.seq(), m).unwrap();
+        store.snapshot(model.seq(), &model.state_json()).unwrap();
+        assert!(dir.join("snapshot.json").exists());
+        assert!(!dir.join("snapshot.json.tmp").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

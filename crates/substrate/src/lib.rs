@@ -14,6 +14,7 @@
 //! | [`prop`] | `proptest` | seeded property harness, bisection shrinking, `FCM_PROP_SEED` replay |
 //! | [`bench`] | `criterion` | warmup + timed iterations, median/p95, `BENCH_*.json` artefacts |
 //! | [`telemetry`] | `tracing` timers | monotonic stage timers + counters, deterministic-order summaries |
+//! | [`fault`] | `fail`/failpoints | deterministic fault plans for named IO sites, crash latch, site tracing |
 //!
 //! The dependability argument (after De Florio's survey of application-
 //! level fault tolerance, and the self-contained evaluation pipeline of
@@ -25,6 +26,7 @@
 
 pub mod bench;
 pub mod bytes;
+pub mod fault;
 pub mod json;
 pub mod pool;
 pub mod prop;
@@ -32,6 +34,7 @@ pub mod rng;
 pub mod telemetry;
 
 pub use bytes::Bytes;
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan, FaultRule};
 pub use json::{Json, ToJson};
 pub use pool::{par_for, par_map, par_map_threads, par_reduce, Mutex};
 pub use rng::Rng;
