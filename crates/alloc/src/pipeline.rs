@@ -32,7 +32,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use fcm_graph::{condense, CombineRule, GraphError, Matrix, NodeIdx};
+use fcm_graph::{condense, CombineRule, GraphError, InfluenceMatrix, Matrix, NodeIdx};
 use fcm_substrate::{telemetry, Mutex};
 
 use crate::cluster::{is_schedulable, member_names, replica_conflict, Clustering};
@@ -121,6 +121,33 @@ pub fn grow_row_col(m: &Matrix) -> Matrix {
     next
 }
 
+/// The Eq. 4 complement-product fold shared by both recombiners:
+/// returns the new row `gi` and column `gi` as dense value slices
+/// (`row[t] = 1 − Π(1 − w)` over `gi → t` edges, diagonal zero).
+/// Products accumulate in the order `edges` yields them — global
+/// edge-id order at every call site, the association `condense` uses.
+fn eq4_fold(
+    edges: impl Iterator<Item = (usize, usize, f64)>,
+    gi: usize,
+    k: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut comp_out = vec![1.0f64; k];
+    let mut comp_in = vec![1.0f64; k];
+    for (gu, gv, w) in edges {
+        if gu == gi {
+            comp_out[gv] *= 1.0 - w;
+        }
+        if gv == gi {
+            comp_in[gu] *= 1.0 - w;
+        }
+    }
+    let mut row: Vec<f64> = comp_out.into_iter().map(|c| 1.0 - c).collect();
+    let mut col: Vec<f64> = comp_in.into_iter().map(|c| 1.0 - c).collect();
+    row[gi] = 0.0;
+    col[gi] = 0.0;
+    (row, col)
+}
+
 /// Recombines row and column `gi` of `influence` via the paper's Eq. 4
 /// (`infl(C→t) = 1 − Π(1 − infl(i→t))`) from `edges` — cluster-level
 /// `(from, to, weight)` triples **iterated in global edge-id order**
@@ -134,24 +161,27 @@ pub fn eq4_recombine_row_col(
     influence: &mut Matrix,
 ) {
     let k = influence.rows();
-    let mut comp_out = vec![1.0f64; k];
-    let mut comp_in = vec![1.0f64; k];
-    for (gu, gv, w) in edges {
-        if gu == gi {
-            comp_out[gv] *= 1.0 - w;
-        }
-        if gv == gi {
-            comp_in[gu] *= 1.0 - w;
-        }
-    }
+    let (row, col) = eq4_fold(edges, gi, k);
     for t in 0..k {
-        if t == gi {
-            influence[(gi, gi)] = 0.0;
-        } else {
-            influence[(gi, t)] = 1.0 - comp_out[t];
-            influence[(t, gi)] = 1.0 - comp_in[t];
+        influence[(gi, t)] = row[t];
+        if t != gi {
+            influence[(t, gi)] = col[t];
         }
     }
+}
+
+/// [`eq4_recombine_row_col`] on a storage-polymorphic
+/// [`InfluenceMatrix`]: the identical fold feeds
+/// [`InfluenceMatrix::set_row_col`], so dense and CSR pipelines carry
+/// the same values (CSR prunes the exact zeros).
+pub fn eq4_recombine_row_col_im(
+    edges: impl Iterator<Item = (usize, usize, f64)>,
+    gi: usize,
+    influence: &mut InfluenceMatrix,
+) {
+    let k = influence.rows();
+    let (row, col) = eq4_fold(edges, gi, k);
+    influence.set_row_col(gi, &row, &col);
 }
 
 /// A merge-step planner driving a [`CondensePipeline`].
@@ -180,7 +210,7 @@ pub struct CondensePipeline<'g> {
     g: &'g SwGraph,
     groups: Vec<Vec<NodeIdx>>,
     membership: Vec<usize>,
-    influence: Matrix,
+    influence: InfluenceMatrix,
     merges: u64,
 }
 
@@ -195,7 +225,7 @@ impl<'g> CondensePipeline<'g> {
         CondensePipeline {
             g,
             membership: (0..groups.len()).collect(),
-            influence: cond.influence_matrix(),
+            influence: InfluenceMatrix::from_dense_auto(cond.influence_matrix()),
             groups,
             merges: 0,
         }
@@ -217,7 +247,7 @@ impl<'g> CondensePipeline<'g> {
         CondensePipeline {
             g,
             membership,
-            influence: cond.influence_matrix(),
+            influence: InfluenceMatrix::from_dense_auto(cond.influence_matrix()),
             groups,
             merges: 0,
         }
@@ -241,9 +271,12 @@ impl<'g> CondensePipeline<'g> {
         &self.groups
     }
 
-    /// The incrementally-maintained cluster influence matrix (Eq. 4).
+    /// The incrementally-maintained cluster influence matrix (Eq. 4),
+    /// in whichever representation the selection policy picked at
+    /// construction (dense below the [`fcm_graph::prefer_sparse`]
+    /// thresholds, CSR above them).
     #[must_use]
-    pub fn influence(&self) -> &Matrix {
+    pub fn influence(&self) -> &InfluenceMatrix {
         &self.influence
     }
 
@@ -404,15 +437,8 @@ impl<'g> CondensePipeline<'g> {
             }
             perm.push(q);
         }
-        let k = perm.len();
         self.groups = perm.iter().map(|&q| self.groups[q].clone()).collect();
-        let mut permuted = Matrix::zeros(k, k);
-        for a in 0..k {
-            for b in 0..k {
-                permuted[(a, b)] = self.influence[(perm[a], perm[b])];
-            }
-        }
-        self.influence = permuted;
+        self.influence = self.influence.permuted(&perm);
         for (ci, group) in self.groups.iter().enumerate() {
             for &n in group {
                 self.membership[n.index()] = ci;
@@ -431,10 +457,10 @@ impl<'g> CondensePipeline<'g> {
         Clustering::new(self.g, self.groups)
     }
 
-    /// Drops row and column `hi` from the influence matrix (O(k²) copy;
-    /// surviving entries are carried over bitwise).
+    /// Drops row and column `hi` from the influence matrix (surviving
+    /// entries are carried over bitwise in either representation).
     fn shrink_influence(&mut self, hi: usize) {
-        self.influence = shrink_row_col(&self.influence, hi);
+        self.influence = self.influence.shrink_row_col(hi);
     }
 
     /// Recombines row and column `gi` of the influence matrix from the
@@ -448,7 +474,7 @@ impl<'g> CondensePipeline<'g> {
             let gv = membership[e.to.index()];
             (gu != gv).then(|| (gu, gv, e.weight.into()))
         });
-        eq4_recombine_row_col(edges, gi, &mut self.influence);
+        eq4_recombine_row_col_im(edges, gi, &mut self.influence);
     }
 }
 

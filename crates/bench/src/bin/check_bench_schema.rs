@@ -12,7 +12,12 @@
 //!   `p95_ns` / `max_ns`, all numeric, non-negative, and consistently
 //!   ordered (`min ≤ median ≤ p95 ≤ max`, `min ≤ mean ≤ max`);
 //! * each `telemetry` entry: `stage` (string) with numeric `spans`,
-//!   `total_ns`, `count`.
+//!   `total_ns`, `count`;
+//! * grid suites (`sparse_kernel`) may attach per-entry problem-size
+//!   metadata: when any of `n` / `nnz` / `density` is present all three
+//!   are required (`n` ≥ 1, `nnz` ≥ 0, `density` ∈ [0, 1]), and
+//!   `oracle`, when present, must be `"bitwise-equal"` or `"skipped"`
+//!   and travel with the size keys.
 //!
 //! Usage: `check_bench_schema <file.json>...` — prints one line per
 //! problem; exit codes follow the repo-wide contract (DESIGN.md):
@@ -162,6 +167,37 @@ fn validate_benchmark(entry: &Json) -> Vec<String> {
     if let (Some(min), Some(mean), Some(max)) = (min, mean, max) {
         if !(min <= mean && mean <= max) {
             problems.push(format!("mean {mean} outside [min {min}, max {max}]"));
+        }
+    }
+    // Sparse-grid metadata: optional, but the size keys travel together
+    // and the oracle verdict is a closed enum.
+    let has = |k: &str| entry.get(k).is_some();
+    if has("n") || has("nnz") || has("density") {
+        match entry.get("n").and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            Some(v) => problems.push(format!("'n' must be >= 1 (got {v})")),
+            None => problems.push("grid entry: missing numeric 'n'".into()),
+        }
+        match entry.get("nnz").and_then(Json::as_f64) {
+            Some(v) if v >= 0.0 => {}
+            Some(v) => problems.push(format!("'nnz' must be >= 0 (got {v})")),
+            None => problems.push("grid entry: missing numeric 'nnz'".into()),
+        }
+        match entry.get("density").and_then(Json::as_f64) {
+            Some(v) if (0.0..=1.0).contains(&v) => {}
+            Some(v) => problems.push(format!("'density' must be in [0, 1] (got {v})")),
+            None => problems.push("grid entry: missing numeric 'density'".into()),
+        }
+    }
+    if let Some(oracle) = entry.get("oracle") {
+        match oracle.as_str() {
+            Some("bitwise-equal" | "skipped") => {}
+            _ => problems.push(format!(
+                "'oracle' must be \"bitwise-equal\" or \"skipped\" (got {oracle})"
+            )),
+        }
+        if !has("n") {
+            problems.push("'oracle' requires the grid keys n/nnz/density".into());
         }
     }
     problems

@@ -49,7 +49,7 @@ const FLAG_HELP: [(&str, &str); 7] = [
 
 /// Every valid experiment id with its one-line description — the single
 /// source of truth for `--list` and for unknown-id rejection.
-const EXPERIMENTS: [(&str, &str); 21] = [
+const EXPERIMENTS: [(&str, &str); 22] = [
     ("t1", "Table 1: example process attributes"),
     ("f3", "Fig. 3: initial SW influence graph (--dot available)"),
     ("f4", "Fig. 4: replica-expanded graph (--dot available)"),
@@ -71,6 +71,7 @@ const EXPERIMENTS: [(&str, &str); 21] = [
     ("e12", "measured workflow end to end"),
     ("e13", "TMR voting in the materialised system"),
     ("e14", "node-failure recovery policy sweep"),
+    ("e15", "sparse large-n analysis engine"),
 ];
 
 fn main() {
@@ -252,6 +253,11 @@ fn main() {
             experiments::e14(scale).to_string()
         });
     }
+    if want("e15") {
+        emit("E15 sparse large-n analysis engine (oracle-checked CSR sweep)", || {
+            experiments::e15(scale).to_string()
+        });
+    }
 
     if let Some(path) = &obs_out {
         if let Err(e) = fcm_obs::export::export_to(std::path::Path::new(path)) {
@@ -298,7 +304,7 @@ fn run_check_mode(selected: &[&str]) -> ! {
 
 /// Prints the usage text (every flag, experiment selection, env vars).
 fn print_help() {
-    println!("repro — regenerate every table and figure of the paper plus E1-E14");
+    println!("repro — regenerate every table and figure of the paper plus E1-E15");
     println!();
     println!("usage: repro [FLAGS] [EXPERIMENT_ID ...]");
     println!();

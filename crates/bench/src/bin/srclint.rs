@@ -24,6 +24,11 @@
 //!   the substrate (which defines them), the serve daemon (whose IO
 //!   sites they gate), and the bench harness (which measures recovery)
 //!   — analysis crates must never grow hidden failure hooks;
+//! * no square dense allocation (`Matrix::zeros` with two identical
+//!   non-numeric arguments, i.e. an n×n buffer) inside `crates/core` or
+//!   `crates/serve` — their query paths go through `InfluenceMatrix`,
+//!   which picks the representation; a literal n×n allocation would
+//!   silently defeat the sparse engine at fleet scale;
 //! * diagnostic codes declared in `crates/check/src/rules.rs` are
 //!   unique.
 //!
@@ -49,6 +54,10 @@ const NET_ALLOWED: [&str; 1] = ["serve"];
 
 /// Crates allowed to reference the deterministic fault-injection shim.
 const FAULT_ALLOWED: [&str; 3] = ["substrate", "serve", "bench"];
+
+/// Crates whose analysis paths must never allocate a square dense
+/// matrix directly — representation choice belongs to `InfluenceMatrix`.
+const DENSE_ALLOC_BANNED: [&str; 2] = ["core", "serve"];
 
 fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -120,6 +129,7 @@ fn main() -> ExitCode {
     let unix_net = format!("os::unix::{}", "net");
     let fault_injector = format!("Fault{}", "Injector");
     let fault_plan = format!("Fault{}", "Plan");
+    let dense_zeros = format!("Matrix::{}", "zeros(");
 
     let mut findings = Vec::new();
     let mut codes: Vec<(u16, String)> = Vec::new();
@@ -160,6 +170,26 @@ fn main() -> ExitCode {
                 && !FAULT_ALLOWED.contains(&krate)
             {
                 findings.push(format!("{loc}: fault-injection shim outside substrate/serve/bench"));
+            }
+            if DENSE_ALLOC_BANNED.contains(&krate) {
+                if let Some(pos) = line.find(&dense_zeros) {
+                    let rest = &line[pos + dense_zeros.len()..];
+                    if let Some(end) = rest.find(')') {
+                        let args: Vec<&str> = rest[..end].split(',').map(str::trim).collect();
+                        let square_symbolic = args.len() == 2
+                            && args[0] == args[1]
+                            && args[0]
+                                .chars()
+                                .next()
+                                .is_some_and(|c| !c.is_ascii_digit());
+                        if square_symbolic {
+                            findings.push(format!(
+                                "{loc}: square dense allocation ({dense_zeros}{a}, {a})) in crates/{krate} — route through InfluenceMatrix",
+                                a = args[0]
+                            ));
+                        }
+                    }
+                }
             }
             if in_rules {
                 if let Some(rest) = trimmed.strip_prefix(&code_decl) {

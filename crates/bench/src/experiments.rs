@@ -1,4 +1,4 @@
-//! The experiments: paper items T1, F3–F8 and extensions E1–E14.
+//! The experiments: paper items T1, F3–F8 and extensions E1–E15.
 //!
 //! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured outcomes.
@@ -1054,6 +1054,79 @@ pub fn e14(scale: Scale) -> Table {
     t
 }
 
+/// E15: the sparse large-n analysis engine. Sweeps fleet sizes through
+/// the CSR walk-series kernel (Eq. 3) and the top-k influence query; at
+/// oracle sizes (n ≤ 512) the dense blocked kernel is recomputed and
+/// compared **bitwise** before the row is emitted — any divergence
+/// panics the run. Timings live in `BENCH_sparse_kernel.json`; this
+/// table records only deterministic quantities, so `verify.sh` can
+/// byte-compare sequential vs parallel sweeps.
+pub fn e15(scale: Scale) -> Table {
+    use fcm_graph::InfluenceMatrix;
+    use fcm_workloads::fleet::SparseFleet;
+    const ORDER: usize = 8;
+    const EPSILON: f64 = 1e-12;
+    let ns: Vec<usize> = if scale.trials >= Scale::FULL.trials {
+        vec![128, 512, 1_000, 10_000, 50_000]
+    } else {
+        vec![128, 512, 1_000]
+    };
+    let mut t = Table::new([
+        "n",
+        "repr",
+        "nnz",
+        "density",
+        "series nnz",
+        "top-1 from p0",
+        "oracle",
+    ]);
+    let rows = SweepDriver::new(scale.base_seed).run(&ns, |&n, _| {
+        let fleet = SparseFleet {
+            processes: n,
+            seed: scale.base_seed.wrapping_add(n as u64),
+            ..SparseFleet::default()
+        };
+        let m = fleet.matrix();
+        let series = m.walk_series(ORDER, EPSILON);
+        let oracle = if n <= 512 {
+            let want = m.to_dense().walk_series(ORDER, EPSILON);
+            for i in 0..n {
+                for j in 0..n {
+                    let sv = series.get(i, j).unwrap_or(0.0);
+                    let dv = want.get(i, j).expect("in bounds");
+                    assert_eq!(
+                        sv.to_bits(),
+                        dv.to_bits(),
+                        "sparse/dense divergence at n={n} entry ({i},{j})"
+                    );
+                }
+            }
+            "bitwise-equal"
+        } else {
+            "skipped"
+        };
+        let mut im = InfluenceMatrix::Sparse(m);
+        im.rebalance();
+        let top1 = im
+            .top_k_influence(0, 1, ORDER)
+            .first()
+            .map_or_else(|| "-".to_string(), |&(j, v)| format!("p{j} {v:.6}"));
+        [
+            n.to_string(),
+            im.repr().to_string(),
+            im.nnz().to_string(),
+            format!("{:.5}", im.density()),
+            series.nnz().to_string(),
+            top1,
+            oracle.to_string(),
+        ]
+    });
+    for row in rows {
+        t.push(row);
+    }
+    t
+}
+
 /// A complete platform of `k` nodes with the avionics resources on the
 /// first two nodes (the display head and the radio).
 fn platform_with_resources(k: usize) -> fcm_alloc::HwGraph {
@@ -1208,6 +1281,26 @@ mod tests {
         // Recovery actually happens at the higher fault rates.
         let last = &t.rows()[15];
         assert!(last[4].parse::<f64>().unwrap() > 0.0, "{last:?}");
+    }
+
+    #[test]
+    fn e15_sparse_sweep_is_oracle_checked_and_deterministic() {
+        let t = e15(Scale::QUICK);
+        assert_eq!(t.len(), 3);
+        for row in t.rows() {
+            assert_eq!(row[1], "csr", "{row:?}");
+            let density: f64 = row[3].parse().unwrap();
+            assert!(density > 0.0 && density <= 0.05, "{row:?}");
+            let nnz: usize = row[2].parse().unwrap();
+            let series_nnz: usize = row[4].parse().unwrap();
+            assert!(series_nnz > nnz, "the walk extends direct edges: {row:?}");
+        }
+        // Oracle runs at every n ≤ 512 cell, is skipped above.
+        assert_eq!(t.rows()[0][6], "bitwise-equal");
+        assert_eq!(t.rows()[1][6], "bitwise-equal");
+        assert_eq!(t.rows()[2][6], "skipped");
+        // Byte-identical across repeated runs (the verify.sh contract).
+        assert_eq!(t.to_string(), e15(Scale::QUICK).to_string());
     }
 
     #[test]

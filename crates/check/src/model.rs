@@ -15,7 +15,7 @@
 
 use fcm_alloc::{Clustering, HwGraph, Mapping, ShedPolicy, SwGraph};
 use fcm_core::{FcmHierarchy, HierarchyLevel};
-use fcm_graph::Matrix;
+use fcm_graph::{InfluenceMatrix, Matrix};
 
 /// One FCM as the analyzer sees it: plain data, no invariants.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,8 +164,9 @@ pub struct SystemModel {
     pub retest: Vec<RetestView>,
     /// Eq. 1 factor triples.
     pub factors: Vec<FactorView>,
-    /// The stated node-level influence matrix.
-    pub influence: Option<Matrix>,
+    /// The stated node-level influence matrix (dense or CSR — the
+    /// C009/C010/C011 checks are representation-aware).
+    pub influence: Option<InfluenceMatrix>,
     /// The SW graph (expanded, replica-tagged).
     pub sw: Option<SwGraph>,
     /// The clustering of the SW graph.
@@ -224,9 +225,18 @@ impl SystemModel {
         self
     }
 
-    /// Attaches the stated influence matrix.
+    /// Attaches a stated dense influence matrix, kept dense so the
+    /// diagnostics scan every entry exactly as before.
     #[must_use]
     pub fn with_influence(mut self, m: Matrix) -> SystemModel {
+        self.influence = Some(InfluenceMatrix::Dense(m));
+        self
+    }
+
+    /// Attaches a stated influence matrix in either representation —
+    /// large sparse fleets hand the checker their CSR form directly.
+    #[must_use]
+    pub fn with_influence_matrix(mut self, m: InfluenceMatrix) -> SystemModel {
         self.influence = Some(m);
         self
     }

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use fcm_alloc::ShedPolicy;
 use fcm_core::separation::DEFAULT_ORDER;
-use fcm_graph::Matrix;
+use fcm_graph::{InfluenceMatrix, Matrix, SparseMatrix};
 use fcm_sched::{Admission, Job};
 use fcm_substrate::pool::{par_map_threads, worker_count};
 
@@ -565,15 +565,32 @@ fn c009_matrix_domain(m: &SystemModel) -> Vec<Diagnostic> {
         ));
         return out;
     }
-    for i in 0..mat.rows() {
-        for j in 0..mat.cols() {
-            let v = mat.get(i, j).expect("in range");
-            if !in_unit(v) {
-                out.push(Diagnostic::error(
-                    Code(9),
-                    format!("influence/entry[{i},{j}]"),
-                    format!("entry {v} outside [0,1]"),
-                ));
+    match mat {
+        InfluenceMatrix::Dense(d) => {
+            for i in 0..d.rows() {
+                for j in 0..d.cols() {
+                    let v = d.get(i, j).expect("in range");
+                    if !in_unit(v) {
+                        out.push(Diagnostic::error(
+                            Code(9),
+                            format!("influence/entry[{i},{j}]"),
+                            format!("entry {v} outside [0,1]"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Stored entries row-major: unstored zeros are in-domain, so
+        // the finding set (and its order) matches the dense scan.
+        InfluenceMatrix::Sparse(s) => {
+            for (i, j, v) in s.entries() {
+                if !in_unit(v) {
+                    out.push(Diagnostic::error(
+                        Code(9),
+                        format!("influence/entry[{i},{j}]"),
+                        format!("entry {v} outside [0,1]"),
+                    ));
+                }
             }
         }
     }
@@ -594,13 +611,29 @@ fn c010_truncation(m: &SystemModel) -> Vec<Diagnostic> {
     let mut r_max = 0.0f64;
     let mut domain_ok = true;
     for i in 0..mat.rows() {
+        // Per-row fold in ascending-column order for both
+        // representations; a sparse row skips only exact zeros, which
+        // add nothing to the sum and are always in-domain.
         let mut sum = 0.0;
-        for j in 0..mat.cols() {
-            let v = mat.get(i, j).expect("in range");
-            if !in_unit(v) {
-                domain_ok = false;
+        match mat {
+            InfluenceMatrix::Dense(d) => {
+                for j in 0..d.cols() {
+                    let v = d.get(i, j).expect("in range");
+                    if !in_unit(v) {
+                        domain_ok = false;
+                    }
+                    sum += v;
+                }
             }
-            sum += v;
+            InfluenceMatrix::Sparse(s) => {
+                let (_, vals) = s.row(i);
+                for &v in vals {
+                    if !in_unit(v) {
+                        domain_ok = false;
+                    }
+                    sum += v;
+                }
+            }
         }
         if sum >= 1.0 {
             out.push(Diagnostic::warn(
@@ -641,17 +674,51 @@ fn c011_consistency(m: &SystemModel) -> Vec<Diagnostic> {
         ));
         return out;
     }
-    let derived = Matrix::from_graph(g);
-    for i in 0..n {
-        for j in 0..n {
-            let stated = mat.get(i, j).expect("in range");
-            let want = derived.get(i, j).expect("in range");
-            if (stated - want).abs() > 1e-12 {
-                out.push(Diagnostic::error(
-                    Code(11),
-                    format!("influence/entry[{i},{j}]"),
-                    format!("stated influence {stated} differs from graph-derived {want} (Eq. 2)"),
-                ));
+    let mismatch = |i: usize, j: usize, stated: f64, want: f64, out: &mut Vec<Diagnostic>| {
+        if (stated - want).abs() > 1e-12 {
+            out.push(Diagnostic::error(
+                Code(11),
+                format!("influence/entry[{i},{j}]"),
+                format!("stated influence {stated} differs from graph-derived {want} (Eq. 2)"),
+            ));
+        }
+    };
+    match mat {
+        InfluenceMatrix::Dense(d) => {
+            let derived = Matrix::from_graph(g);
+            for i in 0..n {
+                for j in 0..n {
+                    let stated = d.get(i, j).expect("in range");
+                    let want = derived.get(i, j).expect("in range");
+                    mismatch(i, j, stated, want, &mut out);
+                }
+            }
+        }
+        // O(nnz) union walk over the two sorted rows — a 50k-node
+        // sparse model never materialises a dense n×n here. Columns in
+        // neither row agree at 0 = 0, so the finding set (row-major,
+        // ascending column) matches the dense scan exactly.
+        InfluenceMatrix::Sparse(s) => {
+            let derived = SparseMatrix::from_graph(g);
+            for i in 0..n {
+                let (sc, sv) = s.row(i);
+                let (dc, dv) = derived.row(i);
+                let (mut a, mut b) = (0, 0);
+                while a < sc.len() || b < dc.len() {
+                    let ja = sc.get(a).copied().unwrap_or(usize::MAX);
+                    let jb = dc.get(b).copied().unwrap_or(usize::MAX);
+                    if ja < jb {
+                        mismatch(i, ja, sv[a], 0.0, &mut out);
+                        a += 1;
+                    } else if jb < ja {
+                        mismatch(i, jb, 0.0, dv[b], &mut out);
+                        b += 1;
+                    } else {
+                        mismatch(i, ja, sv[a], dv[b], &mut out);
+                        a += 1;
+                        b += 1;
+                    }
+                }
             }
         }
     }
@@ -895,5 +962,57 @@ mod tests {
         let m = SystemModel::new("empty");
         let r = run_checks_with_threads(&m, 1);
         assert!(r.diagnostics.is_empty(), "{}", r.render());
+    }
+
+    #[test]
+    fn matrix_rules_agree_across_representations() {
+        use fcm_graph::SparseMatrix;
+        // Out-of-domain entry (C009) + row sum ≥ 1 (C010) in one matrix.
+        let bad = Matrix::from_rows(2, 2, &[0.0, 1.5, 0.2, 0.0]);
+        let dense = SystemModel::new("d").with_influence(bad.clone());
+        let sparse = SystemModel::new("s")
+            .with_influence_matrix(InfluenceMatrix::Sparse(SparseMatrix::from_dense(&bad)));
+        for rule in [c009_matrix_domain, c010_truncation] {
+            let (d, s) = (rule(&dense), rule(&sparse));
+            assert_eq!(d.len(), s.len());
+            for (x, y) in d.iter().zip(&s) {
+                assert_eq!(x.path, y.path);
+                assert_eq!(x.message, y.message);
+            }
+        }
+        assert!(!c009_matrix_domain(&dense).is_empty());
+        assert!(!c010_truncation(&dense).is_empty());
+    }
+
+    #[test]
+    fn c011_sparse_union_walk_finds_all_mismatch_kinds() {
+        use fcm_alloc::sw::SwGraphBuilder;
+        use fcm_graph::SparseMatrix;
+        let mut b = SwGraphBuilder::new();
+        let x = b.add_process("x", Default::default());
+        let y = b.add_process("y", Default::default());
+        b.add_influence(x, y, 0.4).unwrap();
+        let g = b.build();
+        // Stated has an extra entry (1,0), a wrong entry (0,1), and is
+        // missing nothing — the union walk must flag both.
+        let stated = Matrix::from_rows(2, 2, &[0.0, 0.9, 0.3, 0.0]);
+        let m = SystemModel::new("s")
+            .with_influence_matrix(InfluenceMatrix::Sparse(SparseMatrix::from_dense(&stated)))
+            .with_sw(g.clone());
+        let diags = c011_consistency(&m);
+        let sites: Vec<&str> = diags.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(sites, ["influence/entry[0,1]", "influence/entry[1,0]"]);
+        // The dense scan of the same model agrees.
+        let dm = SystemModel::new("d").with_influence(stated).with_sw(g);
+        let dense_sites: Vec<String> =
+            c011_consistency(&dm).iter().map(|d| d.path.clone()).collect();
+        assert_eq!(dense_sites, sites);
+        // A derived-only entry (stated row empty) is also caught.
+        let empty = SystemModel::new("e")
+            .with_influence_matrix(InfluenceMatrix::Sparse(SparseMatrix::empty(2, 2)))
+            .with_sw(dm.sw.clone().unwrap());
+        let d2 = c011_consistency(&empty);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].path, "influence/entry[0,1]");
     }
 }

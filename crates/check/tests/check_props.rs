@@ -17,7 +17,7 @@ use fcm_check::{
     run_checks_with_threads, FactorView, FcmNodeView, RecoveryView, Severity, SystemModel,
 };
 use fcm_core::{AttributeSet, FcmHierarchy, HierarchyLevel};
-use fcm_graph::{Matrix, NodeIdx};
+use fcm_graph::{InfluenceMatrix, Matrix, NodeIdx};
 use fcm_substrate::prop;
 use fcm_substrate::rng::Rng;
 use fcm_substrate::ToJson;
@@ -296,7 +296,7 @@ fn c009_out_of_domain_entry_fires() {
     m.sw = None; // isolate from C011's graph comparison
     m.clustering = None;
     m.mapping = None;
-    m.influence = Some(Matrix::from_rows(2, 2, &[0.1, 1.5, 0.0, 0.2]));
+    m.influence = Some(InfluenceMatrix::Dense(Matrix::from_rows(2, 2, &[0.1, 1.5, 0.0, 0.2])));
     assert_mutation_fires(9, &m);
 }
 
@@ -306,7 +306,7 @@ fn c010_divergent_row_warns() {
     m.sw = None;
     m.clustering = None;
     m.mapping = None;
-    m.influence = Some(Matrix::from_rows(2, 2, &[0.6, 0.6, 0.1, 0.1]));
+    m.influence = Some(InfluenceMatrix::Dense(Matrix::from_rows(2, 2, &[0.6, 0.6, 0.1, 0.1])));
     let r = run_checks_with_threads(&m, 1);
     // The base model may carry the (milder) truncation-bound advisory,
     // so assert the row-sum divergence finding specifically.
@@ -333,7 +333,7 @@ fn c011_stated_matrix_drift_fires() {
         }
     }
     data[1] = (data[1] + 0.5).min(1.0); // perturb entry (0,1), stay in [0,1]
-    m.influence = Some(Matrix::from_rows(n, n, &data));
+    m.influence = Some(InfluenceMatrix::Dense(Matrix::from_rows(n, n, &data)));
     assert_mutation_fires(11, &m);
 }
 

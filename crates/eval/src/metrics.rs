@@ -10,6 +10,7 @@ use std::fmt;
 
 use fcm_alloc::{Clustering, HwGraph, Mapping, SwGraph};
 use fcm_core::separation::{SeparationAnalysis, DEFAULT_ORDER};
+use fcm_graph::InfluenceMatrix;
 use fcm_graph::NodeIdx;
 
 /// The metric bundle for one integration outcome.
@@ -114,11 +115,26 @@ fn min_cross_node_separation(g: &SwGraph, clustering: &Clustering) -> f64 {
             membership[n.index()] = ci;
         }
     }
+    // One walk series for the whole scan instead of one per pair. The
+    // sparse branch visits only stored entries: an unstored pair has
+    // separation exactly 1.0, which can never lower the running minimum.
     let mut min_sep = 1.0f64;
-    for i in g.node_indices() {
-        for j in g.node_indices() {
-            if i != j && membership[i.index()] != membership[j.index()] {
-                min_sep = min_sep.min(analysis.separation(i, j, DEFAULT_ORDER));
+    match analysis.influence_matrix() {
+        InfluenceMatrix::Dense(_) => {
+            let pairwise = analysis.pairwise(DEFAULT_ORDER);
+            for i in g.node_indices() {
+                for j in g.node_indices() {
+                    if i != j && membership[i.index()] != membership[j.index()] {
+                        min_sep = min_sep.min(pairwise[(i.index(), j.index())]);
+                    }
+                }
+            }
+        }
+        InfluenceMatrix::Sparse(s) => {
+            for (i, j, v) in s.walk_series(DEFAULT_ORDER, 1e-15).entries() {
+                if i != j && membership[i] != membership[j] {
+                    min_sep = min_sep.min(1.0 - v.min(1.0));
+                }
             }
         }
     }

@@ -20,7 +20,7 @@ pub mod traverse;
 
 pub use mincut::{min_cut, Cut};
 pub use partition::{induced_subgraph, recursive_min_cut, BisectPolicy};
-pub use scc::{is_strongly_connected, strongly_connected_components};
+pub use scc::{is_strongly_connected, scc_of_csr, strongly_connected_components};
 pub use stcut::st_min_cut;
 pub use traverse::{
     bfs_order, dfs_order, has_cycle, is_reachable, reachable_set, topological_order,

@@ -2,9 +2,89 @@
 //!
 //! The separation series of the paper (Eq. 3) converges only when influence
 //! cycles have products `< 1`; detecting cycles via SCCs lets callers warn
-//! about (or renormalise) pathological influence graphs.
+//! about (or renormalise) pathological influence graphs. The sparse
+//! walk-series engine also uses the components (via [`scc_of_csr`]) to
+//! shard rows across the substrate pool.
 
 use crate::{DiGraph, NodeIdx};
+
+/// Iterative Tarjan over any adjacency: `succs(v, out)` must fill `out`
+/// with `v`'s successors. Components come back in reverse topological
+/// order of the condensation (a property of Tarjan's algorithm).
+fn tarjan(n: usize, succs: impl Fn(usize, &mut Vec<usize>)) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+
+    struct State {
+        index: Vec<usize>,
+        lowlink: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        components: Vec<Vec<usize>>,
+    }
+
+    let mut st = State {
+        index: vec![UNVISITED; n],
+        lowlink: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        components: Vec::new(),
+    };
+
+    // Iterative Tarjan: each call frame is (node, iterator position).
+    let mut succ_buf = Vec::new();
+    for root in 0..n {
+        if st.index[root] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut succ_pos)) = call_stack.last_mut() {
+            if *succ_pos == 0 {
+                st.index[v] = st.next_index;
+                st.lowlink[v] = st.next_index;
+                st.next_index += 1;
+                st.stack.push(v);
+                st.on_stack[v] = true;
+            }
+            succ_buf.clear();
+            succs(v, &mut succ_buf);
+            let mut recursed = false;
+            while *succ_pos < succ_buf.len() {
+                let w = succ_buf[*succ_pos];
+                *succ_pos += 1;
+                if st.index[w] == UNVISITED {
+                    call_stack.push((w, 0));
+                    recursed = true;
+                    break;
+                } else if st.on_stack[w] {
+                    st.lowlink[v] = st.lowlink[v].min(st.index[w]);
+                }
+            }
+            if recursed {
+                continue;
+            }
+            // Finished v.
+            if st.lowlink[v] == st.index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = st.stack.pop().expect("tarjan stack underflow");
+                    st.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                st.components.push(comp);
+            }
+            call_stack.pop();
+            if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                st.lowlink[parent] = st.lowlink[parent].min(st.lowlink[v]);
+            }
+        }
+    }
+    st.components
+}
 
 /// Computes the strongly connected components of `g`.
 ///
@@ -28,77 +108,27 @@ use crate::{DiGraph, NodeIdx};
 /// assert_eq!(sccs.len(), 2);
 /// ```
 pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeIdx>> {
-    let n = g.node_count();
-    const UNVISITED: usize = usize::MAX;
+    tarjan(g.node_count(), |v, out| {
+        out.extend(g.successors(NodeIdx(v)).map(NodeIdx::index));
+    })
+    .into_iter()
+    .map(|comp| comp.into_iter().map(NodeIdx).collect())
+    .collect()
+}
 
-    struct State {
-        index: Vec<usize>,
-        lowlink: Vec<usize>,
-        on_stack: Vec<bool>,
-        stack: Vec<usize>,
-        next_index: usize,
-        components: Vec<Vec<NodeIdx>>,
-    }
-
-    let mut st = State {
-        index: vec![UNVISITED; n],
-        lowlink: vec![0; n],
-        on_stack: vec![false; n],
-        stack: Vec::new(),
-        next_index: 0,
-        components: Vec::new(),
-    };
-
-    // Iterative Tarjan: each call frame is (node, iterator position).
-    for root in 0..n {
-        if st.index[root] != UNVISITED {
-            continue;
-        }
-        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
-        while let Some(&mut (v, ref mut succ_pos)) = call_stack.last_mut() {
-            if *succ_pos == 0 {
-                st.index[v] = st.next_index;
-                st.lowlink[v] = st.next_index;
-                st.next_index += 1;
-                st.stack.push(v);
-                st.on_stack[v] = true;
-            }
-            let succs: Vec<usize> = g.successors(NodeIdx(v)).map(NodeIdx::index).collect();
-            let mut recursed = false;
-            while *succ_pos < succs.len() {
-                let w = succs[*succ_pos];
-                *succ_pos += 1;
-                if st.index[w] == UNVISITED {
-                    call_stack.push((w, 0));
-                    recursed = true;
-                    break;
-                } else if st.on_stack[w] {
-                    st.lowlink[v] = st.lowlink[v].min(st.index[w]);
-                }
-            }
-            if recursed {
-                continue;
-            }
-            // Finished v.
-            if st.lowlink[v] == st.index[v] {
-                let mut comp = Vec::new();
-                loop {
-                    let w = st.stack.pop().expect("tarjan stack underflow");
-                    st.on_stack[w] = false;
-                    comp.push(NodeIdx(w));
-                    if w == v {
-                        break;
-                    }
-                }
-                st.components.push(comp);
-            }
-            call_stack.pop();
-            if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                st.lowlink[parent] = st.lowlink[parent].min(st.lowlink[v]);
-            }
-        }
-    }
-    st.components
+/// Strongly connected components of a CSR adjacency: node `v`'s
+/// successors are `col_idx[row_ptr[v]..row_ptr[v + 1]]`. Same reverse
+/// topological ordering contract as [`strongly_connected_components`];
+/// used by the sparse walk-series engine to shard rows by component.
+///
+/// # Panics
+///
+/// Panics when `row_ptr` does not have `n + 1` entries.
+pub fn scc_of_csr(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(row_ptr.len(), n + 1, "row_ptr must have n + 1 entries");
+    tarjan(n, |v, out| {
+        out.extend_from_slice(&col_idx[row_ptr[v]..row_ptr[v + 1]]);
+    })
 }
 
 /// Whether the whole graph is one strongly connected component.
@@ -189,5 +219,24 @@ mod tests {
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn csr_and_digraph_agree() {
+        // 0 <-> 1 feeding 2 -> 3 plus isolated 4.
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[0], ());
+        g.add_edge(n[1], n[2], ());
+        g.add_edge(n[2], n[3], ());
+        let row_ptr = [0usize, 1, 3, 4, 4, 4];
+        let col_idx = [1usize, 0, 2, 3];
+        let from_graph: Vec<Vec<usize>> = strongly_connected_components(&g)
+            .into_iter()
+            .map(|c| c.into_iter().map(NodeIdx::index).collect())
+            .collect();
+        let from_csr = scc_of_csr(5, &row_ptr, &col_idx);
+        assert_eq!(from_graph, from_csr);
     }
 }

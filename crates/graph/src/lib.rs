@@ -11,6 +11,10 @@
 //!   indices, arbitrary node payloads and labelled weighted edges;
 //! * [`Matrix`] — a dense `f64` matrix with the power-series accumulation
 //!   used by the paper's *separation* metric (Eq. 3);
+//! * [`SparseMatrix`] — the CSR counterpart for large sparse fleets, with
+//!   an SCC-sharded walk series bitwise-equal to the dense oracle;
+//! * [`InfluenceMatrix`] — the storage-polymorphic wrapper every upper
+//!   layer holds, with an automatic representation-selection policy;
 //! * [`algo`] — reachability, strongly connected components, Stoer–Wagner
 //!   global min-cut and recursive bisection (heuristic H2 of the paper);
 //! * [`mod@condense`] — contraction of node groups into super-nodes, with
@@ -38,9 +42,15 @@ pub mod condense;
 mod digraph;
 pub mod dot;
 mod error;
+mod influence_matrix;
 mod matrix;
+pub mod sparse;
 
 pub use condense::{condense, CombineRule, Condensation};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use error::GraphError;
+pub use influence_matrix::{
+    prefer_sparse, InfluenceMatrix, SPARSE_MAX_DENSITY, SPARSE_MIN_N, SPARSE_N_THRESHOLD,
+};
 pub use matrix::{Matrix, Workspace};
+pub use sparse::SparseMatrix;

@@ -233,9 +233,20 @@ impl Matrix {
     /// Truncated walk series `Σ_{k=1..order} P^k` — the transitive-influence
     /// sum of the paper's Eq. 3 (`separation = 1 − series entry`).
     ///
-    /// Stops early when every entry of the next power is below `epsilon`
-    /// (the paper: "at some point, higher-order terms are likely to be small
-    /// enough to be neglected"). `order == 0` yields the zero matrix.
+    /// # Truncation semantics
+    ///
+    /// The ε-check tests the max-norm of the **power term** `P^k` —
+    /// *not* the accumulator — immediately before that term would be
+    /// added: the first power whose largest entry falls below `epsilon`
+    /// is discarded and the series stops there (the paper: "at some
+    /// point, higher-order terms are likely to be small enough to be
+    /// neglected"). The accumulator's own magnitude never participates,
+    /// so a series whose sum is already large still truncates as soon
+    /// as the *terms* become negligible. The sparse engine
+    /// ([`SparseMatrix::walk_series`](crate::SparseMatrix::walk_series))
+    /// replays exactly this per-order check, which is what lets the two
+    /// representations truncate at the same order and stay
+    /// bitwise-equal. `order == 0` yields the zero matrix.
     ///
     /// # Panics
     ///
@@ -468,6 +479,23 @@ mod tests {
         // Second power has max entry 1e-8 < epsilon, so the series equals P.
         let s = p.walk_series(10, 1e-6);
         assert_eq!(s, p.walk_series(1, 0.0));
+    }
+
+    #[test]
+    fn truncation_checks_the_power_term_not_the_accumulator() {
+        // Chain 0 -(0.9)-> 1 -(0.01)-> 2: P¹ has max 0.9, P² is the
+        // single entry 0.009 at (0, 2), P³ is zero. With ε = 0.05 the
+        // P² *term* is below ε while the accumulator's max (0.9) is
+        // far above it — an accumulator-based check would keep going
+        // and pick up the 0.009, a power-term check must stop first.
+        let mut p = Matrix::zeros(3, 3);
+        p[(0, 1)] = 0.9;
+        p[(1, 2)] = 0.01;
+        let s = p.walk_series(10, 0.05);
+        assert_eq!(s[(0, 2)], 0.0, "P² term must be discarded");
+        assert_eq!(s, p.walk_series(1, 0.0), "series truncates to P¹");
+        // With ε below the P² term, the term is kept.
+        assert!((p.walk_series(10, 1e-3)[(0, 2)] - 0.009).abs() < 1e-15);
     }
 
     #[test]

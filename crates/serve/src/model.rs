@@ -41,7 +41,7 @@ use fcm_alloc::sw::{SwEdge, SwGraph, SwNode};
 use fcm_alloc::{Clustering, HwGraph, Mapping};
 use fcm_check::Severity;
 use fcm_core::AttributeSet;
-use fcm_graph::{condense, CombineRule, Matrix, NodeIdx};
+use fcm_graph::{condense, CombineRule, InfluenceMatrix, NodeIdx};
 use fcm_sched::{Admission, Job, JobId};
 use fcm_substrate::Json;
 use fcm_workloads::{avionics, paper};
@@ -85,7 +85,9 @@ pub struct LiveModel {
     /// FCM name → dense node index.
     index: BTreeMap<String, usize>,
     /// Node-level Eq. 4 influence matrix, incrementally maintained.
-    influence: Matrix,
+    /// Dense for the committed workloads; flips to CSR automatically
+    /// when a session grows past the sparse-policy threshold.
+    influence: InfluenceMatrix,
     /// Host (HW index) per FCM; `None` = shed / unhosted.
     host_of: Vec<Option<usize>>,
     hosts: Vec<HostState>,
@@ -299,9 +301,11 @@ impl LiveModel {
             return Err(report.error_lines());
         }
         let groups: Vec<Vec<NodeIdx>> = graph.node_indices().map(|n| vec![n]).collect();
-        let influence = condense(&graph, &groups, CombineRule::Probabilistic)
-            .expect("singletons always form a partition")
-            .influence_matrix();
+        let influence = InfluenceMatrix::from_dense_auto(
+            condense(&graph, &groups, CombineRule::Probabilistic)
+                .expect("singletons always form a partition")
+                .influence_matrix(),
+        );
         pipeline::note_full_condense();
 
         let index = graph
@@ -494,10 +498,12 @@ impl LiveModel {
             .ok_or_else(|| format!("no feasible placement for \"{name}\""))?;
 
         // Commit: incremental Eq. 4 — grow by a zero row/column, then
-        // recombine only the new node's row and column.
-        self.influence = pipeline::grow_row_col(&self.influence);
+        // recombine only the new node's row and column (in the current
+        // representation; the policy re-check may flip it afterwards).
+        self.influence = self.influence.grow_row_col();
         self.graph = candidate;
-        pipeline::eq4_recombine_row_col(edge_triples(&self.graph), v, &mut self.influence);
+        pipeline::eq4_recombine_row_col_im(edge_triples(&self.graph), v, &mut self.influence);
+        self.influence.rebalance();
         commit_to(&self.graph, &mut self.hosts, h, v);
         self.host_of.push(Some(h));
         self.index.insert(name.to_string(), v);
@@ -534,7 +540,8 @@ impl LiveModel {
         // Admission job ids are dense indices, which just shifted:
         // rebuild the host state wholesale (removal is off the hot path).
         let hosts = rebuild_hosts(&next, &self.hw, &host_of)?;
-        self.influence = pipeline::shrink_row_col(&self.influence, v);
+        self.influence = self.influence.shrink_row_col(v);
+        self.influence.rebalance();
         self.graph = next;
         self.host_of = host_of;
         self.hosts = hosts;
@@ -758,12 +765,12 @@ impl LiveModel {
                     .set("to", to.as_str())
                     .set(
                         "transitive",
-                        self.influence.transitive_influence(NodeIdx(i), NodeIdx(j), *order),
+                        self.influence.transitive_influence(i, j, *order),
                     ))
             }
             Query::Separation { from, to, order } => {
                 let (i, j) = (self.fcm(from)?, self.fcm(to)?);
-                let t = self.influence.transitive_influence(NodeIdx(i), NodeIdx(j), *order);
+                let t = self.influence.transitive_influence(i, j, *order);
                 Ok(Json::object()
                     .set("from", from.as_str())
                     .set("order", *order as u64)
@@ -787,7 +794,9 @@ impl LiveModel {
                     "hw",
                     Json::array(self.hw.nodes().map(|(_, n)| Json::from(n.name.as_str()))),
                 )),
-            Query::Dump => Ok(Json::object().set("state", self.state_json())),
+            Query::Dump => Ok(Json::object()
+                .set("matrix", self.matrix_info())
+                .set("state", self.state_json())),
             Query::Ping => Ok(Json::object()),
             Query::Snapshot => Err("snapshot is handled by the server layer".to_string()),
         }
@@ -894,6 +903,15 @@ impl LiveModel {
             ))
     }
 
+    /// The influence matrix's representation facts: which engine is
+    /// serving queries, how many entries are stored, how full it is.
+    fn matrix_info(&self) -> Json {
+        Json::object()
+            .set("density", self.influence.density())
+            .set("nnz", self.influence.nnz() as u64)
+            .set("repr", self.influence.repr())
+    }
+
     fn stats(&self) -> Json {
         let unhosted = self.host_of.iter().filter(|h| h.is_none()).count();
         Json::object()
@@ -904,6 +922,7 @@ impl LiveModel {
             )
             .set("fcms", self.graph.node_count() as u64)
             .set("full_condenses", self.full_condenses)
+            .set("matrix", self.matrix_info())
             .set("model", self.name.as_str())
             .set("seq", self.seq)
             .set("unhosted", unhosted as u64)
@@ -947,9 +966,9 @@ impl LiveModel {
                 Json::from(e.weight.influence()),
             ])
         }));
-        let influence = Json::array((0..self.influence.rows()).map(|i| {
-            Json::array((0..self.influence.cols()).map(|j| Json::from(self.influence[(i, j)])))
-        }));
+        // Dense emits the legacy array-of-rows byte-for-byte; CSR emits
+        // the `{"format":"csr",...}` object — both round-trip exactly.
+        let influence = self.influence.to_state_json();
         Json::object()
             .set("edges", edges)
             .set(
@@ -1043,20 +1062,13 @@ impl LiveModel {
             graph.add_edge(NodeIdx(f), NodeIdx(to), weight);
         }
 
-        let rows = state
+        let influence = state
             .get("influence")
-            .and_then(Json::as_array)
+            .and_then(InfluenceMatrix::from_state_json)
             .ok_or_else(|| want("influence"))?;
         let n = graph.node_count();
-        if rows.len() != n {
+        if influence.rows() != n || influence.cols() != n {
             return Err("snapshot influence matrix has wrong dimensions".to_string());
-        }
-        let mut influence = Matrix::zeros(n, n);
-        for (i, row) in rows.iter().enumerate() {
-            let row = row.as_array().filter(|r| r.len() == n).ok_or_else(|| want("influence"))?;
-            for (j, v) in row.iter().enumerate() {
-                influence[(i, j)] = v.as_f64().ok_or_else(|| want("influence"))?;
-            }
         }
 
         let mut failed = BTreeSet::new();
@@ -1111,6 +1123,7 @@ fn check_weight(w: f64) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::proto::Mutation;
+    use fcm_graph::Matrix;
 
     fn add(name: &str, crit: u32, influences: &[(&str, f64)]) -> Mutation {
         Mutation::AddFcm {
@@ -1165,6 +1178,62 @@ mod tests {
         assert!(m.fcm("x1").is_err());
         let x2 = m.fcm("x2").unwrap();
         assert_eq!(m.fcm_name(x2), "x2");
+    }
+
+    #[test]
+    fn growth_past_the_policy_threshold_flips_the_matrix_to_csr() {
+        let mut m = LiveModel::new("paper").unwrap();
+        assert_eq!(m.influence.repr(), "dense", "committed model starts dense");
+        // Grow a low-density fringe until the sparse policy fires
+        // (n ≥ 64 at well under 5% density).
+        let n0 = m.graph.node_count();
+        for i in 0..(64 - n0) {
+            m.apply(&add(&format!("w{i}"), 1, &[("p8", 0.01)])).unwrap();
+        }
+        assert_eq!(m.influence.repr(), "csr");
+        assert_eq!(m.influence, full_recompute(&m.graph), "bitwise across the flip");
+        // Stats and dump surface the representation facts.
+        let stats = m.query(&Query::Stats).unwrap();
+        let info = stats.get("matrix").expect("stats.matrix");
+        assert_eq!(info.get("repr").and_then(Json::as_str), Some("csr"));
+        let nnz = info.get("nnz").and_then(Json::as_f64).unwrap();
+        assert!(nnz >= 1.0);
+        let density = info.get("density").and_then(Json::as_f64).unwrap();
+        assert!(density > 0.0 && density <= 0.05);
+        let dump = m.query(&Query::Dump).unwrap();
+        assert_eq!(
+            dump.get("matrix").and_then(|x| x.get("repr")).and_then(Json::as_str),
+            Some("csr")
+        );
+        // Queries answer identically from the CSR engine.
+        let q = m
+            .query(&Query::Influence {
+                from: "w0".to_string(),
+                to: "p8".to_string(),
+                order: 4,
+            })
+            .unwrap();
+        let direct = q.get("direct").and_then(Json::as_f64).unwrap();
+        assert!((direct - 0.01).abs() < 1e-12, "Eq. 4 fold of the single edge");
+        // The snapshot round-trips through the CSR state form.
+        let state = m.state_json();
+        assert_eq!(
+            state
+                .get("influence")
+                .and_then(|x| x.get("format"))
+                .and_then(Json::as_str),
+            Some("csr")
+        );
+        let restored = LiveModel::from_state(&state).unwrap();
+        assert_eq!(restored.influence.repr(), "csr");
+        assert_eq!(restored.influence, m.influence);
+        assert_eq!(restored.state_json().to_string_compact(), state.to_string_compact());
+        // Shrinking back below the threshold flips the matrix home.
+        for i in 0..(64 - n0) {
+            m.apply(&Mutation::RemoveFcm { name: format!("w{i}") }).unwrap();
+        }
+        assert_eq!(m.influence.repr(), "dense");
+        assert_eq!(m.influence, full_recompute(&m.graph));
     }
 
     #[test]

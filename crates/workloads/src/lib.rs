@@ -7,6 +7,9 @@
 //!   reconstruction preserves);
 //! * [`random`] — seeded random influence graphs with controllable size,
 //!   density, attribute distributions (experiment E1's input);
+//! * [`fleet`] — large sparse hub-and-spoke fleets emitted directly as
+//!   CSR triples, never materialising n×n (the sparse-engine experiment
+//!   E15's input);
 //! * [`topologies`] — structured shapes (pipelines, hubs, bridged
 //!   cliques, layers) for the heuristic-vs-structure experiment E10;
 //! * [`materialize`] — turns a clustering + mapping into a runnable
@@ -30,6 +33,7 @@
 
 pub mod automotive;
 pub mod avionics;
+pub mod fleet;
 pub mod materialize;
 pub mod measured;
 pub mod paper;

@@ -55,6 +55,21 @@ if [ "$sweep_seq" != "$sweep_par" ]; then
     exit 1
 fi
 
+echo "== sparse engine determinism + oracle (E15, 1 thread vs 4)"
+# The sparse sweep prints only deterministic quantities, so the table
+# must be byte-identical whatever FCM_SWEEP_THREADS is; and every
+# n <= 512 cell must carry the sparse-vs-dense bitwise oracle verdict.
+e15_seq=$(FCM_SWEEP_THREADS=1 cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e15 | grep -v '^# ')
+e15_par=$(FCM_SWEEP_THREADS=4 cargo run --release --offline -q -p fcm-bench --bin repro -- --quick e15 | grep -v '^# ')
+if [ "$e15_seq" != "$e15_par" ]; then
+    echo "FAIL: parallel e15 sweep output differs from sequential" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$e15_seq" | grep -q 'bitwise-equal'; then
+    echo "FAIL: e15 ran no sparse-vs-dense oracle cell" >&2
+    exit 1
+fi
+
 echo "== repro rejects unknown experiment ids"
 if cargo run --release --offline -q -p fcm-bench --bin repro -- e99 2>/dev/null; then
     echo "FAIL: repro accepted an unknown experiment id" >&2
