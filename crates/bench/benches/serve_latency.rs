@@ -98,6 +98,7 @@ fn run_point(p: &Point) -> (Json, Json) {
         duration_ms: p.duration_ms,
         seed: 0xbe7c + p.rate,
         mutation_pct: 100,
+        subscribers: 0,
     };
     // Concurrent reader: query-only, a steady 2k/s probe stream.
     let query_cfg = LoadConfig {
@@ -106,6 +107,7 @@ fn run_point(p: &Point) -> (Json, Json) {
         duration_ms: p.duration_ms,
         seed: 0x9ea0 + p.rate,
         mutation_pct: 0,
+        subscribers: 0,
     };
     let writer = {
         let target = target.clone();

@@ -17,7 +17,10 @@
 //!   metadata: when any of `n` / `nnz` / `density` is present all three
 //!   are required (`n` ≥ 1, `nnz` ≥ 0, `density` ∈ [0, 1]), and
 //!   `oracle`, when present, must be `"bitwise-equal"` or `"skipped"`
-//!   and travel with the size keys.
+//!   and travel with the size keys;
+//! * the `obs_live` suite must carry an `overhead` object with numeric
+//!   `recorder_pct` and `serve_latency_pct` — the telemetry-plane cost
+//!   figures the acceptance bound reads.
 //!
 //! Usage: `check_bench_schema <file.json>...` — prints one line per
 //! problem; exit codes follow the repo-wide contract (DESIGN.md):
@@ -122,6 +125,13 @@ fn validate(text: &str) -> Vec<String> {
                 }
             }
             _ => problems.push("'overhead' is not an object".into()),
+        }
+    }
+    if j.get("suite").and_then(Json::as_str) == Some("obs_live") {
+        for key in ["recorder_pct", "serve_latency_pct"] {
+            if j.get("overhead").and_then(|o| o.get(key)).and_then(Json::as_f64).is_none() {
+                problems.push(format!("obs_live suite: missing numeric overhead.{key}"));
+            }
         }
     }
     problems

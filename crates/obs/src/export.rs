@@ -51,6 +51,20 @@ impl LoggedSpan {
     }
 }
 
+/// A flight-recorder event read back from a JSONL log (see
+/// [`crate::recorder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedEvent {
+    /// Recorder-assigned sequence number.
+    pub seq: u64,
+    /// Nanoseconds from the process epoch at record time.
+    pub ts_ns: u64,
+    /// Event name.
+    pub name: String,
+    /// Structured payload.
+    pub detail: Json,
+}
+
 /// A fully parsed event log.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventLog {
@@ -58,8 +72,18 @@ pub struct EventLog {
     pub schema: String,
     /// Spans lost to ring overflow before the export.
     pub spans_dropped: u64,
+    /// Per-thread breakdown of `spans_dropped` (non-zero threads only;
+    /// absent in logs written before the field existed).
+    pub dropped_by_thread: BTreeMap<u64, u64>,
+    /// Flight-recorder events lost to ring overflow (flight dumps only).
+    pub events_dropped: u64,
+    /// Dump reason from a flight dump's meta record (`None` for a
+    /// regular export).
+    pub flight: Option<String>,
     /// All spans, in file order (the exporter sorts by `(start_ns, id)`).
     pub spans: Vec<LoggedSpan>,
+    /// Flight-recorder events, in file (= seq) order.
+    pub events: Vec<LoggedEvent>,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
@@ -83,17 +107,26 @@ fn span_json(s: &SpanRecord) -> Json {
 /// Drains the process-wide spans and metrics into one JSONL document.
 #[must_use]
 pub fn render_jsonl() -> String {
-    let (spans, dropped) = span::drain();
+    let (spans, by_thread) = span::drain_detailed();
+    let dropped: u64 = by_thread.iter().map(|&(_, d)| d).sum();
     let snap = metrics::drain();
     let mut out = String::new();
     let mut line = |j: Json| {
         out.push_str(&j.to_string_compact());
         out.push('\n');
     };
-    line(Json::object()
+    let mut meta = Json::object()
         .set("kind", "meta")
         .set("schema", SCHEMA)
-        .set("spans_dropped", dropped));
+        .set("spans_dropped", dropped);
+    if dropped > 0 {
+        let detail = by_thread
+            .iter()
+            .filter(|&&(_, d)| d > 0)
+            .fold(Json::object(), |j, &(t, d)| j.set(&t.to_string(), d));
+        meta = meta.set("dropped_by_thread", detail);
+    }
+    line(meta);
     for s in &spans {
         line(span_json(s));
     }
@@ -161,7 +194,35 @@ impl EventLog {
                     }
                     log.schema = schema.to_string();
                     log.spans_dropped = num("spans_dropped")?;
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    if let Some(Json::Obj(map)) = j.get("dropped_by_thread") {
+                        for (t, d) in map {
+                            let thread = t
+                                .parse::<u64>()
+                                .map_err(|_| format!("line {lineno}: bad thread id {t:?}"))?;
+                            let d = d
+                                .as_f64()
+                                .ok_or_else(|| format!("line {lineno}: non-numeric drop count"))?;
+                            log.dropped_by_thread.insert(thread, d as u64);
+                        }
+                    }
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    if let Some(d) = j.get("events_dropped").and_then(Json::as_f64) {
+                        log.events_dropped = d as u64;
+                    }
+                    log.flight = j
+                        .get("flight")
+                        .and_then(Json::as_str)
+                        .map(str::to_string);
                     saw_meta = true;
+                }
+                "event" => {
+                    log.events.push(LoggedEvent {
+                        seq: num("seq")?,
+                        ts_ns: num("ts_ns")?,
+                        name: name()?,
+                        detail: j.get("detail").cloned().unwrap_or_else(Json::object),
+                    });
                 }
                 "span" => {
                     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]

@@ -14,7 +14,12 @@
 //!   [`hist::Histogram`]s (record / merge / quantile);
 //! * [`export`] — schema-versioned JSONL event-log export
 //!   (`fcm-obs/v1`) and its reader, consumed by the `obsview`
-//!   inspector in `fcm-bench`.
+//!   inspector in `fcm-bench`;
+//! * [`recorder`] — a bounded flight-recorder event ring the serving
+//!   layer dumps (`flight.jsonl`, same `fcm-obs/v1` format) on
+//!   degraded entry, crash-drill crash points, and SIGTERM drain;
+//! * [`window`] — count-based rolling-window histograms behind the
+//!   serve layer's live `stats` SLO fields.
 //!
 //! # The observation contract
 //!
@@ -33,14 +38,18 @@
 pub mod export;
 pub mod hist;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
+pub mod window;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-pub use export::{EventLog, LoggedSpan};
+pub use export::{EventLog, LoggedEvent, LoggedSpan};
 pub use hist::Histogram;
 pub use metrics::{counter_add, gauge_set, hist_record, MetricsSnapshot};
+pub use recorder::FlightEvent;
 pub use span::{current_span, span, span_idx, span_under, Span, SpanRecord};
+pub use window::RollingHist;
 
 /// The environment variable naming the JSONL event-log output path.
 /// Setting it (or passing `repro --obs-out`) enables recording.

@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use fcm_substrate::pool::Mutex;
+use fcm_substrate::{Json, ToJson};
 
 use crate::enabled;
 use crate::hist::Histogram;
@@ -30,6 +31,70 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one JSON object (`counters` / `gauges` /
+    /// `hists` maps, keys in lexicographic order). This is the payload
+    /// the serve layer ships for the `metrics` wire op; together with
+    /// [`MetricsSnapshot::from_json`] it round-trips bitwise — counter
+    /// `u64`s stay exact up to 2⁵³ (the substrate JSON integer domain)
+    /// and gauge `f64`s ride the substrate's shortest-exact formatter.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .fold(Json::object(), |j, (k, v)| j.set(k.as_str(), *v));
+        let gauges = self
+            .gauges
+            .iter()
+            .fold(Json::object(), |j, (k, v)| j.set(k.as_str(), *v));
+        let hists = self
+            .hists
+            .iter()
+            .fold(Json::object(), |j, (k, h)| j.set(k.as_str(), h.to_json()));
+        Json::object()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("hists", hists)
+    }
+
+    /// Parses a snapshot rendered by [`MetricsSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed map or histogram.
+    pub fn from_json(j: &Json) -> Result<MetricsSnapshot, String> {
+        let entries = |key: &str| -> Result<Vec<(String, Json)>, String> {
+            match j.get(key) {
+                Some(Json::Obj(map)) => {
+                    Ok(map.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                }
+                Some(_) => Err(format!("metrics field '{key}' is not an object")),
+                None => Err(format!("metrics object missing '{key}'")),
+            }
+        };
+        let mut snap = MetricsSnapshot::default();
+        for (name, v) in entries("counters")? {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| format!("counter '{name}' is not numeric"))?;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            snap.counters.insert(name, n as u64);
+        }
+        for (name, v) in entries("gauges")? {
+            let g = v
+                .as_f64()
+                .ok_or_else(|| format!("gauge '{name}' is not numeric"))?;
+            snap.gauges.insert(name, g);
+        }
+        for (name, v) in entries("hists")? {
+            let h = Histogram::from_json(&v).map_err(|e| format!("hist '{name}': {e}"))?;
+            snap.hists.insert(name, h);
+        }
+        Ok(snap)
+    }
 }
 
 #[derive(Default)]

@@ -89,6 +89,16 @@ impl Ring {
         let dropped = std::mem::take(&mut inner.dropped);
         (out, dropped)
     }
+
+    /// Oldest-first copy without resetting the ring (flight dumps peek
+    /// mid-run; a regular export remains the only cut point).
+    fn peek(&self) -> (Vec<SpanRecord>, u64) {
+        let inner = self.inner.lock();
+        let head = inner.head;
+        let mut out: Vec<SpanRecord> = inner.buf[head..].to_vec();
+        out.extend_from_slice(&inner.buf[..head]);
+        (out, inner.dropped)
+    }
 }
 
 /// All thread rings ever registered (rings outlive their threads so a
@@ -251,11 +261,38 @@ pub fn span_under(name: &'static str, parent: u64, idx: Option<u64>) -> Span {
 /// overflow since the previous drain.
 #[must_use]
 pub fn drain() -> (Vec<SpanRecord>, u64) {
+    let (spans, by_thread) = drain_detailed();
+    let dropped = by_thread.iter().map(|&(_, d)| d).sum();
+    (spans, dropped)
+}
+
+/// [`drain`] with the drop count broken out per recording thread
+/// (`(thread, dropped)` pairs in thread order, zero entries included).
+#[must_use]
+pub fn drain_detailed() -> (Vec<SpanRecord>, Vec<(u64, u64)>) {
+    let rings: Vec<Arc<Ring>> = registry().lock().clone();
+    let mut spans = Vec::new();
+    let mut by_thread = Vec::new();
+    for ring in rings {
+        let (mut part, d) = ring.drain();
+        spans.append(&mut part);
+        by_thread.push((ring.thread, d));
+    }
+    by_thread.sort_unstable();
+    spans.sort_unstable_by_key(|s| (s.start_ns, s.id));
+    (spans, by_thread)
+}
+
+/// Copies every thread's ring without resetting anything: spans ordered
+/// by `(start_ns, id)` plus the cumulative overflow count. Used by the
+/// flight recorder, whose dumps must not disturb a later real export.
+#[must_use]
+pub fn peek() -> (Vec<SpanRecord>, u64) {
     let rings: Vec<Arc<Ring>> = registry().lock().clone();
     let mut spans = Vec::new();
     let mut dropped = 0u64;
     for ring in rings {
-        let (mut part, d) = ring.drain();
+        let (mut part, d) = ring.peek();
         spans.append(&mut part);
         dropped += d;
     }

@@ -1,0 +1,156 @@
+//! Rolling-window histograms for live SLO reporting.
+//!
+//! A [`RollingHist`] records every sample twice: into a *lifetime*
+//! histogram (what the batch export has always shipped) and into the
+//! *current window*, which rotates into a bounded deque of completed
+//! windows every `window_every` samples. Quantiles over the most recent
+//! completed window answer "what is p99 **now**", not "what has p99
+//! been since the process started" — the serving layer's `stats` SLO
+//! fields read [`RollingHist::last_window`].
+//!
+//! Rotation is **count-based**, not time-based: the rotation points of
+//! a deterministic run are themselves deterministic, so a golden
+//! transcript that never completes a window renders the same bytes on
+//! every machine. The structural invariant (pinned by property test):
+//! merging every completed window plus the current one reproduces the
+//! lifetime histogram exactly, because [`crate::Histogram::merge`] is
+//! a lossless union of sample streams.
+
+use std::collections::VecDeque;
+
+use crate::hist::Histogram;
+
+/// A histogram with count-based rolling windows next to its lifetime
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct RollingHist {
+    window_every: u64,
+    retain: usize,
+    current: Histogram,
+    completed: VecDeque<Histogram>,
+    lifetime: Histogram,
+    rotations: u64,
+}
+
+impl RollingHist {
+    /// A rolling histogram that completes a window every `window_every`
+    /// samples (min 1) and retains the last `retain` completed windows.
+    #[must_use]
+    pub fn new(window_every: u64, retain: usize) -> RollingHist {
+        RollingHist {
+            window_every: window_every.max(1),
+            retain,
+            current: Histogram::new(),
+            completed: VecDeque::new(),
+            lifetime: Histogram::new(),
+            rotations: 0,
+        }
+    }
+
+    /// Records one sample into the current window and the lifetime
+    /// histogram, rotating the window when it reaches `window_every`.
+    pub fn record(&mut self, v: u64) {
+        self.current.record(v);
+        self.lifetime.record(v);
+        if self.current.count() >= self.window_every {
+            let full = std::mem::take(&mut self.current);
+            self.completed.push_back(full);
+            self.rotations += 1;
+            while self.completed.len() > self.retain {
+                self.completed.pop_front();
+            }
+        }
+    }
+
+    /// The most recent *completed* window (`None` until the first
+    /// rotation) — the deterministic basis for live SLO fields.
+    #[must_use]
+    pub fn last_window(&self) -> Option<&Histogram> {
+        self.completed.back()
+    }
+
+    /// All retained completed windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Histogram> {
+        self.completed.iter()
+    }
+
+    /// The in-progress window (fewer than `window_every` samples).
+    #[must_use]
+    pub fn current(&self) -> &Histogram {
+        &self.current
+    }
+
+    /// The lifetime histogram over every sample ever recorded.
+    #[must_use]
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// Completed-window count (including evicted ones).
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Samples per window.
+    #[must_use]
+    pub fn window_every(&self) -> u64 {
+        self.window_every
+    }
+
+    /// Merge of every *retained* window plus the current one. Equals
+    /// [`RollingHist::lifetime`] exactly while nothing has been evicted.
+    #[must_use]
+    pub fn merged_retained(&self) -> Histogram {
+        let mut m = Histogram::new();
+        for w in &self.completed {
+            m.merge(w);
+        }
+        m.merge(&self.current);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_rotate_on_the_sample_count() {
+        let mut r = RollingHist::new(4, 8);
+        for v in 0..10u64 {
+            r.record(v);
+        }
+        assert_eq!(r.rotations(), 2);
+        assert_eq!(r.current().count(), 2);
+        let last = r.last_window().expect("one full window");
+        assert_eq!(last.count(), 4);
+        assert_eq!(last.min(), Some(4), "last window holds samples 4..8");
+        assert_eq!(last.max(), Some(7));
+    }
+
+    #[test]
+    fn no_window_before_the_first_rotation() {
+        let mut r = RollingHist::new(100, 4);
+        for v in 0..99u64 {
+            r.record(v);
+        }
+        assert!(r.last_window().is_none());
+        r.record(99);
+        assert!(r.last_window().is_some());
+    }
+
+    #[test]
+    fn retention_evicts_oldest_windows() {
+        let mut r = RollingHist::new(2, 3);
+        for v in 0..20u64 {
+            r.record(v);
+        }
+        assert_eq!(r.rotations(), 10);
+        assert_eq!(r.windows().count(), 3);
+        let oldest_retained = r.windows().next().unwrap();
+        assert_eq!(oldest_retained.min(), Some(14));
+        // Lifetime still covers everything.
+        assert_eq!(r.lifetime().count(), 20);
+    }
+}

@@ -23,12 +23,16 @@ crashdrill: crash-point durability matrix for the fcm-serve store
 
 USAGE:
     crashdrill [--model <paper|avionics>] [--quick] [--json]
+               [--flight-out <PATH>]
 
 OPTIONS:
-    --model <NAME>  Committed workload to drill (default paper)
-    --quick         Trimmed session (the scripts/verify.sh gate)
-    --json          Emit the fcm-crashdrill/v1 report on stdout
-    --help          Show this help
+    --model <NAME>       Committed workload to drill (default paper)
+    --quick              Trimmed session (the scripts/verify.sh gate)
+    --json               Emit the fcm-crashdrill/v1 report on stdout
+    --flight-out <PATH>  Arm the flight recorder: every simulated crash
+                         point dumps an fcm-obs/v1 flight log to PATH
+                         (the file holds the last crash point reached)
+    --help               Show this help
 
 EXIT CODES:
     0  all crash points recovered prefix-consistently
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
     let mut model = "paper".to_string();
     let mut quick = false;
     let mut json = false;
+    let mut flight_out: Option<std::path::PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -57,12 +62,23 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             "--json" => json = true,
+            "--flight-out" => match it.next() {
+                Some(p) => flight_out = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("crashdrill: --flight-out requires a value");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("crashdrill: unknown flag \"{other}\"");
                 eprintln!("run with --help for usage");
                 return ExitCode::from(2);
             }
         }
+    }
+    if let Some(path) = &flight_out {
+        fcm_obs::recorder::set_dump_path(Some(path.clone()));
+        fcm_obs::recorder::set_enabled(true);
     }
 
     let report = match drill::run_matrix(&model, quick) {

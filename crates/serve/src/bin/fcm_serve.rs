@@ -4,8 +4,15 @@
 //! fcm-serve --model paper --socket /tmp/fcm.sock [--state-dir DIR]
 //!           [--resume] [--snapshot-every N] [--obs-out PATH]
 //!           [--fault-plan SPEC] [--rearm-base-ms N]
+//!           [--flight-out PATH] [--no-flight] [--heartbeat-every N]
+//!           [--sub-queue N] [--slo-window N]
 //! fcm-serve --model avionics --tcp 127.0.0.1:7433
 //! ```
+//!
+//! The flight recorder is on by default (a bounded in-memory ring; its
+//! only output is an `fcm-obs/v1` dump on degraded entry or SIGTERM),
+//! and `--no-flight` exists precisely so the byte-identity gate can
+//! show serve responses do not depend on it.
 //!
 //! Exit codes follow the workspace contract: 0 = clean shutdown
 //! (SIGTERM/SIGINT drain), 1 = the startup model failed its pre-flight
@@ -26,6 +33,8 @@ USAGE:
     fcm-serve --model <paper|avionics> (--socket <PATH> | --tcp <ADDR>)
               [--state-dir <DIR>] [--resume] [--snapshot-every <N>]
               [--obs-out <PATH>] [--fault-plan <SPEC>] [--rearm-base-ms <N>]
+              [--flight-out <PATH>] [--no-flight] [--heartbeat-every <N>]
+              [--sub-queue <N>] [--slo-window <N>]
 
 OPTIONS:
     --model <NAME>        Committed workload to serve (paper | avionics)
@@ -42,6 +51,17 @@ OPTIONS:
                           'journal.*:eio' or 'snapshot.rename:crash@0'
     --rearm-base-ms <N>   Base backoff (ms) for degraded-mode re-arm
                           probes (default 100)
+    --flight-out <PATH>   Where the flight recorder dumps fcm-obs/v1
+                          JSONL on degraded entry / SIGTERM (default
+                          <state-dir>/flight.jsonl when --state-dir is
+                          given, else no dump path)
+    --no-flight           Disable the flight recorder entirely
+    --heartbeat-every <N> Publish a stats heartbeat event every N
+                          accepted mutations (default 256; 0 = never)
+    --sub-queue <N>       Default per-subscriber event-queue bound
+                          (default 1024; overfull queues drop oldest)
+    --slo-window <N>      Samples per rolling SLO window behind the
+                          stats p50/p99 fields (default 4096)
     --help                Show this help
 
 EXIT CODES:
@@ -53,6 +73,8 @@ EXIT CODES:
 struct Args {
     config: ServerConfig,
     obs_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
+    no_flight: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -64,6 +86,11 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     let mut obs_out: Option<PathBuf> = None;
     let mut fault = FaultPlan::none();
     let mut rearm_base_ms: u64 = 100;
+    let mut flight_out: Option<PathBuf> = None;
+    let mut no_flight = false;
+    let mut heartbeat_every: u64 = 256;
+    let mut sub_queue: usize = 1024;
+    let mut slo_window: u64 = 4096;
 
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -94,6 +121,29 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|_| "--rearm-base-ms requires a non-negative integer".to_string())?;
             }
+            "--flight-out" => flight_out = Some(PathBuf::from(value("--flight-out")?)),
+            "--no-flight" => no_flight = true,
+            "--heartbeat-every" => {
+                heartbeat_every = value("--heartbeat-every")?
+                    .parse()
+                    .map_err(|_| "--heartbeat-every requires a non-negative integer".to_string())?;
+            }
+            "--sub-queue" => {
+                sub_queue = value("--sub-queue")?
+                    .parse()
+                    .map_err(|_| "--sub-queue requires a positive integer".to_string())?;
+                if sub_queue == 0 {
+                    return Err("--sub-queue requires a positive integer".to_string());
+                }
+            }
+            "--slo-window" => {
+                slo_window = value("--slo-window")?
+                    .parse()
+                    .map_err(|_| "--slo-window requires a positive integer".to_string())?;
+                if slo_window == 0 {
+                    return Err("--slo-window requires a positive integer".to_string());
+                }
+            }
             other => return Err(format!("unknown flag \"{other}\"")),
         }
     }
@@ -102,6 +152,16 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     if resume && state_dir.is_none() {
         return Err("--resume requires --state-dir".to_string());
     }
+    if no_flight && flight_out.is_some() {
+        return Err("--no-flight conflicts with --flight-out".to_string());
+    }
+    // Default dump path: next to the durable state, where a post-mortem
+    // will look first.
+    let flight_out = match (flight_out, &state_dir, no_flight) {
+        (Some(p), _, _) => Some(p),
+        (None, Some(dir), false) => Some(dir.join("flight.jsonl")),
+        _ => None,
+    };
     Ok(Some(Args {
         config: ServerConfig {
             state_dir,
@@ -109,9 +169,14 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             snapshot_every,
             fault,
             rearm_base_ms,
+            sub_queue,
+            heartbeat_every,
+            slo_window,
             ..ServerConfig::new(listen, &model)
         },
         obs_out,
+        flight_out,
+        no_flight,
     }))
 }
 
@@ -133,6 +198,10 @@ fn main() -> ExitCode {
     if args.obs_out.is_some() || std::env::var_os(fcm_obs::OBS_OUT_ENV).is_some() {
         fcm_obs::init(fcm_obs::ObsConfig::default());
         fcm_obs::set_enabled(true);
+    }
+    if !args.no_flight {
+        fcm_obs::recorder::set_dump_path(args.flight_out.clone());
+        fcm_obs::recorder::set_enabled(true);
     }
     signal::install();
 
@@ -163,6 +232,11 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     };
+    // After the drain: the ring still holds the run's tail, and the
+    // dump can no longer race the writer thread.
+    if let Some(path) = fcm_obs::recorder::auto_dump("sigterm") {
+        eprintln!("fcm-serve: flight log dumped to {}", path.display());
+    }
     if let Some(path) = args.obs_out {
         if let Err(e) = fcm_obs::export::export_to(&path) {
             eprintln!("fcm-serve: obs export failed: {e}");

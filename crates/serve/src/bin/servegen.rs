@@ -31,15 +31,23 @@ servegen: deterministic load generator for fcm-serve
 
 USAGE:
     servegen (--socket <PATH> | --tcp <ADDR>) [--script <FILE|->]
+             [--subscribe-transcript <K>] [--subscribe <N>]
              [--rate <N>] [--clients <N>] [--duration-ms <N>]
              [--seed <N>] [--mutation-pct <N>] [--timeout <MS>]
 
 MODES:
     --script <FILE|->     Replay requests from FILE (or stdin with \"-\"),
                           printing the hello and every response verbatim
+    --script <FILE> --subscribe-transcript <K>
+                          Subscribe first (events from eseq 0), replay the
+                          script from a second session, and print the ack
+                          plus the first K event lines and the end marker
     (no --script)         Open-loop load: seeded mutation/query mix
 
 OPTIONS:
+    --subscribe <N>       Load mode: attach N event subscribers for the
+                          run; each verifies exact eseq/dropped gap
+                          accounting and the summary reports totals
     --rate <N>            Offered requests/second, all clients (default 1000)
     --clients <N>         Concurrent connections (default 4)
     --duration-ms <N>     Load run length (default 2000)
@@ -56,12 +64,14 @@ EXIT CODES:
 
 enum Mode {
     Script(String),
+    SubscribeTranscript(String, u64),
     Load(LoadConfig),
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode, Option<u64>)>, String> {
     let mut target: Option<Listen> = None;
     let mut script: Option<String> = None;
+    let mut subscribe_transcript: Option<u64> = None;
     let mut config = LoadConfig::default();
     let mut timeout_ms: Option<u64> = None;
 
@@ -81,6 +91,17 @@ fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode, Option<u64>)>, St
             "--socket" => target = Some(Listen::Unix(PathBuf::from(value("--socket")?))),
             "--tcp" => target = Some(Listen::Tcp(value("--tcp")?)),
             "--script" => script = Some(value("--script")?),
+            "--subscribe-transcript" => {
+                let k = uint("--subscribe-transcript", value("--subscribe-transcript")?)?;
+                if k == 0 {
+                    return Err("--subscribe-transcript requires a positive count".to_string());
+                }
+                subscribe_transcript = Some(k);
+            }
+            "--subscribe" => {
+                config.subscribers =
+                    uint("--subscribe", value("--subscribe")?)? as usize;
+            }
             "--rate" => config.rate = uint("--rate", value("--rate")?)?,
             "--clients" => config.clients = uint("--clients", value("--clients")?)? as usize,
             "--duration-ms" => config.duration_ms = uint("--duration-ms", value("--duration-ms")?)?,
@@ -97,8 +118,8 @@ fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode, Option<u64>)>, St
         }
     }
     let target = target.ok_or("one of --socket or --tcp is required")?;
-    let mode = match script {
-        Some(path) => {
+    let mode = match (script, subscribe_transcript) {
+        (Some(path), k) => {
             let text = if path == "-" {
                 let mut buf = String::new();
                 std::io::stdin()
@@ -108,9 +129,15 @@ fn parse_args(argv: &[String]) -> Result<Option<(Listen, Mode, Option<u64>)>, St
             } else {
                 std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?
             };
-            Mode::Script(text)
+            match k {
+                Some(k) => Mode::SubscribeTranscript(text, k),
+                None => Mode::Script(text),
+            }
         }
-        None => Mode::Load(config),
+        (None, Some(_)) => {
+            return Err("--subscribe-transcript requires --script".to_string());
+        }
+        (None, None) => Mode::Load(config),
     };
     Ok(Some((target, mode, timeout_ms)))
 }
@@ -120,6 +147,10 @@ fn run(target: &Listen, mode: Mode) -> Result<(), String> {
         Mode::Script(text) => {
             let mut stdout = std::io::stdout().lock();
             gen::run_script(target, &text, &mut stdout)
+        }
+        Mode::SubscribeTranscript(text, k) => {
+            let mut stdout = std::io::stdout().lock();
+            gen::run_subscribe_transcript(target, &text, k, &mut stdout)
         }
         Mode::Load(config) => gen::run_load(target, &config).map(|report| {
             println!("{}", gen::report_json(&config, &report).to_string_compact());

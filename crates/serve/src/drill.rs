@@ -225,12 +225,26 @@ fn crash_case(
     'session: for (i, m) in session.iter().enumerate() {
         model.apply(m).map_err(|e| format!("drill apply {i}: {e}"))?;
         if store.append(model.seq(), m).is_err() {
-            break 'session; // the process died mid-append
+            // The process died mid-append. The flight recorder treats a
+            // simulated crash like a real one: capture the moment, then
+            // best-effort dump (a no-op unless the drill armed it).
+            fcm_obs::recorder::record(
+                "crash_point",
+                Json::object().set("site", site).set("hit", k).set("torn", torn),
+            );
+            let _ = fcm_obs::recorder::auto_dump("crash_point");
+            break 'session;
         }
         acked += 1;
         if (i + 1) % SNAPSHOT_EVERY == 0 && store.snapshot(model.seq(), &model.state_json()).is_err()
         {
-            break 'session; // died mid-snapshot; journal has everything
+            // Died mid-snapshot; journal has everything.
+            fcm_obs::recorder::record(
+                "crash_point",
+                Json::object().set("site", site).set("hit", k).set("torn", torn),
+            );
+            let _ = fcm_obs::recorder::auto_dump("crash_point");
+            break 'session;
         }
     }
     drop(store);

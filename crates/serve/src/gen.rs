@@ -20,6 +20,17 @@
 //!
 //! Determinism: the request *sequence* per client is a pure function of
 //! `(seed, client index)`; only the measured latencies vary run to run.
+//!
+//! A third mode rides on load: `--subscribe N` attaches N event
+//! subscribers for the duration of the run. Each one checks the exact
+//! drop-accounting identity on its stream — for consecutive deliveries
+//! `a` then `b`, `b.eseq − a.eseq − 1 == b.dropped − a.dropped` — so a
+//! load run doubles as an end-to-end proof that overwrite-oldest
+//! backpressure loses exactly what it says it loses. And
+//! [`run_subscribe_transcript`] is the deterministic variant behind the
+//! `scripts/serve_subscribe.golden` gate: subscribe first (eseq 0),
+//! drive a fixed mutation script from a second session, and print the
+//! ack plus every event line verbatim.
 
 use std::io::{BufRead, BufReader, Write};
 use std::time::{Duration, Instant};
@@ -42,6 +53,10 @@ pub struct LoadConfig {
     /// Percent of requests that are mutations (0..=100); the rest are
     /// queries.
     pub mutation_pct: u8,
+    /// Event subscribers attached for the duration of the run (0 =
+    /// none). Each validates the eseq/dropped gap identity on its
+    /// stream.
+    pub subscribers: usize,
 }
 
 impl Default for LoadConfig {
@@ -52,6 +67,7 @@ impl Default for LoadConfig {
             duration_ms: 2000,
             seed: 42,
             mutation_pct: 20,
+            subscribers: 0,
         }
     }
 }
@@ -70,6 +86,10 @@ pub struct LoadReport {
     pub query_ns: Vec<u64>,
     /// Wall-clock run length, ns.
     pub elapsed_ns: u64,
+    /// Events delivered across all subscribers.
+    pub events_delivered: u64,
+    /// Events dropped (overwrite-oldest) across all subscribers.
+    pub events_dropped: u64,
 }
 
 /// Exact percentile (nearest-rank) over an unsorted sample; 0 when empty.
@@ -118,6 +138,135 @@ pub fn run_script(target: &Listen, script: &str, out: &mut dyn Write) -> Result<
         writeln!(out, "{resp}").map_err(|e| format!("write transcript: {e}"))?;
     }
     Ok(())
+}
+
+/// Replays `script` mutations from a second session while a
+/// subscription opened *first* (so its events start at eseq 0) streams
+/// to `out`: the hello, the subscribe ack, then every event line
+/// through the `max_events` end marker, all verbatim. Every byte is a
+/// pure function of (model, script, server event cadence), which is
+/// what lets scripts/verify.sh pin the output as a golden file.
+///
+/// # Errors
+///
+/// Connection or I/O failure, a rejected subscribe, or a server that
+/// closes mid-stream (all exit-code-2 class).
+pub fn run_subscribe_transcript(
+    target: &Listen,
+    script: &str,
+    max_events: u64,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let stream = connect(target)?;
+    let mut tx = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut lines = BufReader::new(stream).lines();
+    let hello = lines
+        .next()
+        .ok_or("server closed before hello")?
+        .map_err(|e| format!("read hello: {e}"))?;
+    writeln!(out, "{hello}").map_err(|e| format!("write transcript: {e}"))?;
+    let sub_req = format!("{{\"op\":\"subscribe\",\"max_events\":{max_events}}}\n");
+    tx.write_all(sub_req.as_bytes())
+        .map_err(|e| format!("send subscribe: {e}"))?;
+    let ack = lines
+        .next()
+        .ok_or("server closed before subscribe ack")?
+        .map_err(|e| format!("read ack: {e}"))?;
+    writeln!(out, "{ack}").map_err(|e| format!("write transcript: {e}"))?;
+    let parsed = Json::parse(&ack).map_err(|e| format!("subscribe ack: {e}"))?;
+    if parsed.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("subscribe rejected: {ack}"));
+    }
+    // Drive the mutations from a second session; its responses are not
+    // part of the subscription transcript.
+    run_script(target, script, &mut std::io::sink())?;
+    loop {
+        let line = lines
+            .next()
+            .ok_or("server closed mid-stream")?
+            .map_err(|e| format!("read event: {e}"))?;
+        writeln!(out, "{line}").map_err(|e| format!("write transcript: {e}"))?;
+        let ev = Json::parse(&line).map_err(|e| format!("event line: {e}"))?;
+        if ev.get("event").and_then(Json::as_str) == Some("end") {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads a `u64` field off an event/ack line.
+fn event_u64(j: &Json, key: &str) -> Result<u64, String> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let v = j.get(key).and_then(Json::as_f64).map(|v| v as u64);
+    v.ok_or_else(|| format!("event line missing \"{key}\": {}", j.to_string_compact()))
+}
+
+/// One load-run subscriber: the stream handle (shut down by the load
+/// driver once the run ends) plus the thread validating the event
+/// stream; the thread resolves to `(delivered, dropped)`.
+struct SubWorker {
+    stream: crate::server::Stream,
+    thread: std::thread::JoinHandle<Result<(u64, u64), String>>,
+}
+
+/// Attaches one subscriber and spawns its validation thread: every
+/// delivered event must satisfy the exact drop-accounting identity
+/// (gap in eseq == growth in `dropped` — see `crate::events`).
+fn spawn_subscriber(target: &Listen) -> Result<SubWorker, String> {
+    let stream = connect(target)?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut tx = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let thread = std::thread::spawn(move || -> Result<(u64, u64), String> {
+        let mut lines = BufReader::new(reader).lines();
+        lines
+            .next()
+            .ok_or("server closed before hello")?
+            .map_err(|e| e.to_string())?;
+        tx.write_all(b"{\"op\":\"subscribe\"}\n")
+            .map_err(|e| e.to_string())?;
+        let ack_line = lines
+            .next()
+            .ok_or("no subscribe ack")?
+            .map_err(|e| e.to_string())?;
+        let ack = Json::parse(&ack_line).map_err(|e| format!("subscribe ack: {e}"))?;
+        if ack.get("ok") != Some(&Json::Bool(true)) {
+            return Err(format!("subscribe rejected: {ack_line}"));
+        }
+        let next_eseq = event_u64(&ack, "next_eseq")?;
+        let mut prev: Option<(u64, u64)> = None;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        // Drain until the load driver shuts the socket down.
+        for line in lines {
+            let Ok(line) = line else { break };
+            let j = Json::parse(&line).map_err(|e| format!("event line: {e}"))?;
+            let eseq = event_u64(&j, "eseq")?;
+            let drops = event_u64(&j, "dropped")?;
+            let consistent = match prev {
+                None => eseq.checked_sub(next_eseq) == drops.checked_sub(0),
+                Some((pe, pd)) => {
+                    eseq.checked_sub(pe + 1)
+                        .zip(drops.checked_sub(pd))
+                        .is_some_and(|(gap, d)| gap == d)
+                }
+            };
+            if !consistent {
+                return Err(format!(
+                    "drop accounting violated: eseq {eseq} dropped {drops} after {prev:?} (subscribed at {next_eseq})"
+                ));
+            }
+            prev = Some((eseq, drops));
+            delivered += 1;
+            dropped = drops;
+        }
+        Ok((delivered, dropped))
+    });
+    Ok(SubWorker { stream, thread })
 }
 
 /// One client's deterministic request generator.
@@ -247,6 +396,13 @@ pub fn run_load(target: &Listen, config: &LoadConfig) -> Result<LoadReport, Stri
         return Err("model has no FCMs to target".to_string());
     }
 
+    // Subscribers attach before the load starts so they observe the
+    // whole run; they detach (socket shutdown) only after every worker
+    // has drained its responses.
+    let subs: Vec<SubWorker> = (0..config.subscribers)
+        .map(|_| spawn_subscriber(target))
+        .collect::<Result<_, _>>()?;
+
     let per_client_rate = config.rate as f64 / config.clients as f64;
     let total_per_client =
         ((config.duration_ms as f64 / 1000.0) * per_client_rate).floor() as u64;
@@ -336,6 +492,17 @@ pub fn run_load(target: &Listen, config: &LoadConfig) -> Result<LoadReport, Stri
         total.query_ns.extend(r.query_ns);
         total.elapsed_ns = total.elapsed_ns.max(r.elapsed_ns);
     }
+    for sub in &subs {
+        sub.stream.shutdown();
+    }
+    for sub in subs {
+        let (delivered, dropped) = sub
+            .thread
+            .join()
+            .map_err(|_| "subscriber panicked".to_string())??;
+        total.events_delivered += delivered;
+        total.events_dropped += dropped;
+    }
     Ok(total)
 }
 
@@ -351,6 +518,9 @@ pub fn report_json(config: &LoadConfig, r: &LoadReport) -> Json {
         .set("achieved_rps", achieved)
         .set("clients", config.clients as u64)
         .set("errors", r.errors)
+        .set("events_delivered", r.events_delivered)
+        .set("events_dropped", r.events_dropped)
+        .set("subscribers", config.subscribers as u64)
         .set("mutation_p50_ns", percentile_ns(&r.mutation_ns, 50.0))
         .set("mutation_p99_ns", percentile_ns(&r.mutation_ns, 99.0))
         .set("mutations", r.mutation_ns.len() as u64)
@@ -418,12 +588,47 @@ mod tests {
                 duration_ms: 250,
                 seed: 11,
                 mutation_pct: 30,
+                subscribers: 2,
             },
         )
         .expect("load runs");
         assert!(report.sent >= 90, "sent {}", report.sent);
         assert_eq!(report.errors, 0, "seeded mix is always valid");
         assert!(!report.query_ns.is_empty() && !report.mutation_ns.is_empty());
+        assert!(
+            report.events_delivered > 0,
+            "subscribers observed the mutation stream"
+        );
         h.stop().expect("clean stop");
+    }
+
+    #[test]
+    fn subscribe_transcript_is_deterministic() {
+        let script = concat!(
+            r#"{"op":"add_fcm","name":"t0","criticality":1,"influences":[["p8",0.3]]}"#,
+            "\n",
+            r#"{"op":"add_fcm","name":"t1","criticality":0,"influences":[["p2a",0.2]]}"#,
+            "\n",
+        );
+        let run = || {
+            let h = start(ServerConfig {
+                heartbeat_every: 2,
+                ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper")
+            })
+            .expect("server starts");
+            let target = Listen::Tcp(h.addr().to_string());
+            let mut out = Vec::new();
+            // 2 mutations + 1 heartbeat = 3 events, then the end line.
+            run_subscribe_transcript(&target, script, 3, &mut out).expect("transcript");
+            h.stop().expect("clean stop");
+            String::from_utf8(out).unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run(), "byte-identical across fresh daemons");
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 6, "hello + ack + 3 events + end:\n{a}");
+        assert!(lines[2].contains("\"event\":\"mutation\""));
+        assert!(lines[4].contains("\"event\":\"stats\""));
+        assert!(lines[5].contains("\"event\":\"end\""));
     }
 }

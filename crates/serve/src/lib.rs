@@ -21,6 +21,10 @@
 //!   `fcm-serve --resume` to a byte-identical model;
 //! * [`server`] — the daemon: one writer thread serializes mutations
 //!   ahead of a read-mostly query pool (one thread per connection);
+//! * [`events`] — the telemetry event bus: writer-serialized events
+//!   (mutations, degraded/re-arm transitions, repr flips, stats
+//!   heartbeats) fanned out to bounded per-session subscriber queues
+//!   (`subscribe` op) and the `fcm-obs` flight recorder;
 //! * [`gen`] — the deterministic seeded load generator behind the
 //!   `servegen` bin and the `serve_latency` bench;
 //! * [`drill`] — the crash-point durability matrix: enumerate every IO
@@ -36,6 +40,7 @@
 //! all model state and protocol payloads are substrate JSON.
 
 pub mod drill;
+pub mod events;
 pub mod gen;
 pub mod model;
 pub mod proto;

@@ -799,6 +799,7 @@ impl LiveModel {
                 .set("state", self.state_json())),
             Query::Ping => Ok(Json::object()),
             Query::Snapshot => Err("snapshot is handled by the server layer".to_string()),
+            Query::Metrics => Err("metrics is handled by the server layer".to_string()),
         }
     }
 
@@ -901,6 +902,14 @@ impl LiveModel {
                 "shed",
                 Json::array(out.shed.iter().map(|&v| Json::from(self.fcm_name(v.index())))),
             ))
+    }
+
+    /// `(repr, nnz)` of the influence matrix — the cheap pre/post-apply
+    /// probe the writer thread uses to stamp subscription events with
+    /// the incremental Eq. 4 delta and detect live repr flips.
+    #[must_use]
+    pub(crate) fn matrix_brief(&self) -> (&'static str, u64) {
+        (self.influence.repr(), self.influence.nnz() as u64)
     }
 
     /// The influence matrix's representation facts: which engine is

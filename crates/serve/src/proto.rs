@@ -9,10 +9,16 @@
 //! The grammar (DESIGN.md §9):
 //!
 //! ```text
-//! mutation := add_fcm | remove_fcm | set_attr | fail_node | restore_node
-//! query    := influence | separation | check | admit | propose_placement
-//!           | stats | list | dump | snapshot | ping
+//! mutation  := add_fcm | remove_fcm | set_attr | fail_node | restore_node
+//! query     := influence | separation | check | admit | propose_placement
+//!            | stats | metrics | list | dump | snapshot | ping
+//! subscribe := subscribe [max_events] [queue]
 //! ```
+//!
+//! `subscribe` upgrades the session to a push stream: after the ack the
+//! server interleaves line-JSON events (`"event"` + `"eseq"` +
+//! `"dropped"` fields) with any later responses on the same connection;
+//! see DESIGN.md §12 for the backpressure and ordering contract.
 //!
 //! [`mutation_to_json`] is the canonical rendering used for the journal:
 //! parse∘render is the identity on mutations (pinned by the protocol
@@ -131,6 +137,10 @@ pub enum Query {
     },
     /// Counters: model size, seq, full-condense count, failed nodes.
     Stats,
+    /// Live `fcm-obs` metrics snapshot (counters/gauges/histograms)
+    /// plus the rolling-window SLO block — answered at the server
+    /// layer, never by the model (telemetry stays output-only).
+    Metrics,
     /// FCM and HW node names.
     List,
     /// The full canonical model state (the byte-compare payload).
@@ -141,6 +151,17 @@ pub enum Query {
     Ping,
 }
 
+/// Options for a `subscribe` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubscribeOpts {
+    /// Deliver exactly this many events, then an `"event":"end"` line,
+    /// then unsubscribe (`None` = stream until the session closes).
+    /// Golden transcripts use this for a deterministic cut-off.
+    pub max_events: Option<u64>,
+    /// Per-subscriber queue bound override (overwrite-oldest past it).
+    pub queue: Option<usize>,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -148,6 +169,8 @@ pub enum Request {
     Mutation(Mutation),
     /// Answered in-place under the read lock.
     Query(Query),
+    /// Upgrade this session to a live event stream.
+    Subscribe(SubscribeOpts),
 }
 
 fn str_field(j: &Json, key: &str) -> Result<String, String> {
@@ -308,6 +331,27 @@ fn parse_request(j: &Json) -> Result<Request, String> {
             node: str_field(j, "node")?,
         }),
         "stats" => Request::Query(Query::Stats),
+        "metrics" => Request::Query(Query::Metrics),
+        "subscribe" => {
+            let max_events = match j.get("max_events") {
+                None => None,
+                Some(v) => Some(
+                    as_uint(v)
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "\"max_events\" must be a positive integer".to_string())?,
+                ),
+            };
+            let queue = match j.get("queue") {
+                None => None,
+                Some(v) => Some(
+                    as_uint(v)
+                        .filter(|&n| n > 0 && n <= 1 << 20)
+                        .ok_or_else(|| "\"queue\" must be in 1..=1048576".to_string())?
+                        as usize,
+                ),
+            };
+            Request::Subscribe(SubscribeOpts { max_events, queue })
+        }
         "list" => Request::Query(Query::List),
         "dump" => Request::Query(Query::Dump),
         "snapshot" => Request::Query(Query::Snapshot),
@@ -325,7 +369,9 @@ fn parse_request(j: &Json) -> Result<Request, String> {
 pub fn mutation_from_json(j: &Json) -> Result<Mutation, String> {
     match parse_request(j)? {
         Request::Mutation(m) => Ok(m),
-        Request::Query(_) => Err("journal entry is a query, not a mutation".to_string()),
+        Request::Query(_) | Request::Subscribe(_) => {
+            Err("journal entry is not a mutation".to_string())
+        }
     }
 }
 

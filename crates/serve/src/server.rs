@@ -55,9 +55,11 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fcm_obs::RollingHist;
 use fcm_substrate::fault::{FaultInjector, FaultPlan};
 use fcm_substrate::{Json, Rng};
 
+use crate::events::{EventBus, PopBatch, Subscriber, DEFAULT_SUB_QUEUE};
 use crate::model::LiveModel;
 use crate::proto::{self, Query, Request};
 use crate::store::{self, Recovered, Store};
@@ -93,6 +95,17 @@ pub struct ServerConfig {
     /// Base delay (ms) for the seeded exponential-backoff re-arm probes
     /// issued while degraded.
     pub rearm_base_ms: u64,
+    /// Default per-subscriber event-queue bound (a `subscribe` request
+    /// may lower or raise its own with `"queue"`); past it the oldest
+    /// queued event is overwritten and counted in `"dropped"`.
+    pub sub_queue: usize,
+    /// Publish a `stats` heartbeat event every this many accepted
+    /// mutations (0 = no heartbeats). Count-based, so heartbeat
+    /// positions in a deterministic mutation stream are deterministic.
+    pub heartbeat_every: u64,
+    /// Samples per rolling SLO window for the per-op latency
+    /// histograms behind the `stats` `"slo"` fields.
+    pub slo_window: u64,
 }
 
 impl ServerConfig {
@@ -109,6 +122,9 @@ impl ServerConfig {
             queue_bound: 4096,
             fault: FaultPlan::none(),
             rearm_base_ms: 100,
+            sub_queue: DEFAULT_SUB_QUEUE,
+            heartbeat_every: 256,
+            slo_window: 4096,
         }
     }
 }
@@ -158,6 +174,61 @@ impl ServeStatus {
     }
 }
 
+/// Rolling-window per-op latency state behind the `stats` `"slo"`
+/// fields: p50/p99 over the most recent *completed* window, not the
+/// process lifetime. Windows rotate on sample counts, so a golden
+/// session that never fills one renders `"slo":null` deterministically.
+struct SloWindows {
+    apply: RollingHist,
+    query: RollingHist,
+}
+
+impl SloWindows {
+    fn new(window: u64) -> SloWindows {
+        SloWindows {
+            apply: RollingHist::new(window, 8),
+            query: RollingHist::new(window, 8),
+        }
+    }
+}
+
+/// Renders the SLO block: `null` until some window has completed, else
+/// per-op `count`/`p50_ns`/`p99_ns` from the last completed window.
+fn slo_json(slo: &Mutex<SloWindows>) -> Json {
+    let s = slo.lock().expect("slo lock");
+    let part = |r: &RollingHist| {
+        r.last_window().map(|w| {
+            Json::object()
+                .set("count", w.count())
+                .set("p50_ns", w.quantile(0.5).unwrap_or(0))
+                .set("p99_ns", w.quantile(0.99).unwrap_or(0))
+        })
+    };
+    match (part(&s.apply), part(&s.query)) {
+        (None, None) => Json::Null,
+        (a, q) => {
+            let mut j = Json::object().set("window", s.apply.window_every());
+            if let Some(a) = a {
+                j = j.set("apply", a);
+            }
+            if let Some(q) = q {
+                j = j.set("query", q);
+            }
+            j
+        }
+    }
+}
+
+/// Per-connection server context shared by every session thread.
+struct Shared {
+    model: Arc<RwLock<LiveModel>>,
+    status: Arc<ServeStatus>,
+    injector: Arc<FaultInjector>,
+    bus: Arc<EventBus>,
+    slo: Arc<Mutex<SloWindows>>,
+    sub_queue: usize,
+}
+
 /// A bidirectional client/server stream over either transport.
 pub(crate) enum Stream {
     Tcp(TcpStream),
@@ -172,7 +243,7 @@ impl Stream {
         }
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         let _ = match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
@@ -443,6 +514,16 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
     let stop = Arc::new(AtomicBool::new(false));
     let clients: Arc<Mutex<Vec<ClientSlot>>> = Arc::new(Mutex::new(Vec::new()));
     let (writer_tx, writer_rx) = mpsc::sync_channel::<WriterMsg>(config.queue_bound.max(1));
+    let bus = Arc::new(EventBus::new());
+    let slo = Arc::new(Mutex::new(SloWindows::new(config.slo_window)));
+    let shared = Arc::new(Shared {
+        model: Arc::clone(&model),
+        status: Arc::clone(&status),
+        injector: Arc::clone(&injector),
+        bus: Arc::clone(&bus),
+        slo: Arc::clone(&slo),
+        sub_queue: config.sub_queue.max(1),
+    });
 
     let writer_thread = {
         let model = Arc::clone(&model);
@@ -455,6 +536,10 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
             rng: Rng::seed_from_u64(0xfa57_a4e1),
             rearm_failures: 0,
             next_probe_at: None,
+            bus,
+            slo,
+            heartbeat_every: config.heartbeat_every,
+            accepted: 0,
         };
         std::thread::spawn(move || writer_loop(&model, &writer_rx, ctx))
     };
@@ -462,9 +547,6 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
     let accept_thread = {
         let stop = Arc::clone(&stop);
         let clients = Arc::clone(&clients);
-        let model = Arc::clone(&model);
-        let status = Arc::clone(&status);
-        let injector = Arc::clone(&injector);
         let writer_tx = writer_tx.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
@@ -473,12 +555,10 @@ pub fn start(config: ServerConfig) -> Result<Handle, String> {
                         let Ok(reader_half) = stream.try_clone() else {
                             continue;
                         };
-                        let model = Arc::clone(&model);
-                        let status = Arc::clone(&status);
-                        let injector = Arc::clone(&injector);
+                        let shared = Arc::clone(&shared);
                         let tx = writer_tx.clone();
                         let thread = std::thread::spawn(move || {
-                            serve_client(reader_half, &model, &tx, &status, &injector);
+                            serve_client(reader_half, &shared, &tx);
                         });
                         clients
                             .lock()
@@ -529,6 +609,15 @@ struct WriterCtx {
     rearm_failures: u32,
     /// When the next re-arm probe may run; `None` while armed.
     next_probe_at: Option<Instant>,
+    /// Event bus published from this thread's serialization point.
+    bus: Arc<EventBus>,
+    /// Rolling apply/query latency windows behind the `stats` SLO block.
+    slo: Arc<Mutex<SloWindows>>,
+    /// Publish a `stats` heartbeat event every this many accepted
+    /// mutations (0 = never).
+    heartbeat_every: u64,
+    /// Accepted mutations so far (drives the heartbeat cadence).
+    accepted: u64,
 }
 
 impl WriterCtx {
@@ -556,6 +645,16 @@ impl WriterCtx {
             }
         }
         self.status.enter_degraded();
+        self.bus.publish(
+            "degraded",
+            Json::object()
+                .set("transitions", self.status.transitions())
+                .set("seq", model.read().expect("model lock").seq()),
+        );
+        // A degraded transition is exactly the moment a post-mortem
+        // wants the recent history: flush the flight recorder now,
+        // while the events that led here are still in the ring.
+        let _ = fcm_obs::recorder::auto_dump("degraded");
         self.rearm_failures = 0;
         let delay = self.backoff();
         self.next_probe_at = Some(Instant::now() + delay);
@@ -581,12 +680,24 @@ impl WriterCtx {
                 self.status.leave_degraded();
                 self.rearm_failures = 0;
                 self.next_probe_at = None;
+                self.bus.publish(
+                    "rearm",
+                    Json::object()
+                        .set("armed", true)
+                        .set("attempts", self.status.rearm_attempts()),
+                );
                 true
             }
             Err(_) => {
                 self.rearm_failures = self.rearm_failures.saturating_add(1);
                 let delay = self.backoff();
                 self.next_probe_at = Some(Instant::now() + delay);
+                self.bus.publish(
+                    "rearm",
+                    Json::object()
+                        .set("armed", false)
+                        .set("attempts", self.status.rearm_attempts()),
+                );
                 false
             }
         }
@@ -604,6 +715,8 @@ fn writer_loop(
     mut ctx: WriterCtx,
 ) -> Result<(), String> {
     let mut since_snapshot: u64 = 0;
+    // Events built during an apply, published only after the ack.
+    let mut pending_events: Vec<(&'static str, Json)> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             WriterMsg::Apply { mutation, reply } => {
@@ -611,13 +724,22 @@ fn writer_loop(
                     let _ = reply.send(Err(DEGRADED_REJECT.to_string()));
                     continue;
                 }
+                // Snapshot repr/nnz around the apply only when someone
+                // observes events — the brief is two loads, but even
+                // that stays off the unobserved fast path.
+                let observe = ctx.bus.has_consumers();
                 let t0 = Instant::now();
-                let result = {
+                let (result, briefs) = {
                     let mut m = model.write().expect("model lock");
-                    m.apply(&mutation)
+                    let before = observe.then(|| m.matrix_brief());
+                    let result = m.apply(&mutation);
+                    let after = observe.then(|| m.matrix_brief());
+                    (result, before.zip(after))
                 };
-                fcm_obs::hist_record("serve.apply_ns", t0.elapsed().as_nanos() as u64);
+                let apply_ns = t0.elapsed().as_nanos() as u64;
+                fcm_obs::hist_record("serve.apply_ns", apply_ns);
                 fcm_obs::counter_add("serve.mutations", 1);
+                ctx.slo.lock().expect("slo lock").apply.record(apply_ns);
                 if result.is_ok() {
                     if let Some(s) = ctx.store.as_mut() {
                         let seq = model.read().expect("model lock").seq();
@@ -628,8 +750,58 @@ fn writer_loop(
                         }
                     }
                     since_snapshot += 1;
+                    ctx.accepted += 1;
+                    // Build event payloads now (the reply consumes
+                    // `result`)…
+                    if let (Ok(payload), Some(((repr_b, nnz_b), (repr_a, nnz_a)))) =
+                        (&result, briefs)
+                    {
+                        #[allow(clippy::cast_precision_loss)]
+                        let nnz_delta = nnz_a as f64 - nnz_b as f64;
+                        pending_events.push((
+                            "mutation",
+                            payload
+                                .clone()
+                                .set("op", mutation.op())
+                                .set("nnz_delta", nnz_delta),
+                        ));
+                        if repr_b != repr_a {
+                            pending_events.push((
+                                "repr_flip",
+                                Json::object()
+                                    .set("from", repr_b)
+                                    .set("to", repr_a)
+                                    .set("nnz", nnz_a),
+                            ));
+                        }
+                    }
+                    if ctx.heartbeat_every > 0
+                        && ctx.accepted.is_multiple_of(ctx.heartbeat_every)
+                        && ctx.bus.has_consumers()
+                    {
+                        // Count-based cadence: heartbeat positions in a
+                        // deterministic mutation stream are themselves
+                        // deterministic (the subscribe golden relies on
+                        // this).
+                        if let Ok(stats) =
+                            model.read().expect("model lock").query(&Query::Stats)
+                        {
+                            pending_events.push(("stats", stats));
+                        }
+                    }
                 }
                 let _ = reply.send(result);
+                // …and publish *after* the ack is on its way. The
+                // `eseq` order is still assigned here, at the writer's
+                // serialization point — subscribers observe exactly the
+                // mutation order — but the streamer threads the publish
+                // wakes no longer preempt the path between the apply
+                // and the client's ack (on small machines that wakeup
+                // preemption, not the publish itself, dominated
+                // round-trip latency).
+                for (name, detail) in pending_events.drain(..) {
+                    ctx.bus.publish(name, detail);
+                }
                 if ctx.snapshot_every > 0 && since_snapshot >= ctx.snapshot_every {
                     // A failed periodic snapshot loses no acknowledged
                     // data (the journal has everything); stay armed and
@@ -679,10 +851,18 @@ fn write_snapshot(model: &RwLock<LiveModel>, store: Option<&mut Store>) -> Resul
 /// slot, in submission order (= response order).
 type Pending = std::collections::VecDeque<(Option<Json>, mpsc::Receiver<Result<Json, String>>)>;
 
+/// Writes one blob to the session's shared write half under its lock —
+/// the same lock the subscription streamer threads take, so response
+/// lines and event lines interleave only at line boundaries, never
+/// mid-line.
+fn write_locked(out: &Mutex<Stream>, bytes: &[u8]) -> bool {
+    out.lock().expect("out lock").write_all(bytes).is_ok()
+}
+
 /// Awaits every in-flight mutation reply and writes the responses in
 /// order (one syscall for the whole batch). Returns `false` when the
 /// session is dead (writer gone or socket closed).
-fn flush_pending(pending: &mut Pending, out: &mut Stream) -> bool {
+fn flush_pending(pending: &mut Pending, out: &Mutex<Stream>) -> bool {
     if pending.is_empty() {
         return true;
     }
@@ -691,7 +871,55 @@ fn flush_pending(pending: &mut Pending, out: &mut Stream) -> bool {
         let Ok(result) = rx.recv() else { return false };
         batch.push_str(&proto::render_response(id.as_ref(), &result));
     }
-    out.write_all(batch.as_bytes()).is_ok()
+    write_locked(out, batch.as_bytes())
+}
+
+/// Drains one subscription onto the session's shared write half: pops
+/// events (blocking), writes each rendered line, and — when the
+/// subscription has a `max_events` cut-off — appends a final
+/// `{"event":"end","delivered":…,"dropped":…}` line once the cut-off is
+/// reached. Exits on write failure or subscription close, always
+/// deregistering from the bus.
+fn spawn_streamer(
+    out: Arc<Mutex<Stream>>,
+    sub: Arc<Subscriber>,
+    bus: Arc<EventBus>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Batch bound: enough to drain a bursty queue in one write,
+        // small enough to keep any one write (and the lock hold on the
+        // shared half) bounded.
+        const MAX_BATCH: u64 = 256;
+        // Coalesce window: events wait up to this long so a busy
+        // writer's burst is delivered as one write instead of one
+        // wakeup+write per event (see `Subscriber::pop_batch`).
+        const COALESCE: Duration = Duration::from_millis(2);
+        loop {
+            // Never overshoot a max_events cut-off mid-batch.
+            let limit = match sub.max_events() {
+                Some(m) => (m - sub.counts().0).min(MAX_BATCH),
+                None => MAX_BATCH,
+            };
+            let PopBatch::Lines(lines, _) = sub.pop_batch(limit, COALESCE) else {
+                break;
+            };
+            if !write_locked(&out, lines.as_bytes()) {
+                break;
+            }
+            if sub.max_events().is_some_and(|m| sub.counts().0 >= m) {
+                let (delivered, dropped) = sub.counts();
+                let mut end = Json::object()
+                    .set("event", "end")
+                    .set("delivered", delivered)
+                    .set("dropped", dropped)
+                    .to_string_compact();
+                end.push('\n');
+                let _ = write_locked(&out, end.as_bytes());
+                break;
+            }
+        }
+        bus.unsubscribe(sub.id());
+    })
 }
 
 /// Back-pressure bound: a session never holds more un-acknowledged
@@ -709,26 +937,28 @@ const MAX_PIPELINE: usize = 1024;
 /// read-your-writes within the session). This amortizes the
 /// conn-thread ↔ writer-thread handoff over the whole run instead of
 /// paying two context switches per mutation.
-fn serve_client(
-    mut stream: Stream,
-    model: &RwLock<LiveModel>,
-    writer: &mpsc::SyncSender<WriterMsg>,
-    status: &ServeStatus,
-    injector: &FaultInjector,
-) {
-    let Ok(mut out) = stream.try_clone() else {
+/// Subscriptions add a second writer to the session socket: each
+/// `subscribe` spawns a streamer thread that drains its bounded event
+/// queue onto the same write half, so the half lives behind a `Mutex`
+/// and every write (response batch or event line) is whole-line atomic.
+/// The ack for a `subscribe` is written *before* its streamer spawns,
+/// so the ack always precedes the first event line.
+fn serve_client(mut stream: Stream, shared: &Shared, writer: &mpsc::SyncSender<WriterMsg>) {
+    let Ok(out) = stream.try_clone() else {
         return;
     };
+    let out = Arc::new(Mutex::new(out));
     {
-        let m = model.read().expect("model lock");
+        let m = shared.model.read().expect("model lock");
         let hello = proto::hello(m.name(), m.fcm_count(), m.hw_count(), m.seq());
-        if out.write_all(hello.as_bytes()).is_err() {
+        if !write_locked(&out, hello.as_bytes()) {
             return;
         }
     }
     let mut inbuf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut pending = Pending::new();
+    let mut subs: Vec<(Arc<Subscriber>, JoinHandle<()>)> = Vec::new();
     'session: loop {
         // Dispatch every complete line currently buffered.
         let mut start = 0usize;
@@ -748,14 +978,39 @@ fn serve_client(
                         break 'session;
                     }
                     pending.push_back((id, rx));
-                    if pending.len() >= MAX_PIPELINE && !flush_pending(&mut pending, &mut out) {
+                    if pending.len() >= MAX_PIPELINE && !flush_pending(&mut pending, &out) {
                         break 'session;
                     }
+                }
+                Ok(Request::Subscribe(opts)) => {
+                    // Settle mutations first so the subscription's
+                    // `next_eseq` reflects everything this session
+                    // already submitted.
+                    if !flush_pending(&mut pending, &out) {
+                        break 'session;
+                    }
+                    let capacity = opts.queue.unwrap_or(shared.sub_queue);
+                    let (sub, next_eseq) = shared.bus.subscribe(capacity, opts.max_events);
+                    let mut ack = Json::object()
+                        .set("next_eseq", next_eseq)
+                        .set("queue", capacity as u64)
+                        .set("subscription", sub.id());
+                    if let Some(m) = opts.max_events {
+                        ack = ack.set("max_events", m);
+                    }
+                    let response = proto::render_response(id.as_ref(), &Ok(ack));
+                    if !write_locked(&out, response.as_bytes()) {
+                        shared.bus.unsubscribe(sub.id());
+                        break 'session;
+                    }
+                    let streamer =
+                        spawn_streamer(Arc::clone(&out), Arc::clone(&sub), Arc::clone(&shared.bus));
+                    subs.push((sub, streamer));
                 }
                 parsed => {
                     // Order + read-your-writes: settle the pipelined
                     // mutations before answering anything else.
-                    if !flush_pending(&mut pending, &mut out) {
+                    if !flush_pending(&mut pending, &out) {
                         break 'session;
                     }
                     let result = match parsed {
@@ -770,29 +1025,42 @@ fn serve_client(
                                 Err(_) => break 'session,
                             }
                         }
+                        Ok(Request::Query(Query::Metrics)) => {
+                            // Answered here, not in the model: the live
+                            // counter/gauge/histogram registry plus the
+                            // rolling SLO block — telemetry out, never in.
+                            Ok(fcm_obs::metrics::snapshot()
+                                .to_json()
+                                .set("slo", slo_json(&shared.slo)))
+                        }
                         Ok(Request::Query(q)) => {
                             let is_stats = matches!(q, Query::Stats);
                             let t0 = Instant::now();
-                            let mut r = model.read().expect("model lock").query(&q);
-                            fcm_obs::hist_record("serve.query_ns", t0.elapsed().as_nanos() as u64);
+                            let mut r = shared.model.read().expect("model lock").query(&q);
+                            let query_ns = t0.elapsed().as_nanos() as u64;
+                            fcm_obs::hist_record("serve.query_ns", query_ns);
                             fcm_obs::counter_add("serve.queries", 1);
+                            shared.slo.lock().expect("slo lock").query.record(query_ns);
                             if is_stats {
                                 // Durability status rides along in stats;
                                 // Json objects are BTreeMaps, so key
                                 // order stays canonical.
                                 r = r.map(|j| {
-                                    j.set("degraded", status.is_degraded())
-                                        .set("degraded_transitions", status.transitions())
-                                        .set("faults_injected", injector.injected())
-                                        .set("rearm_attempts", status.rearm_attempts())
+                                    j.set("degraded", shared.status.is_degraded())
+                                        .set("degraded_transitions", shared.status.transitions())
+                                        .set("faults_injected", shared.injector.injected())
+                                        .set("rearm_attempts", shared.status.rearm_attempts())
+                                        .set("slo", slo_json(&shared.slo))
                                 });
                             }
                             r
                         }
-                        Ok(Request::Mutation(_)) => unreachable!("handled above"),
+                        Ok(Request::Mutation(_) | Request::Subscribe(_)) => {
+                            unreachable!("handled above")
+                        }
                     };
                     let response = proto::render_response(id.as_ref(), &result);
-                    if out.write_all(response.as_bytes()).is_err() {
+                    if !write_locked(&out, response.as_bytes()) {
                         break 'session;
                     }
                 }
@@ -813,7 +1081,7 @@ fn serve_client(
                     continue;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if !flush_pending(&mut pending, &mut out) {
+                    if !flush_pending(&mut pending, &out) {
                         break;
                     }
                 }
@@ -828,7 +1096,15 @@ fn serve_client(
             Err(_) => break,
         }
     }
-    let _ = flush_pending(&mut pending, &mut out);
+    let _ = flush_pending(&mut pending, &out);
+    // Session over: close this session's subscriptions and join their
+    // streamers (each deregisters itself from the bus on exit).
+    for (sub, _) in &subs {
+        sub.close();
+    }
+    for (_, streamer) in subs {
+        let _ = streamer.join();
+    }
 }
 
 #[cfg(test)]
@@ -1047,6 +1323,74 @@ mod tests {
         assert!(!fcms.is_empty());
         h.stop().expect("clean stop");
         assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn subscription_streams_writer_events_in_order() {
+        let handle = start(ServerConfig {
+            heartbeat_every: 2,
+            ..ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper")
+        })
+        .expect("server starts");
+
+        // Subscriber attaches before any mutation, so eseq starts at 0.
+        let (mut sub_out, mut sub_lines, _) = open_session(handle.addr());
+        let ack = send(&mut sub_out, &mut sub_lines, r#"{"op":"subscribe","max_events":5}"#);
+        assert_eq!(ack.get("ok"), Some(&Json::Bool(true)), "{ack:?}");
+        assert_eq!(ack.get("next_eseq").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(ack.get("max_events").and_then(Json::as_f64), Some(5.0));
+        assert!(ack.get("queue").and_then(Json::as_f64).unwrap() >= 1.0);
+
+        // Mutations from a *different* session; with heartbeat_every=2
+        // the published stream is: mutation, mutation, stats, mutation,
+        // mutation, stats — the subscriber's cut-off lands mid-stream.
+        let (mut out, mut lines, _) = open_session(handle.addr());
+        for i in 0..4 {
+            let add = format!(
+                r#"{{"op":"add_fcm","name":"s{i}","criticality":1,"influences":[["p8",0.5]]}}"#
+            );
+            assert_eq!(send(&mut out, &mut lines, &add).get("ok"), Some(&Json::Bool(true)));
+        }
+
+        let mut names = Vec::new();
+        for want_eseq in 0..5u64 {
+            let line = sub_lines.next().expect("event line").expect("read");
+            let ev = Json::parse(&line).expect("event JSON");
+            assert_eq!(ev.get("eseq").and_then(Json::as_f64), Some(want_eseq as f64));
+            assert_eq!(ev.get("dropped").and_then(Json::as_f64), Some(0.0));
+            names.push(ev.get("event").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert_eq!(names, ["mutation", "mutation", "stats", "mutation", "mutation"]);
+
+        let end = Json::parse(&sub_lines.next().expect("end line").expect("read")).unwrap();
+        assert_eq!(end.get("event").and_then(Json::as_str), Some("end"));
+        assert_eq!(end.get("delivered").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(end.get("dropped").and_then(Json::as_f64), Some(0.0));
+
+        // The subscriber session still answers regular requests after
+        // its stream ended.
+        let r = send(&mut sub_out, &mut sub_lines, r#"{"op":"ping"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        handle.stop().expect("clean stop");
+    }
+
+    #[test]
+    fn metrics_query_returns_the_live_registry() {
+        let handle = start(ServerConfig::new(Listen::Tcp("127.0.0.1:0".to_string()), "paper"))
+            .expect("server starts");
+        let (mut out, mut lines, _) = open_session(handle.addr());
+        assert_eq!(
+            send(&mut out, &mut lines, r#"{"op":"ping"}"#).get("ok"),
+            Some(&Json::Bool(true))
+        );
+        let r = send(&mut out, &mut lines, r#"{"op":"metrics"}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert!(r.get("counters").is_some());
+        assert!(r.get("gauges").is_some());
+        assert!(r.get("hists").is_some());
+        // No op has completed an SLO window yet: deterministic null.
+        assert_eq!(r.get("slo"), Some(&Json::Null));
+        handle.stop().expect("clean stop");
     }
 
     #[test]

@@ -214,6 +214,82 @@ cargo run --release --offline -q -p fcm-bench --bin obsview -- \
     exit 1
 }
 
+echo "== telemetry plane: recorder on/off responses byte-identical"
+# The observation contract extends to the wire: flight recorder enabled
+# (the default) vs --no-flight must not change one response byte.
+rm -f target/verify/serve.sock
+"$serve_bin" --model paper --socket target/verify/serve.sock \
+    --no-flight > /dev/null 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve.sock
+"$servegen_bin" --socket target/verify/serve.sock --timeout 30000 \
+    --script scripts/serve_session.jsonl > target/verify/serve_noflight.txt
+kill -TERM "$serve_pid"
+set +e; wait "$serve_pid"; set -e
+if ! cmp -s target/verify/serve_transcript.txt target/verify/serve_noflight.txt; then
+    echo "FAIL: serve responses differ with the flight recorder disabled" >&2
+    exit 1
+fi
+
+echo "== telemetry plane: subscription golden + SIGTERM flight dump"
+# One daemon serves both checks: a live subscription streams the
+# scripted mutations (ack + events + end, byte-compared against the
+# golden), then SIGTERM dumps the flight ring those same events landed
+# in.
+rm -f target/verify/serve_sub.sock target/verify/flight.jsonl
+"$serve_bin" --model paper --socket target/verify/serve_sub.sock \
+    --heartbeat-every 2 --flight-out target/verify/flight.jsonl \
+    > /dev/null 2>&1 &
+serve_pid=$!
+wait_for_socket target/verify/serve_sub.sock
+"$servegen_bin" --socket target/verify/serve_sub.sock --timeout 30000 \
+    --script scripts/serve_subscribe.jsonl --subscribe-transcript 6 \
+    > target/verify/serve_subscribe.txt
+if ! cmp -s scripts/serve_subscribe.golden target/verify/serve_subscribe.txt; then
+    echo "FAIL: subscription stream drifted from scripts/serve_subscribe.golden" >&2
+    diff scripts/serve_subscribe.golden target/verify/serve_subscribe.txt >&2 || true
+    exit 1
+fi
+kill -TERM "$serve_pid"
+set +e; wait "$serve_pid"; serve_rc=$?; set -e
+if [ "$serve_rc" -ne 0 ]; then
+    echo "FAIL: fcm-serve SIGTERM drain exited $serve_rc, expected 0" >&2
+    exit 1
+fi
+if [ ! -f target/verify/flight.jsonl ]; then
+    echo "FAIL: SIGTERM drain did not dump target/verify/flight.jsonl" >&2
+    exit 1
+fi
+grep -q '"flight":"sigterm"' target/verify/flight.jsonl || {
+    echo "FAIL: flight dump is missing the sigterm reason" >&2
+    exit 1
+}
+grep -q '"schema":"fcm-obs/v1"' target/verify/flight.jsonl || {
+    echo "FAIL: flight dump is missing the fcm-obs/v1 schema tag" >&2
+    exit 1
+}
+grep -q '"name":"mutation"' target/verify/flight.jsonl || {
+    echo "FAIL: flight dump recorded no mutation events" >&2
+    exit 1
+}
+cargo run --release --offline -q -p fcm-bench --bin obsview -- \
+    target/verify/flight.jsonl | grep -q 'flight dump: reason "sigterm"' || {
+    echo "FAIL: obsview does not render the flight dump" >&2
+    exit 1
+}
+
+echo "== obsview: truncated trailing line exits 2"
+head -c -5 target/verify/flight.jsonl > target/verify/flight_torn.jsonl
+set +e
+cargo run --release --offline -q -p fcm-bench --bin obsview -- \
+    target/verify/flight_torn.jsonl > /dev/null 2>&1
+torn_rc=$?
+set -e
+if [ "$torn_rc" -ne 2 ]; then
+    echo "FAIL: obsview exited $torn_rc on a truncated log, expected 2" >&2
+    exit 1
+fi
+
 echo "== online service: kill -9 + --resume is byte-identical"
 rm -rf target/verify/serve_state_ref target/verify/serve_state_kill
 rm -f target/verify/serve_r.sock
@@ -283,12 +359,25 @@ sed -n 3p target/verify/serve_degraded.txt \
     echo "FAIL: degraded daemon stopped answering queries" >&2
     exit 1
 }
+# Degraded entry auto-dumped the flight ring next to the durable state
+# — the post-mortem file explaining *why* the daemon degraded. (Checked
+# before the drain: the SIGTERM dump later rewrites the same file.)
+grep -q '"flight":"degraded"' target/verify/serve_state_deg/flight.jsonl || {
+    echo "FAIL: degraded entry did not auto-dump the flight ring" >&2
+    exit 1
+}
 kill -TERM "$serve_pid"
 set +e; wait "$serve_pid"; deg_rc=$?; set -e
 if [ "$deg_rc" -ne 0 ]; then
     echo "FAIL: degraded SIGTERM drain exited $deg_rc, expected 0" >&2
     exit 1
 fi
+# After the drain the SIGTERM dump has rewritten the file, but the ring
+# still carried the degraded transition event itself.
+grep -q '"name":"degraded"' target/verify/serve_state_deg/flight.jsonl || {
+    echo "FAIL: degraded flight dump is missing the degraded event" >&2
+    exit 1
+}
 
 echo "== source-invariant lint gate (srclint)"
 cargo run --release --offline -q -p fcm-bench --bin srclint
