@@ -29,6 +29,11 @@
 //!   `crates/serve` — their query paths go through `InfluenceMatrix`,
 //!   which picks the representation; a literal n×n allocation would
 //!   silently defeat the sparse engine at fleet scale;
+//! * no exact walk-series recompute (`walk_series` / `top_k_from`) on
+//!   the compositional certification path (`crates/check/src/contract.rs`
+//!   and `certify.rs`) — the C017+ rules and the incremental certifier
+//!   must stay O(degree) contract arithmetic; reaching for the O(n²)
+//!   series there would silently defeat the cache;
 //! * diagnostic codes declared in `crates/check/src/rules.rs` are
 //!   unique.
 //!
@@ -130,6 +135,8 @@ fn main() -> ExitCode {
     let fault_injector = format!("Fault{}", "Injector");
     let fault_plan = format!("Fault{}", "Plan");
     let dense_zeros = format!("Matrix::{}", "zeros(");
+    let series_call = format!("walk_{}", "series");
+    let topk_call = format!("top_k_{}", "from");
 
     let mut findings = Vec::new();
     let mut codes: Vec<(u16, String)> = Vec::new();
@@ -144,6 +151,8 @@ fn main() -> ExitCode {
             }
         };
         let in_rules = rel.ends_with("check/src/rules.rs");
+        let in_cert_path =
+            rel.ends_with("check/src/contract.rs") || rel.ends_with("check/src/certify.rs");
         for (i, line) in text.lines().enumerate() {
             let loc = format!("{}:{}", rel.display(), i + 1);
             let trimmed = line.trim_start();
@@ -190,6 +199,11 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+            }
+            if in_cert_path && (line.contains(&series_call) || line.contains(&topk_call)) {
+                findings.push(format!(
+                    "{loc}: exact series recompute on the certification path — C017+ must stay O(degree) contract arithmetic"
+                ));
             }
             if in_rules {
                 if let Some(rest) = trimmed.strip_prefix(&code_decl) {

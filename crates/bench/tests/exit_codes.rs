@@ -32,12 +32,16 @@ fn help_exits_zero_everywhere() {
 
 #[test]
 fn usage_errors_exit_two() {
-    let cases: [(&str, &[&str]); 5] = [
+    let cases: [(&str, &[&str]); 9] = [
         (env!("CARGO_BIN_EXE_repro"), &["--no-such-flag"]),
         (env!("CARGO_BIN_EXE_repro"), &["nonsense-id"]),
         (env!("CARGO_BIN_EXE_obsview"), &[]),
         (env!("CARGO_BIN_EXE_check_bench_schema"), &[]),
         (env!("CARGO_BIN_EXE_checktool"), &["no-such-model"]),
+        (env!("CARGO_BIN_EXE_checktool"), &["--contracts"]),
+        (env!("CARGO_BIN_EXE_checktool"), &["--contracts", "/no/such/contracts.json"]),
+        (env!("CARGO_BIN_EXE_checktool"), &["--emit-contracts"]),
+        (env!("CARGO_BIN_EXE_checktool"), &["--emit-contracts", "--contracts", "x.json", "paper"]),
     ];
     for (bin, args) in cases {
         let out = run(bin, args);
@@ -69,6 +73,41 @@ fn checktool_findings_exit_one_and_json_carries_schema() {
     for expected in ["C008", "C012", "C016"] {
         assert!(text.contains(expected), "missing {expected} in:\n{text}");
     }
+}
+
+#[test]
+fn checktool_contract_round_trip_is_clean_and_violations_exit_one() {
+    // Emit → re-check: the synthesized set is the tightest *passing*
+    // one, so the round trip is clean (exit 0; C022 may warn).
+    let out = run(env!("CARGO_BIN_EXE_checktool"), &["avionics", "--emit-contracts"]);
+    assert_eq!(code(&out), 0, "emit must succeed");
+    let doc = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(doc.contains("fcm-contracts/v1"), "{doc}");
+    let dir = std::env::temp_dir().join(format!("fcm-exitcodes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("avionics.contracts.json");
+    std::fs::write(&clean, &doc).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_checktool"),
+        &["avionics", "--contracts", clean.to_str().unwrap()],
+    );
+    assert_eq!(code(&out), 0, "round trip must be clean:\n{}", String::from_utf8_lossy(&out.stdout));
+
+    // Tighten one guarantee below its actual row sum: C017 → exit 1.
+    let mut set =
+        fcm_check::ContractSet::from_json(&fcm_substrate::Json::parse(&doc).unwrap()).unwrap();
+    let mut first = set.iter().next().unwrap().clone();
+    first.guarantee = 0.0;
+    set.insert(first);
+    let broken = dir.join("broken.contracts.json");
+    std::fs::write(&broken, set.to_json().to_string_pretty()).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_checktool"),
+        &["avionics", "--contracts", broken.to_str().unwrap()],
+    );
+    assert_eq!(code(&out), 1, "violated guarantee is findings-class");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("C017"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

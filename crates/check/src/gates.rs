@@ -73,11 +73,14 @@ pub fn check_system_spec(spec: &SystemSpec) -> Report {
             ));
         }
     }
+    // Same paths as the catalog's C016 rule (`recovery/...`): one code
+    // renders one path family wherever it fires, so reports from the
+    // gate and the full engine sort and diff identically.
     if let Some(w) = &spec.watchdog {
         if w.heartbeat_period == 0 {
             report.diagnostics.push(Diagnostic::error(
                 Code(16),
-                "spec/watchdog".to_string(),
+                "recovery/watchdog".to_string(),
                 "heartbeat period 0: node failures are never detected".to_string(),
             ));
         }
@@ -86,7 +89,7 @@ pub fn check_system_spec(spec: &SystemSpec) -> Report {
         if r.max_retries > 0 && r.backoff_base == 0 {
             report.diagnostics.push(Diagnostic::error(
                 Code(16),
-                "spec/retry".to_string(),
+                "recovery/retry".to_string(),
                 format!("backoff base 0 with {} retries: restarts busy-loop", r.max_retries),
             ));
         }

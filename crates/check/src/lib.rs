@@ -13,23 +13,31 @@
 //! * [`diag`] — codes (`C001`…), severities, model paths, `ToJson`
 //!   machine output and a human renderer;
 //! * [`model`] — plain-data views able to represent broken models;
-//! * [`rules`] — the 16-rule catalog and the deterministic parallel
+//! * [`rules`] — the 22-rule catalog and the deterministic parallel
 //!   engine ([`rules::run_checks`]);
+//! * [`contract`] — per-FCM rely-guarantee contracts and the
+//!   compositional C017–C022 rule family's shared arithmetic;
+//! * [`certify`] — the incremental [`certify::Certifier`] with its
+//!   (row-hash, contract-hash)-keyed verdict cache;
 //! * [`gates`] — pre-flight hooks into `fcm-alloc::pipeline` and
 //!   `fcm-sim` setup ([`gates::install`]).
 //!
-//! The check catalog is documented as a table in DESIGN.md §8; the
-//! `checktool` and `repro --check` binaries in `crates/bench` run it
-//! over every committed experiment workload.
+//! The check catalog is documented as a table in DESIGN.md §8 (contracts
+//! in §13); the `checktool` and `repro --check` binaries in
+//! `crates/bench` run it over every committed experiment workload.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
+pub mod contract;
 pub mod diag;
 pub mod gates;
 pub mod model;
 pub mod rules;
 
+pub use certify::{CertView, Certification, Certifier, Dirty};
+pub use contract::{CertifiedBound, Contract, ContractSet, CONTRACTS_SCHEMA};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use model::{FactorView, FcmNodeView, HierarchyView, RecoveryView, RetestView, SystemModel};
 pub use rules::{run_checks, run_checks_with_threads, CheckDef, CATALOG};

@@ -17,6 +17,8 @@ use fcm_alloc::{Clustering, HwGraph, Mapping, ShedPolicy, SwGraph};
 use fcm_core::{FcmHierarchy, HierarchyLevel};
 use fcm_graph::{InfluenceMatrix, Matrix};
 
+use crate::contract::ContractSet;
+
 /// One FCM as the analyzer sees it: plain data, no invariants.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FcmNodeView {
@@ -179,6 +181,8 @@ pub struct SystemModel {
     pub recovery: Option<RecoveryView>,
     /// Degraded-mode shed policy.
     pub shed: Option<ShedPolicy>,
+    /// Per-FCM rely-guarantee contracts (the C017–C022 family).
+    pub contracts: Option<ContractSet>,
 }
 
 impl SystemModel {
@@ -274,6 +278,13 @@ impl SystemModel {
     #[must_use]
     pub fn with_shed(mut self, s: ShedPolicy) -> SystemModel {
         self.shed = Some(s);
+        self
+    }
+
+    /// Attaches per-FCM rely-guarantee contracts.
+    #[must_use]
+    pub fn with_contracts(mut self, c: ContractSet) -> SystemModel {
+        self.contracts = Some(c);
         self
     }
 }

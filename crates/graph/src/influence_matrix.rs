@@ -41,6 +41,53 @@ pub fn prefer_sparse(n: usize, density: f64) -> bool {
     n >= SPARSE_N_THRESHOLD || (n >= SPARSE_MIN_N && density <= SPARSE_MAX_DENSITY)
 }
 
+/// FNV-1a hashing helpers shared by [`InfluenceMatrix::row_hash`] and the
+/// checker's contract fingerprints. Deterministic, allocation-free, and
+/// stable across platforms (pure 64-bit integer arithmetic).
+pub mod fnv {
+    /// The FNV-1a 64-bit offset basis (the hash of an empty input).
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Folds one byte into the running hash.
+    #[must_use]
+    pub fn byte(h: u64, b: u8) -> u64 {
+        (h ^ u64::from(b)).wrapping_mul(PRIME)
+    }
+
+    /// Folds a 64-bit word into the running hash, little-endian.
+    #[must_use]
+    pub fn word(mut h: u64, w: u64) -> u64 {
+        for b in w.to_le_bytes() {
+            h = byte(h, b);
+        }
+        h
+    }
+
+    /// Folds an `f64` into the running hash by its exact bit pattern.
+    #[must_use]
+    pub fn value(h: u64, v: f64) -> u64 {
+        word(h, v.to_bits())
+    }
+
+    /// Folds a string into the running hash (length-prefixed so that
+    /// adjacent fields cannot alias).
+    #[must_use]
+    pub fn text(mut h: u64, s: &str) -> u64 {
+        h = word(h, s.len() as u64);
+        for b in s.bytes() {
+            h = byte(h, b);
+        }
+        h
+    }
+
+    /// Folds one `(column, value)` matrix entry into the running hash.
+    #[must_use]
+    pub fn entry(h: u64, col: usize, v: f64) -> u64 {
+        value(word(h, col as u64), v)
+    }
+}
+
 /// An influence matrix in whichever representation suits its size and
 /// fill: dense row-major ([`Matrix`], the bitwise oracle) or CSR
 /// ([`SparseMatrix`], the large-n engine).
@@ -166,6 +213,42 @@ impl InfluenceMatrix {
             InfluenceMatrix::Dense(m) => m.get(row, col),
             InfluenceMatrix::Sparse(s) => s.get(row, col),
         }
+    }
+
+    /// A representation-independent fingerprint of one row: FNV-1a over
+    /// the `(column, value bits)` pairs of the row's *nonzero* entries in
+    /// ascending column order. Structural zeros are skipped in the dense
+    /// arm, so by the zero-pruning invariant the hash of a row is
+    /// bitwise-identical across `Dense` and `Sparse` representations —
+    /// the property the incremental certifier's cache keying relies on.
+    ///
+    /// Rows out of bounds hash like empty rows (the FNV offset basis).
+    #[must_use]
+    pub fn row_hash(&self, row: usize) -> u64 {
+        let mut h = fnv::OFFSET;
+        match self {
+            InfluenceMatrix::Dense(m) => {
+                if row < m.rows() {
+                    for col in 0..m.cols() {
+                        let v = m[(row, col)];
+                        if v != 0.0 {
+                            h = fnv::entry(h, col, v);
+                        }
+                    }
+                }
+            }
+            InfluenceMatrix::Sparse(s) => {
+                if row < s.rows() {
+                    let (cols, vals) = s.row(row);
+                    for (&col, &v) in cols.iter().zip(vals) {
+                        if v != 0.0 {
+                            h = fnv::entry(h, col, v);
+                        }
+                    }
+                }
+            }
+        }
+        h
     }
 
     /// The dense matrix when this is the dense representation.
@@ -601,6 +684,26 @@ mod tests {
         let sep = d.top_k_least_separated(0, 2, 4);
         assert_eq!(sep[0].0, 1); // strongest influence ⇒ least separated
         assert!(sep[0].1 < sep[1].1 + 1e-15);
+    }
+
+    #[test]
+    fn row_hash_is_representation_independent_and_value_sensitive() {
+        let d = InfluenceMatrix::Dense(chain());
+        let s = InfluenceMatrix::Sparse(SparseMatrix::from_dense(&chain()));
+        for i in 0..3 {
+            assert_eq!(d.row_hash(i), s.row_hash(i), "row {i}");
+        }
+        // An empty row hashes like an out-of-bounds row: the offset basis.
+        assert_eq!(d.row_hash(2), fnv::OFFSET);
+        assert_eq!(d.row_hash(99), fnv::OFFSET);
+        // Any change to a row's values or structure changes its hash.
+        let mut edited = chain();
+        edited[(0, 1)] = 0.500001;
+        assert_ne!(InfluenceMatrix::Dense(edited).row_hash(0), d.row_hash(0));
+        let mut moved = chain();
+        moved[(0, 1)] = 0.0;
+        moved[(0, 2)] = 0.5;
+        assert_ne!(InfluenceMatrix::Dense(moved).row_hash(0), d.row_hash(0));
     }
 
     #[test]

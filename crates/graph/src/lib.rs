@@ -50,7 +50,7 @@ pub use condense::{condense, CombineRule, Condensation};
 pub use digraph::{DiGraph, Edge, EdgeIdx, NodeIdx};
 pub use error::GraphError;
 pub use influence_matrix::{
-    prefer_sparse, InfluenceMatrix, SPARSE_MAX_DENSITY, SPARSE_MIN_N, SPARSE_N_THRESHOLD,
+    fnv, prefer_sparse, InfluenceMatrix, SPARSE_MAX_DENSITY, SPARSE_MIN_N, SPARSE_N_THRESHOLD,
 };
 pub use matrix::{Matrix, Workspace};
 pub use sparse::SparseMatrix;

@@ -142,6 +142,7 @@ pub fn golden_session(model_name: &str, quick: bool) -> Result<Vec<Mutation>, St
             timing: None,
             influences: vec![(anchor.clone(), 0.2 + 0.05 * (i % 5) as f64)],
             influenced_by: Vec::new(),
+            contract: None,
         });
         if i % 3 == 2 {
             script.push(Mutation::SetAttr {

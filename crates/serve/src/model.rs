@@ -39,7 +39,7 @@ use fcm_alloc::failover::{self, ShedPolicy};
 use fcm_alloc::pipeline;
 use fcm_alloc::sw::{SwEdge, SwGraph, SwNode};
 use fcm_alloc::{Clustering, HwGraph, Mapping};
-use fcm_check::Severity;
+use fcm_check::{CertView, Certification, Certifier, Contract, ContractSet, Dirty, Severity};
 use fcm_core::AttributeSet;
 use fcm_graph::{condense, CombineRule, InfluenceMatrix, NodeIdx};
 use fcm_sched::{Admission, Job, JobId};
@@ -98,6 +98,15 @@ pub struct LiveModel {
     /// Full condensations performed by *this model* (1 at startup,
     /// carried over by resume; never incremented by a mutation).
     full_condenses: u64,
+    /// Per-FCM rely-guarantee contracts (serialized with the state;
+    /// empty = contracts not in use, certification skipped entirely).
+    contracts: ContractSet,
+    /// Incremental certifier. Derived state (a verdict cache over the
+    /// graph + contracts), never serialized — resume re-certifies.
+    certifier: Certifier,
+    /// The certification from the last (re-)certification pass; `None`
+    /// while no contracts are loaded.
+    cert: Option<Certification>,
 }
 
 fn timing_job(attrs: &AttributeSet, id: usize) -> Option<Job> {
@@ -324,6 +333,9 @@ impl LiveModel {
             shed: ShedPolicy::ShedBelow { critical_at: 3 },
             seq: 0,
             full_condenses: 1,
+            contracts: ContractSet::new(),
+            certifier: Certifier::new(),
+            cert: None,
         };
         // Initial placement: most critical first (index breaks ties), the
         // same order failover uses, so every replica lands before the
@@ -402,6 +414,62 @@ impl LiveModel {
         self.hw.node(NodeIdx(h)).expect("valid index").name.clone()
     }
 
+    /// Certifies a candidate (graph, influence, contracts) triple on a
+    /// clone of the verdict cache: the contract half of the mutation
+    /// gate. `Error` findings (a broken guarantee, rely, floor or cap,
+    /// a dangling name) reject the mutation; warnings (partial
+    /// coverage, a non-converging bound) pass — partial adoption never
+    /// blocks. Returns the advanced certifier and certification to
+    /// commit on success, so a rejected candidate never pollutes the
+    /// committed cache.
+    fn gate_contracts(
+        &self,
+        op: &str,
+        graph: &SwGraph,
+        influence: &InfluenceMatrix,
+        contracts: &ContractSet,
+        dirty: Dirty,
+    ) -> Result<(Certifier, Option<Certification>), String> {
+        if contracts.is_empty() {
+            return Ok((Certifier::new(), None));
+        }
+        let (names, crits) = fcm_columns(graph);
+        let view = CertView {
+            model: &self.name,
+            names: &names,
+            crits: &crits,
+            influence,
+            contracts,
+        };
+        // Single-threaded like the pre-flight gate: the certifier runs
+        // inside the writer thread, so nesting a fan-out buys nothing.
+        let mut certifier = self.certifier.clone();
+        let cert = certifier.certify(&view, dirty, 1);
+        if cert.report.has_errors() {
+            return Err(format!("contracts rejected {op}: {}", cert.report.error_lines()));
+        }
+        Ok((certifier, Some(cert)))
+    }
+
+    /// Re-certifies the committed state from a cold cache — the resume
+    /// path (the verdict cache is derived state, never serialized).
+    fn recertify_full(&mut self) {
+        if self.contracts.is_empty() {
+            self.certifier = Certifier::new();
+            self.cert = None;
+            return;
+        }
+        let (names, crits) = fcm_columns(&self.graph);
+        let view = CertView {
+            model: &self.name,
+            names: &names,
+            crits: &crits,
+            influence: &self.influence,
+            contracts: &self.contracts,
+        };
+        self.cert = Some(self.certifier.certify(&view, Dirty::Full, 1));
+    }
+
     /// Applies one mutation: validate → gate-check a candidate → commit
     /// with incremental re-analysis. On success the seq advances and the
     /// op-specific response payload is returned; on error the model is
@@ -421,6 +489,7 @@ impl LiveModel {
                 timing,
                 influences,
                 influenced_by,
+                contract,
             } => self.add_fcm(
                 name,
                 *criticality,
@@ -429,6 +498,7 @@ impl LiveModel {
                 *timing,
                 influences,
                 influenced_by,
+                contract.as_ref(),
             )?,
             Mutation::RemoveFcm { name } => self.remove_fcm(name)?,
             Mutation::SetAttr {
@@ -454,6 +524,7 @@ impl LiveModel {
         timing: Option<(u64, u64, u64)>,
         influences: &[(String, f64)],
         influenced_by: &[(String, f64)],
+        contract: Option<&Contract>,
     ) -> Result<Json, String> {
         if name.is_empty() || name.contains(char::is_whitespace) {
             return Err("fcm name must be non-empty without whitespace".to_string());
@@ -497,13 +568,31 @@ impl LiveModel {
         let h = find_host(&candidate, &self.hw, &self.hosts, &self.failed, v)
             .ok_or_else(|| format!("no feasible placement for \"{name}\""))?;
 
-        // Commit: incremental Eq. 4 — grow by a zero row/column, then
-        // recombine only the new node's row and column (in the current
-        // representation; the policy re-check may flip it afterwards).
-        self.influence = self.influence.grow_row_col();
+        // Candidate influence: incremental Eq. 4 — grow by a zero
+        // row/column, then recombine only the new node's row and column
+        // (in the current representation; the policy re-check may flip
+        // it afterwards).
+        let mut influence = self.influence.grow_row_col();
+        pipeline::eq4_recombine_row_col_im(edge_triples(&candidate), v, &mut influence);
+        influence.rebalance();
+        let mut contracts = self.contracts.clone();
+        if let Some(c) = contract {
+            if c.fcm != name {
+                return Err(format!(
+                    "contract is for \"{}\", not the added fcm \"{name}\"",
+                    c.fcm
+                ));
+            }
+            contracts.insert(c.clone());
+        }
+        let (certifier, cert) =
+            self.gate_contracts("add_fcm", &candidate, &influence, &contracts, Dirty::Full)?;
+
+        self.influence = influence;
         self.graph = candidate;
-        pipeline::eq4_recombine_row_col_im(edge_triples(&self.graph), v, &mut self.influence);
-        self.influence.rebalance();
+        self.contracts = contracts;
+        self.certifier = certifier;
+        self.cert = cert;
         commit_to(&self.graph, &mut self.hosts, h, v);
         self.host_of.push(Some(h));
         self.index.insert(name.to_string(), v);
@@ -540,8 +629,18 @@ impl LiveModel {
         // Admission job ids are dense indices, which just shifted:
         // rebuild the host state wholesale (removal is off the hot path).
         let hosts = rebuild_hosts(&next, &self.hw, &host_of)?;
-        self.influence = self.influence.shrink_row_col(v);
-        self.influence.rebalance();
+        let mut influence = self.influence.shrink_row_col(v);
+        influence.rebalance();
+        // The FCM's own contract leaves with it; survivors' caps naming
+        // it would dangle (a C021 error), which rejects the removal.
+        let mut contracts = self.contracts.clone();
+        contracts.remove(name);
+        let (certifier, cert) =
+            self.gate_contracts("remove_fcm", &next, &influence, &contracts, Dirty::Full)?;
+        self.influence = influence;
+        self.contracts = contracts;
+        self.certifier = certifier;
+        self.cert = cert;
         self.graph = next;
         self.host_of = host_of;
         self.hosts = hosts;
@@ -584,6 +683,16 @@ impl LiveModel {
         if report.has_errors() {
             return Err(format!("preflight rejected set_attr: {}", report.error_lines()));
         }
+        // Contract gate on the candidate attributes: only row `v` is
+        // dirty (the state hash folds the criticality), so this is the
+        // O(degree) re-certification path.
+        let (certifier, cert) = self.gate_contracts(
+            "set_attr",
+            &candidate,
+            &self.influence,
+            &self.contracts,
+            Dirty::Rows(&[v]),
+        )?;
         // Re-validate the FCM's host under the new attributes: the
         // rely-guarantee per-edit admission check.
         if let Some(h) = self.host_of[v] {
@@ -605,6 +714,8 @@ impl LiveModel {
             self.hosts = hosts;
         }
         self.graph = candidate;
+        self.certifier = certifier;
+        self.cert = cert;
         Ok(Json::object().set("fcm", name))
     }
 
@@ -778,6 +889,7 @@ impl LiveModel {
                     .set("to", to.as_str()))
             }
             Query::Check => Ok(self.run_check()),
+            Query::Certify => Ok(self.certify_json()),
             Query::Admit {
                 node,
                 timing,
@@ -921,9 +1033,44 @@ impl LiveModel {
             .set("repr", self.influence.repr())
     }
 
+    /// The `stats`/`certify` `"certified"` block: contract count, the
+    /// certified bound, and the incremental certifier's dirty/reused
+    /// split from the last re-certification pass.
+    fn certified_json(&self) -> Json {
+        let base = Json::object().set("contracts", self.contracts.len() as u64);
+        match &self.cert {
+            Some(c) => base
+                .set("bound", c.bound.to_json())
+                .set("certified", c.certified)
+                .set("dirty", c.verified as u64)
+                .set("reused", c.reused as u64),
+            None => base.set("certified", false),
+        }
+    }
+
+    /// The `certify` query: the `"certified"` block plus the rendered
+    /// C017–C022 findings of the last certification pass.
+    fn certify_json(&self) -> Json {
+        let base = self.certified_json();
+        match &self.cert {
+            Some(c) => base
+                .set(
+                    "diagnostics",
+                    Json::array(c.report.diagnostics.iter().map(|d| Json::from(d.render()))),
+                )
+                .set("errors", c.report.count(Severity::Error) as u64)
+                .set("warnings", c.report.count(Severity::Warn) as u64),
+            None => base
+                .set("diagnostics", Json::array(std::iter::empty::<Json>()))
+                .set("errors", 0u64)
+                .set("warnings", 0u64),
+        }
+    }
+
     fn stats(&self) -> Json {
         let unhosted = self.host_of.iter().filter(|h| h.is_none()).count();
         Json::object()
+            .set("certified", self.certified_json())
             .set("edges", self.graph.edge_count() as u64)
             .set(
                 "failed",
@@ -978,7 +1125,7 @@ impl LiveModel {
         // Dense emits the legacy array-of-rows byte-for-byte; CSR emits
         // the `{"format":"csr",...}` object — both round-trip exactly.
         let influence = self.influence.to_state_json();
-        Json::object()
+        let mut doc = Json::object()
             .set("edges", edges)
             .set(
                 "failed",
@@ -989,7 +1136,13 @@ impl LiveModel {
             .set("influence", influence)
             .set("model", self.name.as_str())
             .set("schema", STATE_SCHEMA)
-            .set("seq", self.seq)
+            .set("seq", self.seq);
+        // Contracts ride along only once in use, so pre-contract
+        // snapshots and contract-free sessions stay byte-identical.
+        if !self.contracts.is_empty() {
+            doc = doc.set("contracts", self.contracts.to_json());
+        }
+        doc
     }
 
     /// Reconstructs a model from [`LiveModel::state_json`] output: the
@@ -1099,12 +1252,18 @@ impl LiveModel {
             .get("full_condenses")
             .and_then(Json::as_f64)
             .ok_or_else(|| want("full_condenses"))? as u64;
+        let contracts = match state.get("contracts") {
+            Some(doc) => {
+                ContractSet::from_json(doc).map_err(|e| format!("snapshot contracts: {e}"))?
+            }
+            None => ContractSet::new(),
+        };
         let hosts = rebuild_hosts(&graph, &hw, &host_of)?;
         let index = graph
             .nodes()
             .map(|(ni, sw)| (sw.name.clone(), ni.index()))
             .collect();
-        Ok(LiveModel {
+        let mut model = LiveModel {
             name: name.to_string(),
             graph,
             index,
@@ -1116,8 +1275,20 @@ impl LiveModel {
             shed: ShedPolicy::ShedBelow { critical_at: 3 },
             seq,
             full_condenses,
-        })
+            contracts,
+            certifier: Certifier::new(),
+            cert: None,
+        };
+        model.recertify_full();
+        Ok(model)
     }
+}
+
+fn fcm_columns(g: &SwGraph) -> (Vec<String>, Vec<u32>) {
+    (
+        g.nodes().map(|(_, sw)| sw.name.clone()).collect(),
+        g.nodes().map(|(_, sw)| sw.attributes.criticality.0).collect(),
+    )
 }
 
 fn check_weight(w: f64) -> Result<(), String> {
@@ -1143,6 +1314,7 @@ mod tests {
             timing: None,
             influences: influences.iter().map(|&(n, w)| (n.to_string(), w)).collect(),
             influenced_by: Vec::new(),
+            contract: None,
         }
     }
 
@@ -1304,6 +1476,109 @@ mod tests {
             a.state_json().to_string_compact(),
             b.state_json().to_string_compact()
         );
+    }
+
+    fn add_contracted(name: &str, crit: u32, influences: &[(&str, f64)], c: Contract) -> Mutation {
+        match add(name, crit, influences) {
+            Mutation::AddFcm {
+                name,
+                criticality,
+                throughput,
+                security,
+                timing,
+                influences,
+                influenced_by,
+                ..
+            } => Mutation::AddFcm {
+                name,
+                criticality,
+                throughput,
+                security,
+                timing,
+                influences,
+                influenced_by,
+                contract: Some(c),
+            },
+            other => other,
+        }
+    }
+
+    #[test]
+    fn contract_lifecycle_gates_mutations_and_serves_certify() {
+        let mut m = LiveModel::new("paper").unwrap();
+        // No contracts loaded: certification is inert, never blocking.
+        let idle = m.query(&Query::Certify).unwrap();
+        assert_eq!(idle.get("certified"), Some(&Json::Bool(false)));
+        assert_eq!(idle.get("contracts").and_then(Json::as_f64), Some(0.0));
+
+        // A guarantee below the FCM's actual row sum rejects the add.
+        let anchor = m.fcm_name(0);
+        let before = m.state_json().to_string_compact();
+        let bad = add_contracted(
+            "probe",
+            3,
+            &[(anchor.as_str(), 0.5)],
+            Contract::new("probe", 0.1, 2.0, 1),
+        );
+        let err = m.apply(&bad).unwrap_err();
+        assert!(err.contains("C017"), "{err}");
+        assert_eq!(m.state_json().to_string_compact(), before, "rejection left no trace");
+
+        // A satisfiable contract is accepted; partial coverage warns
+        // but neither errors nor certifies.
+        let good = add_contracted(
+            "probe",
+            3,
+            &[(anchor.as_str(), 0.5)],
+            Contract::new("probe", 0.9, 9.0, 1),
+        );
+        m.apply(&good).unwrap();
+        let cert = m.query(&Query::Certify).unwrap();
+        assert_eq!(cert.get("certified"), Some(&Json::Bool(false)));
+        assert_eq!(cert.get("errors").and_then(Json::as_f64), Some(0.0));
+        assert!(cert.get("warnings").and_then(Json::as_f64).unwrap() > 0.0);
+        let stats = m.query(&Query::Stats).unwrap();
+        let block = stats.get("certified").expect("stats carries the certified block");
+        assert_eq!(block.get("contracts").and_then(Json::as_f64), Some(1.0));
+
+        // Dropping the criticality below the contract floor is rejected
+        // in place; a compliant edit passes and re-verifies only the
+        // dirty row (the O(degree) path).
+        let floor_break = Mutation::SetAttr {
+            name: "probe".to_string(),
+            criticality: Some(0),
+            throughput: None,
+            timing: None,
+        };
+        let err = m.apply(&floor_break).unwrap_err();
+        assert!(err.contains("C020"), "{err}");
+        m.apply(&Mutation::SetAttr {
+            name: "probe".to_string(),
+            criticality: Some(4),
+            throughput: None,
+            timing: None,
+        })
+        .unwrap();
+        let cert = m.query(&Query::Certify).unwrap();
+        assert_eq!(cert.get("dirty").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cert.get("reused").and_then(Json::as_f64), Some(m.fcm_count() as f64 - 1.0));
+
+        // Snapshots carry the contracts and re-certify on load.
+        let state = m.state_json();
+        assert!(state.get("contracts").is_some());
+        let restored = LiveModel::from_state(&state).unwrap();
+        assert_eq!(restored.state_json().to_string_compact(), state.to_string_compact());
+        assert_eq!(
+            restored.query(&Query::Certify).unwrap().get("warnings"),
+            m.query(&Query::Certify).unwrap().get("warnings"),
+        );
+
+        // The FCM's contract leaves with it; certification goes inert.
+        m.apply(&Mutation::RemoveFcm { name: "probe".to_string() }).unwrap();
+        let after = m.query(&Query::Certify).unwrap();
+        assert_eq!(after.get("contracts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(after.get("certified"), Some(&Json::Bool(false)));
+        assert!(m.state_json().get("contracts").is_none());
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!
 //! ```text
 //! mutation  := add_fcm | remove_fcm | set_attr | fail_node | restore_node
-//! query     := influence | separation | check | admit | propose_placement
-//!            | stats | metrics | list | dump | snapshot | ping
+//! query     := influence | separation | check | certify | admit
+//!            | propose_placement | stats | metrics | list | dump
+//!            | snapshot | ping
 //! subscribe := subscribe [max_events] [queue]
 //! ```
 //!
@@ -25,6 +26,7 @@
 //! property tests), which is what makes journal replay reproduce a
 //! byte-identical model.
 
+use fcm_check::Contract;
 use fcm_substrate::Json;
 
 /// Protocol schema tag, sent in the hello line on connect.
@@ -53,6 +55,9 @@ pub enum Mutation {
         influences: Vec<(String, f64)>,
         /// Incoming influence edges `(source, weight)`.
         influenced_by: Vec<(String, f64)>,
+        /// Optional rely-guarantee contract the FCM arrives with; its
+        /// `fcm` field always equals `name` (the wire form omits it).
+        contract: Option<Contract>,
     },
     /// Remove an FCM and every incident edge.
     RemoveFcm {
@@ -120,6 +125,10 @@ pub enum Query {
     },
     /// Run the `fcm-check` rule catalog over the live model.
     Check,
+    /// The compositional certification state: the contract-derived
+    /// system bound, the C017–C022 findings, and the incremental
+    /// certifier's dirty/reused split from the last re-certification.
+    Certify,
     /// Would this hypothetical load be admitted on a HW node?
     Admit {
         /// HW node name.
@@ -253,6 +262,33 @@ fn edge_pairs(j: &Json, key: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// `"contract"` on an `add_fcm`: absent → `None`; an object → parsed as
+/// a [`Contract`] with its `fcm` field forced to the mutation's
+/// `"name"` (the wire form never repeats it).
+fn contract_field(j: &Json) -> Result<Option<Contract>, String> {
+    let Some(doc) = j.get("contract") else {
+        return Ok(None);
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("field \"contract\" must be an object".to_string());
+    }
+    let name = j.get("name").and_then(Json::as_str).unwrap_or_default();
+    let c = Contract::from_json(&doc.clone().set("fcm", name))?;
+    Ok(Some(c))
+}
+
+/// Wire form of an embedded contract: [`Contract::to_json`] without the
+/// redundant `"fcm"` (the mutation's `"name"` supplies it on parse).
+fn contract_json(c: &Contract) -> Json {
+    match c.to_json() {
+        Json::Obj(mut m) => {
+            m.remove("fcm");
+            Json::Obj(m)
+        }
+        other => other,
+    }
+}
+
 /// Parses one request line: the echoed `"id"` (if any — recovered even
 /// from otherwise-invalid requests) plus the request or a parse error.
 pub fn parse_line(line: &str) -> (Option<Json>, Result<Request, String>) {
@@ -283,6 +319,7 @@ fn parse_request(j: &Json) -> Result<Request, String> {
             timing: opt_timing(j)?.flatten(),
             influences: edge_pairs(j, "influences")?,
             influenced_by: edge_pairs(j, "influenced_by")?,
+            contract: contract_field(j)?,
         }),
         "remove_fcm" => Request::Mutation(Mutation::RemoveFcm {
             name: str_field(j, "name")?,
@@ -322,6 +359,7 @@ fn parse_request(j: &Json) -> Result<Request, String> {
             })
         }
         "check" => Request::Query(Query::Check),
+        "certify" => Request::Query(Query::Certify),
         "admit" => Request::Query(Query::Admit {
             node: str_field(j, "node")?,
             timing: opt_timing(j)?.flatten(),
@@ -404,14 +442,21 @@ pub fn mutation_to_json(m: &Mutation) -> Json {
             timing,
             influences,
             influenced_by,
-        } => base
-            .set("criticality", *criticality)
-            .set("influenced_by", pairs_json(influenced_by))
-            .set("influences", pairs_json(influences))
-            .set("name", name.as_str())
-            .set("security", u64::from(*security))
-            .set("throughput", *throughput)
-            .set("timing", timing_json(*timing)),
+            contract,
+        } => {
+            let mut j = base
+                .set("criticality", *criticality)
+                .set("influenced_by", pairs_json(influenced_by))
+                .set("influences", pairs_json(influences))
+                .set("name", name.as_str())
+                .set("security", u64::from(*security))
+                .set("throughput", *throughput)
+                .set("timing", timing_json(*timing));
+            if let Some(c) = contract {
+                j = j.set("contract", contract_json(c));
+            }
+            j
+        }
         Mutation::RemoveFcm { name } => base.set("name", name.as_str()),
         Mutation::SetAttr {
             name,

@@ -22,6 +22,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 
+use fcm_check::Contract;
 use fcm_serve::proto::{self, Mutation, Request};
 use fcm_serve::server::{start, Listen, ServerConfig};
 use fcm_serve::store::Store;
@@ -43,6 +44,18 @@ fn random_mutation(rng: &mut Rng, pool: &[String], fresh: &mut u64) -> Mutation 
                     )
                 })
                 .collect();
+            let contract = rng.gen_bool(0.4).then(|| {
+                let mut c = Contract::new(
+                    name.clone(),
+                    rng.gen_range(0.0f64..1.5),
+                    rng.gen_range(0.0f64..10.0),
+                    rng.gen_range(0u32..5),
+                );
+                if rng.gen_bool(0.5) {
+                    c = c.with_cap(pool[rng.gen_range(0usize..pool.len())].clone(), rng.gen_range(0.0f64..0.5));
+                }
+                c
+            });
             Mutation::AddFcm {
                 name,
                 criticality: rng.gen_range(0u32..5),
@@ -53,6 +66,7 @@ fn random_mutation(rng: &mut Rng, pool: &[String], fresh: &mut u64) -> Mutation 
                     .then(|| (0, 1000, rng.gen_range(1u64..50))),
                 influences,
                 influenced_by: Vec::new(),
+                contract,
             }
         }
         1 => Mutation::RemoveFcm {

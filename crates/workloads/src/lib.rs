@@ -26,13 +26,17 @@
 //!   for fault-injection experiments;
 //! * [`automotive`] — a second domain instance (an ADAS suite with TMR
 //!   planning, duplex braking, located sensors and a zonal ECU ring),
-//!   demonstrating the framework beyond avionics.
+//!   demonstrating the framework beyond avionics;
+//! * [`contracts`] — tightest-passing rely-guarantee contract synthesis
+//!   for the paper/avionics/fleet workloads (the C017–C022 family's
+//!   inputs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod automotive;
 pub mod avionics;
+pub mod contracts;
 pub mod fleet;
 pub mod materialize;
 pub mod measured;

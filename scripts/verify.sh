@@ -142,6 +142,47 @@ if ! cmp -s target/verify/check_seq.json target/verify/check_par.json; then
     exit 1
 fi
 
+echo "== contracts: emit -> check round trip is clean + thread-count determinism"
+# The synthesized set is the tightest passing one, so re-checking the
+# model against its own emitted contracts must be clean (C017–C022
+# armed); and the contract-bearing report must be byte-identical
+# whatever FCM_SWEEP_THREADS says.
+cargo run --release --offline -q -p fcm-bench --bin checktool -- avionics --emit-contracts \
+    > target/verify/avionics.contracts.json
+grep -q '"schema": "fcm-contracts/v1"' target/verify/avionics.contracts.json || {
+    echo "FAIL: --emit-contracts did not print an fcm-contracts/v1 document" >&2
+    exit 1
+}
+FCM_SWEEP_THREADS=1 cargo run --release --offline -q -p fcm-bench --bin checktool -- \
+    avionics --contracts target/verify/avionics.contracts.json --json \
+    > target/verify/contracts_seq.json
+FCM_SWEEP_THREADS=4 cargo run --release --offline -q -p fcm-bench --bin checktool -- \
+    avionics --contracts target/verify/avionics.contracts.json --json \
+    > target/verify/contracts_par.json
+if ! cmp -s target/verify/contracts_seq.json target/verify/contracts_par.json; then
+    echo "FAIL: contract-bearing report differs across FCM_SWEEP_THREADS" >&2
+    exit 1
+fi
+
+echo "== contracts: a violated guarantee is caught (exit 1, C017)"
+# Zero out every guarantee: each FCM's actual row sum now exceeds it.
+sed 's/"guarantee": [0-9.eE+-]*/"guarantee": 0.0/' \
+    target/verify/avionics.contracts.json > target/verify/broken.contracts.json
+set +e
+cargo run --release --offline -q -p fcm-bench --bin checktool -- \
+    avionics --contracts target/verify/broken.contracts.json \
+    > target/verify/contracts_broken.txt
+contracts_rc=$?
+set -e
+if [ "$contracts_rc" -ne 1 ]; then
+    echo "FAIL: broken contracts exited $contracts_rc, expected 1" >&2
+    exit 1
+fi
+grep -q "C017" target/verify/contracts_broken.txt || {
+    echo "FAIL: broken contracts did not trip the guarantee check" >&2
+    exit 1
+}
+
 echo "== static analysis: the broken model is caught (exit 1)"
 set +e
 cargo run --release --offline -q -p fcm-bench --bin checktool -- --broken-e14 > target/verify/check_broken.txt
